@@ -1,0 +1,136 @@
+// Command dvrbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dvrbench table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|fig12|ablation|all [-quick]
+//
+// With -quick, a scaled-down suite runs in seconds; without it, the full
+// Table 2 inputs and the paper's ROIs are used (minutes).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dvr/internal/cpu"
+	"dvr/internal/experiments"
+	"dvr/internal/graphgen"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the scaled-down suite")
+	jsonOut := flag.Bool("json", false, "emit raw result rows as JSON instead of tables")
+	flag.Parse()
+	var args []string
+	for _, a := range flag.Args() {
+		// Accept -quick in any position.
+		if a == "-quick" || a == "--quick" {
+			*quick = true
+			continue
+		}
+		args = append(args, a)
+	}
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+
+	cfg := cpu.DefaultConfig()
+	suite := experiments.FullSuite
+	if *quick {
+		suite = experiments.QuickSuite
+	}
+
+	emit := func(rows interface{}, render func() string) {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rows); err != nil {
+				fmt.Fprintln(os.Stderr, "dvrbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println(render())
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			fmt.Println(experiments.Table1(cfg))
+		case "table2":
+			roi := uint64(0)
+			if *quick {
+				roi = 60_000
+			}
+			rows, render := experiments.Table2(cfg, roi)
+			emit(rows, render)
+		case "fig2":
+			s := gapSuite(*quick)
+			ooo, vr, render := experiments.Fig2(s.GAP, cfg)
+			emit(map[string]interface{}{"ooo": ooo, "vr": vr}, render)
+		case "fig7":
+			rows, render := experiments.Fig7(suite().All(), cfg)
+			emit(rows, render)
+		case "fig8":
+			rows, render := experiments.Fig8(suite().All(), cfg)
+			emit(rows, render)
+		case "fig9":
+			rows, render := experiments.Fig9(suite().All(), cfg)
+			emit(rows, render)
+		case "fig10":
+			rows, render := experiments.Fig10(suite().All(), cfg)
+			emit(rows, render)
+		case "fig11":
+			rows, render := experiments.Fig11(suite().All(), cfg)
+			emit(rows, render)
+		case "fig12":
+			s := gapSuite(*quick)
+			specs := append(s.GAP, suite().HPCDB...)
+			rows, render := experiments.Fig12(specs, cfg)
+			emit(rows, render)
+		case "ablation":
+			specs := suite().All()
+			if *quick {
+				specs = specs[:4]
+			}
+			_, r1 := experiments.AblationLanes(specs, cfg)
+			fmt.Println(r1())
+			_, r2 := experiments.AblationReconvergence(specs, cfg)
+			fmt.Println(r2())
+			_, r3 := experiments.AblationTimeout(specs, cfg)
+			fmt.Println(r3())
+			_, r4 := experiments.AblationMSHR(specs, cfg)
+			fmt.Println(r4())
+			_, r5 := experiments.AblationBandwidth(specs, cfg)
+			fmt.Println(r5())
+		default:
+			fmt.Fprintf(os.Stderr, "dvrbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	for _, a := range args {
+		if a == "all" {
+			for _, n := range []string{"table1", "table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+				run(n)
+			}
+			continue
+		}
+		run(a)
+	}
+}
+
+// gapSuite returns the GAP kernels for the ROB sweeps: over the KR input
+// at full scale (the paper's headline callouts are on the GAP set), or the
+// small Kronecker input with -quick.
+func gapSuite(quick bool) experiments.Suite {
+	if quick {
+		return experiments.QuickSuite()
+	}
+	return experiments.GAPOnly(graphgen.Table2Inputs()[0])
+}

@@ -1,0 +1,161 @@
+// Command dvrsim runs one benchmark under one technique and prints the
+// full statistics block.
+//
+// Usage:
+//
+//	dvrsim -bench bfs -input KR -tech dvr [-rob 350] [-roi 300000]
+//	dvrsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvr/internal/cpu"
+	"dvr/internal/experiments"
+	"dvr/internal/graphgen"
+	"dvr/internal/mem"
+	"dvr/internal/runahead"
+	"dvr/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "bfs", "benchmark: bc,bfs,cc,pr,sssp,camel,graph500,hj2,hj8,kangaroo,nas-cg,nas-is,randomaccess")
+		inputName = flag.String("input", "KR", "graph input for GAP kernels: KR,LJN,ORK,TW,UR")
+		techName  = flag.String("tech", "dvr", "technique: ooo,pre,imp,vr,dvr,dvr-offload,dvr-discovery,oracle")
+		rob       = flag.Int("rob", 350, "reorder-buffer size")
+		roi       = flag.Uint64("roi", 300_000, "timed instructions")
+		trace     = flag.Uint64("trace", 0, "print pipeline timing for the first N instructions")
+		mshrs     = flag.Int("mshrs", 24, "L1-D MSHR count")
+		bwCycles  = flag.Uint64("bw", 5, "DRAM cycles per 64 B line (5 = 51.2 GB/s at 4 GHz)")
+		lanes     = flag.Int("lanes", 128, "DVR vectorization degree (dvr only; max 256)")
+		list      = flag.Bool("list", false, "list benchmarks and techniques")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks: bc bfs cc pr sssp (with -input KR|LJN|ORK|TW|UR)")
+		fmt.Println("            camel graph500 hj2 hj8 kangaroo nas-cg nas-is randomaccess")
+		fmt.Println("techniques: ooo pre imp vr dvr dvr-offload dvr-discovery oracle")
+		return
+	}
+
+	spec, err := findSpec(*benchName, *inputName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvrsim:", err)
+		os.Exit(1)
+	}
+	spec.ROI = *roi
+
+	cfg := cpu.DefaultConfig().WithROB(*rob)
+	cfg.Mem.MSHRs = *mshrs
+	cfg.Mem.DRAMCyclesPerLine = *bwCycles
+	if *lanes != 128 && *techName == "dvr" {
+		runCustomLanes(spec, cfg, *lanes)
+		return
+	}
+	if *trace > 0 {
+		runTraced(spec, experiments.Technique(*techName), cfg, *trace)
+		return
+	}
+	res := experiments.Run(spec, experiments.Technique(*techName), cfg)
+
+	fmt.Printf("benchmark    %s\n", res.Name)
+	fmt.Printf("technique    %s\n", res.Technique)
+	fmt.Printf("instructions %d\n", res.Instructions)
+	fmt.Printf("cycles       %d\n", res.Cycles)
+	fmt.Printf("IPC          %.4f\n", res.IPC())
+	fmt.Printf("MLP          %.2f MSHRs/cycle\n", res.MLP())
+	fmt.Printf("ROB stall    %.1f%%\n", 100*res.ROBStallFrac())
+	fmt.Printf("commit hold  %d cycles (delayed termination)\n", res.CommitHoldCycles)
+	fmt.Printf("branches     %d (%.2f%% mispredicted)\n", res.BranchLookups, 100*res.MispredictRate())
+	fmt.Printf("loads/stores %d / %d\n", res.Loads, res.Stores)
+	fmt.Printf("LLC MPKI     %.2f (demand)\n", res.LLCMPKI())
+	st := res.Mem
+	fmt.Printf("demand hits  L1=%d L2=%d L3=%d Mem=%d merged=%d\n",
+		st.DemandHits[mem.LvlL1], st.DemandHits[mem.LvlL2], st.DemandHits[mem.LvlL3], st.DemandHits[mem.LvlMem], st.DemandMerged)
+	fmt.Printf("DRAM         demand=%d stride-pf=%d runahead=%d imp=%d oracle=%d writebacks=%d\n",
+		st.DRAMAccesses[mem.SrcDemand], st.DRAMAccesses[mem.SrcStridePF], st.DRAMAccesses[mem.SrcRunahead],
+		st.DRAMAccesses[mem.SrcIMP], st.DRAMAccesses[mem.SrcOracle], st.Writebacks)
+	fmt.Printf("prefetches   issued=%d useful@L1=%d @L2=%d @L3=%d late=%d unused-evict=%d\n",
+		st.TotalPrefIssued(), st.PrefUsefulAt[mem.LvlL1], st.PrefUsefulAt[mem.LvlL2], st.PrefUsefulAt[mem.LvlL3],
+		sum4(st.PrefLate), sum4(st.PrefUnusedEvict))
+	e := res.Engine
+	if e.Episodes > 0 || e.Prefetches > 0 {
+		fmt.Printf("engine       episodes=%d prefetches=%d vector-uops=%d discovery=%d nested=%d timeouts=%d avg-lanes=%.1f\n",
+			e.Episodes, e.Prefetches, e.VectorUops, e.DiscoveryModes, e.NestedModes, e.Timeouts, e.LanesVectorize)
+	}
+}
+
+// runCustomLanes runs DVR with a non-default vectorization degree.
+func runCustomLanes(spec workloads.Spec, cfg cpu.Config, lanes int) {
+	o := runahead.DVROptions()
+	o.Lanes = lanes
+	w := spec.Build()
+	fe := w.Frontend()
+	core := cpu.NewCore(cfg, fe)
+	core.Attach(runahead.NewVector(o, fe, core.Hierarchy()))
+	res := core.Run(spec.ROI)
+	fmt.Printf("benchmark    %s (dvr, %d lanes)\n", spec.Name, lanes)
+	fmt.Printf("IPC          %.4f\n", res.IPC())
+	fmt.Printf("MLP          %.2f MSHRs/cycle\n", res.MLP())
+	fmt.Printf("episodes     %d (nested %d)\n", res.Engine.Episodes, res.Engine.NestedModes)
+	fmt.Printf("prefetches   %d\n", res.Engine.Prefetches)
+}
+
+// runTraced replays the run with a pipeline-timing trace on stdout.
+func runTraced(spec workloads.Spec, tech experiments.Technique, cfg cpu.Config, n uint64) {
+	w := spec.Build()
+	fe := w.Frontend()
+	core := cpu.NewCore(cfg, fe)
+	switch tech {
+	case experiments.TechOoO:
+	case experiments.TechDVR:
+		core.Attach(runahead.NewDVR(fe, core.Hierarchy()))
+	case experiments.TechVR:
+		core.Attach(runahead.NewVR(fe, core.Hierarchy()))
+	default:
+		fmt.Fprintln(os.Stderr, "dvrsim: -trace supports ooo, vr and dvr")
+		os.Exit(1)
+	}
+	fmt.Printf("%-6s %-4s %-28s %8s %8s %8s %8s %8s\n", "seq", "pc", "inst", "disp", "ready", "issue", "done", "commit")
+	code := w.Prog.Code
+	core.Trace(n, func(seq uint64, pc int, disp, ready, issue, done, commit uint64) {
+		fmt.Printf("%-6d %-4d %-28s %8d %8d %8d %8d %8d\n", seq, pc, code[pc].String(), disp, ready, issue, done, commit)
+	})
+	res := core.Run(n)
+	fmt.Printf("\nIPC %.3f over %d instructions\n", res.IPC(), res.Instructions)
+}
+
+func sum4(a [5]uint64) uint64 {
+	var t uint64
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+func findSpec(bench, input string) (workloads.Spec, error) {
+	for _, sp := range workloads.HPCDBSpecs() {
+		if sp.Name == bench {
+			return sp, nil
+		}
+	}
+	gapNames := map[string]bool{"bc": true, "bfs": true, "cc": true, "pr": true, "sssp": true}
+	if !gapNames[bench] {
+		return workloads.Spec{}, fmt.Errorf("unknown benchmark %q", bench)
+	}
+	for _, in := range graphgen.Table2Inputs() {
+		if strings.EqualFold(in.Name, input) {
+			for _, sp := range workloads.GAPSpecs(in) {
+				if strings.HasPrefix(sp.Name, bench+"_") {
+					return sp, nil
+				}
+			}
+		}
+	}
+	return workloads.Spec{}, fmt.Errorf("unknown graph input %q", input)
+}

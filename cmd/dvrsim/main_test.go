@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestFindSpecHPCDB(t *testing.T) {
+	sp, err := findSpec("camel", "")
+	if err != nil || sp.Name != "camel" {
+		t.Fatalf("findSpec(camel) = %v, %v", sp.Name, err)
+	}
+}
+
+func TestFindSpecGAP(t *testing.T) {
+	sp, err := findSpec("bfs", "UR")
+	if err != nil || sp.Name != "bfs_UR" {
+		t.Fatalf("findSpec(bfs, UR) = %v, %v", sp.Name, err)
+	}
+}
+
+func TestFindSpecErrors(t *testing.T) {
+	if _, err := findSpec("nosuch", "KR"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := findSpec("bfs", "XX"); err == nil {
+		t.Error("unknown input accepted")
+	}
+}

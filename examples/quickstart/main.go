@@ -1,0 +1,44 @@
+// Quickstart: build a workload, run it on the baseline out-of-order core
+// and on a DVR-equipped core, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dvr/internal/cpu"
+	"dvr/internal/graphgen"
+	"dvr/internal/runahead"
+	"dvr/internal/workloads"
+)
+
+func main() {
+	// A small Kronecker (power-law) graph and the paper's Algorithm 1
+	// (top-down BFS) over it.
+	g := graphgen.Kronecker(14, 8, 42)
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N, g.M())
+
+	const roi = 120_000
+	cfg := cpu.DefaultConfig() // Table 1: 5-wide, 350-entry ROB, 4 GHz
+
+	// Baseline out-of-order core.
+	base := workloads.BFS(g)
+	core := cpu.NewCore(cfg, base.Frontend())
+	baseRes := core.Run(roi)
+
+	// The same core with the Decoupled Vector Runahead subthread attached.
+	wl := workloads.BFS(g)
+	fe := wl.Frontend()
+	core = cpu.NewCore(cfg, fe)
+	core.Attach(runahead.NewDVR(fe, core.Hierarchy()))
+	dvrRes := core.Run(roi)
+
+	fmt.Printf("\n%-22s %10s %10s\n", "", "OoO", "OoO+DVR")
+	fmt.Printf("%-22s %10.3f %10.3f\n", "IPC", baseRes.IPC(), dvrRes.IPC())
+	fmt.Printf("%-22s %10.2f %10.2f\n", "MLP (MSHRs/cycle)", baseRes.MLP(), dvrRes.MLP())
+	fmt.Printf("%-22s %10d %10d\n", "demand DRAM accesses", baseRes.Mem.DRAMAccesses[0], dvrRes.Mem.DRAMAccesses[0])
+	fmt.Printf("%-22s %10d %10d\n", "runahead episodes", baseRes.Engine.Episodes, dvrRes.Engine.Episodes)
+	fmt.Printf("\nDVR speedup: %.2fx\n", dvrRes.IPC()/baseRes.IPC())
+	fmt.Printf("DVR hardware overhead: %d bytes\n", runahead.DefaultBudget().Bytes().Total)
+}

@@ -1,0 +1,40 @@
+// ROB sweep: the Figure 2 / Figure 12 experiment in miniature — VR's gain
+// decays as the reorder buffer grows (its full-ROB trigger disappears)
+// while DVR's decoupled trigger keeps firing.
+//
+//	go run ./examples/robsweep
+package main
+
+import (
+	"fmt"
+
+	"dvr/internal/cpu"
+	"dvr/internal/experiments"
+	"dvr/internal/graphgen"
+	"dvr/internal/workloads"
+)
+
+func main() {
+	in := graphgen.Input{Name: "KR", Build: func() *graphgen.Graph { return graphgen.Kronecker(14, 8, 3) }}
+	specs := workloads.GAPSpecs(in)
+	for i := range specs {
+		specs[i].ROI = 80_000
+	}
+	cfg := cpu.DefaultConfig()
+
+	fmt.Println("h-mean speedup vs OoO/350 (GAP kernels):")
+	fmt.Printf("%-6s %8s %8s %10s\n", "ROB", "VR", "DVR", "full-ROB%")
+	vr := experiments.ROBSweep(specs, experiments.TechVR, cfg, false)
+	dvr := experiments.ROBSweep(specs, experiments.TechDVR, cfg, true)
+	ooo := experiments.ROBSweep(specs, experiments.TechOoO, cfg, false)
+	for _, rob := range experiments.ROBSizes {
+		var v, d, s float64
+		for i := range specs {
+			v += 1 / vr[i].Speedup[rob]
+			d += 1 / dvr[i].Speedup[rob]
+			s += ooo[i].StallFrac[rob]
+		}
+		n := float64(len(specs))
+		fmt.Printf("%-6d %8.2f %8.2f %9.1f%%\n", rob, n/v, n/d, 100*s/n)
+	}
+}

@@ -1,0 +1,3 @@
+module dvr
+
+go 1.22

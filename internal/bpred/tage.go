@@ -1,0 +1,181 @@
+// Package bpred implements a TAGE-style conditional branch predictor in the
+// spirit of the 8 KB TAGE-SC-L used by the paper's baseline (CBP-2016): a
+// bimodal base predictor plus tagged predictor tables indexed with
+// geometrically increasing global-history lengths, with usefulness-guided
+// allocation on mispredictions.
+package bpred
+
+// Config sizes the predictor.
+type Config struct {
+	BimodalBits  int   // log2 entries of the base bimodal table
+	TableBits    int   // log2 entries of each tagged table
+	TagBits      int   // tag width
+	HistLengths  []int // geometric history lengths, shortest first
+	UsefulReset  int   // allocation failures before useful counters decay
+	MispredPenal uint64
+}
+
+// DefaultConfig approximates an 8 KB TAGE budget.
+func DefaultConfig() Config {
+	return Config{
+		BimodalBits: 12,
+		TableBits:   9,
+		TagBits:     9,
+		HistLengths: []int{4, 8, 16, 32, 64, 128, 256, 512},
+		UsefulReset: 2048,
+	}
+}
+
+type taggedEntry struct {
+	ctr    int8 // 3-bit signed counter, -4..3
+	tag    uint16
+	useful uint8
+}
+
+// Predictor is a TAGE predictor. Not safe for concurrent use.
+type Predictor struct {
+	cfg       Config
+	bimodal   []int8 // 2-bit counters, -2..1
+	tables    [][]taggedEntry
+	ghist     uint64 // folded via multiple shifts; we keep 64 bits raw
+	histLen   []int
+	allocFail int
+
+	// Stats
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// New returns a predictor with the given configuration.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]int8, 1<<cfg.BimodalBits),
+		histLen: cfg.HistLengths,
+	}
+	p.tables = make([][]taggedEntry, len(cfg.HistLengths))
+	for i := range p.tables {
+		p.tables[i] = make([]taggedEntry, 1<<cfg.TableBits)
+	}
+	return p
+}
+
+func (p *Predictor) foldHistory(length, bits int) uint64 {
+	if length > 64 {
+		length = 64
+	}
+	h := p.ghist & ((1 << uint(length)) - 1)
+	var folded uint64
+	for h != 0 {
+		folded ^= h & ((1 << uint(bits)) - 1)
+		h >>= uint(bits)
+	}
+	return folded
+}
+
+func (p *Predictor) index(table int, pc uint64) uint64 {
+	bits := p.cfg.TableBits
+	f := p.foldHistory(p.histLen[table], bits)
+	return (pc ^ (pc >> uint(bits)) ^ f ^ (f << 1)) & ((1 << uint(bits)) - 1)
+}
+
+func (p *Predictor) tag(table int, pc uint64) uint16 {
+	f := p.foldHistory(p.histLen[table], p.cfg.TagBits-1)
+	return uint16((pc ^ (pc >> 5) ^ f) & ((1 << uint(p.cfg.TagBits)) - 1))
+}
+
+// Predict returns the taken/not-taken prediction for the branch at pc.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.Lookups++
+	pred, _, _ := p.predictInternal(pc)
+	return pred
+}
+
+func (p *Predictor) predictInternal(pc uint64) (pred bool, provider int, base bool) {
+	for t := len(p.tables) - 1; t >= 0; t-- {
+		e := &p.tables[t][p.index(t, pc)]
+		if e.tag == p.tag(t, pc) {
+			return e.ctr >= 0, t, false
+		}
+	}
+	return p.bimodal[pc&uint64(len(p.bimodal)-1)] >= 0, -1, true
+}
+
+// Update predicts, trains the predictor with the branch outcome and
+// advances the global history. It returns whether the prediction was wrong.
+func (p *Predictor) Update(pc uint64, taken bool) bool {
+	p.Lookups++
+	pred, provider, _ := p.predictInternal(pc)
+	mispred := pred != taken
+	if mispred {
+		p.Mispredicts++
+	}
+
+	if provider >= 0 {
+		e := &p.tables[provider][p.index(provider, pc)]
+		if taken && e.ctr < 3 {
+			e.ctr++
+		} else if !taken && e.ctr > -4 {
+			e.ctr--
+		}
+		if !mispred && e.useful < 3 {
+			e.useful++
+		}
+	} else {
+		b := &p.bimodal[pc&uint64(len(p.bimodal)-1)]
+		if taken && *b < 1 {
+			*b++
+		} else if !taken && *b > -2 {
+			*b--
+		}
+	}
+
+	// On a misprediction, allocate an entry in a longer-history table.
+	if mispred && provider < len(p.tables)-1 {
+		allocated := false
+		for t := provider + 1; t < len(p.tables); t++ {
+			e := &p.tables[t][p.index(t, pc)]
+			if e.useful == 0 {
+				e.tag = p.tag(t, pc)
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			p.allocFail++
+			if p.allocFail >= p.cfg.UsefulReset {
+				p.allocFail = 0
+				for t := range p.tables {
+					for i := range p.tables[t] {
+						if p.tables[t][i].useful > 0 {
+							p.tables[t][i].useful--
+						}
+					}
+				}
+			}
+		}
+	}
+
+	p.ghist = p.ghist<<1 | b2u(taken)
+	return mispred
+}
+
+// MispredictRate returns mispredictions per lookup.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,164 @@
+package bpred
+
+import (
+	"testing"
+)
+
+func train(p *Predictor, pc uint64, outcomes []bool) (mispredicts int) {
+	for _, taken := range outcomes {
+		if p.Update(pc, taken) {
+			mispredicts++
+		}
+	}
+	return mispredicts
+}
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	outcomes := make([]bool, 1000)
+	for i := range outcomes {
+		outcomes[i] = true
+	}
+	m := train(p, 0x40, outcomes)
+	if m > 5 {
+		t.Errorf("always-taken mispredicts = %d, want <= 5", m)
+	}
+}
+
+func TestLearnsBias(t *testing.T) {
+	p := New(DefaultConfig())
+	// 7-in-8 taken; a bimodal-class predictor should stay near the bias.
+	var m int
+	for i := 0; i < 4000; i++ {
+		taken := i%8 != 3
+		if p.Update(0x80, taken) {
+			m++
+		}
+	}
+	if rate := float64(m) / 4000; rate > 0.30 {
+		t.Errorf("biased-branch mispredict rate = %.2f, want <= 0.30", rate)
+	}
+}
+
+func TestLearnsLoopPattern(t *testing.T) {
+	p := New(DefaultConfig())
+	// A loop of 7 taken then 1 not-taken: TAGE's history tables should
+	// learn the exit after warmup.
+	var late int
+	for i := 0; i < 8000; i++ {
+		taken := i%8 != 7
+		mis := p.Update(0x100, taken)
+		if i > 4000 && mis {
+			late++
+		}
+	}
+	if rate := float64(late) / 4000; rate > 0.05 {
+		t.Errorf("loop-pattern steady-state mispredict rate = %.2f, want <= 0.05", rate)
+	}
+}
+
+func TestLearnsAlternating(t *testing.T) {
+	p := New(DefaultConfig())
+	var late int
+	for i := 0; i < 4000; i++ {
+		mis := p.Update(0x140, i%2 == 0)
+		if i > 2000 && mis {
+			late++
+		}
+	}
+	if rate := float64(late) / 2000; rate > 0.05 {
+		t.Errorf("alternating steady-state mispredict rate = %.2f", rate)
+	}
+}
+
+func TestRandomBranchNearHalf(t *testing.T) {
+	p := New(DefaultConfig())
+	s := uint64(12345)
+	var m int
+	const n = 8000
+	for i := 0; i < n; i++ {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		if p.Update(0x200, s&1 == 0) {
+			m++
+		}
+	}
+	rate := float64(m) / n
+	if rate < 0.35 || rate > 0.65 {
+		t.Errorf("random-branch mispredict rate = %.2f, want ~0.5", rate)
+	}
+}
+
+func TestHistoryCorrelation(t *testing.T) {
+	p := New(DefaultConfig())
+	// Branch B's outcome equals branch A's previous outcome: only a
+	// history-indexed predictor can get B right.
+	s := uint64(99)
+	var lateMis int
+	for i := 0; i < 6000; i++ {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		a := s&1 == 0
+		p.Update(0x300, a)
+		mis := p.Update(0x304, a) // perfectly correlated with the previous outcome
+		if i > 3000 && mis {
+			lateMis++
+		}
+	}
+	if rate := float64(lateMis) / 3000; rate > 0.15 {
+		t.Errorf("correlated-branch mispredict rate = %.2f, want <= 0.15", rate)
+	}
+}
+
+func TestTwoBranchesDoNotDestroyEachOther(t *testing.T) {
+	p := New(DefaultConfig())
+	var m int
+	for i := 0; i < 4000; i++ {
+		if p.Update(0x400, true) {
+			m++
+		}
+		if p.Update(0x404, false) {
+			m++
+		}
+	}
+	if m > 50 {
+		t.Errorf("two static opposite branches mispredict %d times", m)
+	}
+}
+
+func TestMispredictRateCounter(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		p.Update(0x500, true)
+	}
+	if p.Lookups != 100 {
+		t.Errorf("lookups = %d, want 100", p.Lookups)
+	}
+	if p.MispredictRate() > 0.2 {
+		t.Errorf("rate = %.2f", p.MispredictRate())
+	}
+}
+
+func TestPredictDoesNotTrain(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 50; i++ {
+		p.Predict(0x600)
+	}
+	// No Update calls: mispredicts must be zero and state untrained.
+	if p.Mispredicts != 0 {
+		t.Errorf("Predict trained the tables")
+	}
+}
+
+func TestZeroValueConfigSafe(t *testing.T) {
+	p := New(Config{BimodalBits: 4, TableBits: 4, TagBits: 5, HistLengths: []int{2, 4}, UsefulReset: 16})
+	for i := 0; i < 1000; i++ {
+		p.Update(uint64(i%7)*4, i%3 == 0)
+	}
+	// Just must not panic and keep counters coherent.
+	if p.Lookups != 1000 {
+		t.Errorf("lookups = %d", p.Lookups)
+	}
+}

@@ -1,0 +1,31 @@
+package cpu
+
+import (
+	"testing"
+
+	"dvr/internal/interp"
+	"dvr/internal/isa"
+)
+
+// BenchmarkCoreRun measures end-to-end simulated instructions per second
+// of the timing model on a memory-bound loop.
+func BenchmarkCoreRun(b *testing.B) {
+	bl := isa.NewBuilder("b")
+	bl.Li(1, 0)
+	bl.Li(3, 1<<21)
+	bl.Label("top")
+	bl.Hash(8, 1)
+	bl.AndI(8, 8, (1<<20)-1)
+	bl.LoadIdx(9, 3, 8, 0)
+	bl.AddI(1, 1, 1)
+	bl.CmpI(7, 1, 1<<40)
+	bl.Br(isa.LT, 7, "top")
+	prog := bl.MustBuild()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := NewCore(DefaultConfig(), interp.New(prog, interp.NewMemory()))
+		res := core.Run(50_000)
+		b.ReportMetric(float64(res.Instructions), "sim-insts/op")
+	}
+}

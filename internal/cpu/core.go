@@ -1,0 +1,322 @@
+package cpu
+
+import (
+	"dvr/internal/bpred"
+	"dvr/internal/interp"
+	"dvr/internal/isa"
+	"dvr/internal/mem"
+)
+
+// Frontend supplies the dynamic instruction stream and can be forked to
+// pre-execute the future stream speculatively (runahead). *interp.Interp
+// satisfies it.
+type Frontend interface {
+	Step() (interp.DynInst, bool)
+	Clone() *interp.Interp
+}
+
+// EngineStats summarizes what an attached runahead engine or prefetcher did.
+type EngineStats struct {
+	Episodes       uint64 // runahead episodes / subthread spawns
+	Prefetches     uint64 // prefetch requests issued to the hierarchy
+	VectorUops     uint64 // vector instruction copies issued (VR/DVR)
+	DiscoveryModes uint64
+	NestedModes    uint64
+	Timeouts       uint64
+	LanesVectorize float64 // average lanes per vectorization episode
+}
+
+// Engine is a runahead technique or prefetcher attached to the core. All
+// methods are called with monotonically nondecreasing cycles.
+type Engine interface {
+	// Name identifies the technique in reports.
+	Name() string
+	// OnCommit observes every committed instruction in program order.
+	OnCommit(di interp.DynInst, cycle uint64)
+	// OnROBStall reports that dispatch stalled on a full ROB during
+	// [from, to). Classic runahead techniques trigger here.
+	OnROBStall(from, to uint64)
+	// Advance runs the engine's decoupled timeline up to cycle now.
+	Advance(now uint64)
+	// CommitBlockedUntil returns the cycle before which the main thread may
+	// not commit (VR's delayed termination), or 0 when commit is free.
+	CommitBlockedUntil() uint64
+	// Stats returns the engine's counters.
+	Stats() EngineStats
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Name      string
+	Technique string
+
+	Instructions uint64
+	Cycles       uint64
+
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+
+	ROBStallCycles   uint64 // dispatch blocked on a full ROB
+	CommitHoldCycles uint64 // commit blocked by delayed termination
+
+	BranchLookups    uint64
+	BranchMispredict uint64
+
+	Mem    mem.Stats
+	Engine EngineStats
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// MLP returns the average number of MSHRs in use per cycle (Figure 9).
+func (r Result) MLP() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Mem.MSHRBusyCycles) / float64(r.Cycles)
+}
+
+// LLCMPKI returns demand LLC misses per kilo-instruction (Table 2).
+func (r Result) LLCMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Mem.DemandHits[mem.LvlMem]) / float64(r.Instructions) * 1000
+}
+
+// ROBStallFrac returns the fraction of cycles dispatch was blocked on a
+// full ROB (Figure 2, right axis).
+func (r Result) ROBStallFrac() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.ROBStallCycles) / float64(r.Cycles)
+}
+
+// MispredictRate returns branch mispredictions per executed branch.
+func (r Result) MispredictRate() float64 {
+	if r.BranchLookups == 0 {
+		return 0
+	}
+	return float64(r.BranchMispredict) / float64(r.BranchLookups)
+}
+
+// Core is the out-of-order timing model. Construct with NewCore, attach an
+// optional Engine, then call Run.
+type Core struct {
+	cfg    Config
+	hier   *mem.Hierarchy
+	bp     *bpred.Predictor
+	engine Engine
+	fe     Frontend
+
+	// traceFn, when set, receives per-instruction pipeline timing for the
+	// first traceN instructions (debugging aid).
+	traceFn func(seq uint64, pc int, disp, ready, issue, done, commit uint64)
+	traceN  uint64
+}
+
+// NewCore builds a core over the given frontend with a fresh memory
+// hierarchy and branch predictor.
+func NewCore(cfg Config, fe Frontend) *Core {
+	return &Core{
+		cfg:  cfg,
+		hier: mem.NewHierarchy(cfg.Mem),
+		bp:   bpred.New(cfg.Bpred),
+		fe:   fe,
+	}
+}
+
+// Hierarchy exposes the memory hierarchy (engines attach to it).
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Attach connects a runahead engine or prefetcher. Call before Run.
+func (c *Core) Attach(e Engine) { c.engine = e }
+
+// Trace registers fn to receive per-instruction pipeline timing (dispatch,
+// operand-ready, issue, complete and commit cycles) for the first n
+// instructions of the run. A debugging and teaching aid.
+func (c *Core) Trace(n uint64, fn func(seq uint64, pc int, disp, ready, issue, done, commit uint64)) {
+	c.traceN = n
+	c.traceFn = fn
+}
+
+// Run simulates up to maxInsts dynamic instructions (or until the program
+// halts) and returns the collected statistics.
+func (c *Core) Run(maxInsts uint64) Result {
+	var (
+		res         Result
+		regReady    [16]uint64 // completion cycle of last writer
+		commitRing  = make([]uint64, c.cfg.ROBSize)
+		iq          = newIssueQueue(c.cfg.IQSize)
+		loadRing    = make([]uint64, c.cfg.LQSize)
+		storeRing   = make([]uint64, c.cfg.SQSize)
+		fetchLim    = widthLimiter{width: c.cfg.Width}
+		commitLim   = widthLimiter{width: c.cfg.Width}
+		alu         = newFUPool(c.cfg.IntALUs, 1, true)
+		mul         = newFUPool(c.cfg.IntMuls, c.cfg.MulLatency, true)
+		div         = newFUPool(c.cfg.IntDivs, c.cfg.DivLatency, false)
+		loadPorts   = newFUPool(c.cfg.LoadPorts, 1, true)
+		storePorts  = newFUPool(c.cfg.StorePorts, 1, true)
+		feReady     uint64 // front-end redirect: no fetch before this cycle
+		lastCommit  uint64
+		nLoads      uint64
+		nStores     uint64
+		stallCursor uint64 // end of the last accounted ROB-stall window
+	)
+
+	for seq := uint64(0); seq < maxInsts; seq++ {
+		di, ok := c.fe.Step()
+		if !ok {
+			break
+		}
+		in := di.Inst
+
+		// ---- Fetch / dispatch ----
+		cand := feReady
+		disp := fetchLim.next(cand)
+
+		// Issue-queue occupancy: entries are allocated at dispatch and freed
+		// (out of order) at issue; when the queue is full, dispatch waits
+		// for the earliest outstanding issue.
+		if f := iq.admit(disp); f > disp {
+			disp = fetchLim.next(f)
+		}
+		// Load/store queue occupancy: entries free at commit.
+		if in.Op.IsLoad() && nLoads >= uint64(c.cfg.LQSize) {
+			if f := loadRing[nLoads%uint64(c.cfg.LQSize)]; f > disp {
+				disp = fetchLim.next(f)
+			}
+		}
+		if in.Op.IsStore() && nStores >= uint64(c.cfg.SQSize) {
+			if f := storeRing[nStores%uint64(c.cfg.SQSize)]; f > disp {
+				disp = fetchLim.next(f)
+			}
+		}
+		// ROB occupancy: dispatch must wait for the entry ROBSize back to
+		// commit. Time spent waiting here is the full-ROB stall that
+		// triggers classic runahead.
+		if seq >= uint64(c.cfg.ROBSize) {
+			if f := commitRing[seq%uint64(c.cfg.ROBSize)]; f > disp {
+				// Only account the portion of the stall window not already
+				// counted for an earlier instruction in the same stall.
+				from := disp
+				if stallCursor > from {
+					from = stallCursor
+				}
+				if f > from {
+					res.ROBStallCycles += f - from
+					if c.engine != nil {
+						c.engine.OnROBStall(from, f)
+					}
+					stallCursor = f
+				}
+				disp = fetchLim.next(f)
+			}
+		}
+
+		// ---- Issue ----
+		ready := disp + 1
+		for _, r := range in.SrcRegs(nil) {
+			if regReady[r] > ready {
+				ready = regReady[r]
+			}
+		}
+
+		var issue, done uint64
+		switch {
+		case in.Op.IsLoad():
+			issue = loadPorts.issue(ready)
+			r := c.hier.Access(di.Addr, issue, false, di.PC)
+			done = r.Done
+			res.Loads++
+		case in.Op.IsStore():
+			issue = storePorts.issue(ready)
+			done = issue + 1 // store completes into the SQ; memory at commit
+			res.Stores++
+		case in.Op == isa.Mul:
+			issue = mul.issue(ready)
+			done = issue + c.cfg.MulLatency
+		case in.Op == isa.Div:
+			issue = div.issue(ready)
+			done = issue + c.cfg.DivLatency
+		case in.Op == isa.Hash:
+			issue = mul.issue(ready)
+			done = issue + c.cfg.HashLatency
+		default:
+			issue = alu.issue(ready)
+			done = issue + 1
+		}
+		iq.record(issue)
+
+		// ---- Branch resolution ----
+		if in.Op.IsBranch() {
+			res.Branches++
+			if in.Cond != isa.Always {
+				if c.bp.Update(uint64(di.PC), di.Taken) {
+					redirect := done + uint64(c.cfg.FrontendDepth)
+					if redirect > feReady {
+						feReady = redirect
+					}
+				}
+			}
+		}
+
+		// ---- Commit (in order, width-limited) ----
+		cc := done + 1
+		if cc <= lastCommit {
+			cc = lastCommit
+		}
+		if c.engine != nil {
+			if hold := c.engine.CommitBlockedUntil(); hold > cc {
+				res.CommitHoldCycles += hold - cc
+				cc = hold
+			}
+		}
+		cc = commitLim.next(cc)
+		lastCommit = cc
+		commitRing[seq%uint64(c.cfg.ROBSize)] = cc
+		if in.Op.IsLoad() {
+			loadRing[nLoads%uint64(c.cfg.LQSize)] = cc
+			nLoads++
+		}
+		if in.Op.IsStore() {
+			storeRing[nStores%uint64(c.cfg.SQSize)] = cc
+			nStores++
+			// The store drains to memory at commit.
+			c.hier.Access(di.Addr, cc, true, di.PC)
+		}
+		if in.Op.WritesDst() {
+			regReady[in.Dst] = done
+		}
+		res.Instructions++
+
+		if c.engine != nil {
+			c.engine.OnCommit(di, cc)
+			c.engine.Advance(cc)
+		}
+		if c.traceFn != nil && seq < c.traceN {
+			c.traceFn(seq, di.PC, disp, ready, issue, done, cc)
+		}
+	}
+
+	res.Cycles = lastCommit
+	c.hier.FinishStats(lastCommit)
+	res.Mem = c.hier.Stats
+	res.BranchLookups = c.bp.Lookups
+	res.BranchMispredict = c.bp.Mispredicts
+	if c.engine != nil {
+		res.Technique = c.engine.Name()
+		res.Engine = c.engine.Stats()
+	} else {
+		res.Technique = "ooo"
+	}
+	return res
+}

@@ -1,0 +1,28 @@
+package cpu_test
+
+import (
+	"fmt"
+
+	"dvr/internal/cpu"
+	"dvr/internal/interp"
+	"dvr/internal/isa"
+)
+
+// ExampleCore simulates a tiny ALU loop on the Table 1 core.
+func ExampleCore() {
+	b := isa.NewBuilder("loop")
+	b.Li(1, 0)
+	b.Label("top")
+	b.AddI(1, 1, 1)
+	b.CmpI(7, 1, 1000)
+	b.Br(isa.LT, 7, "top")
+	b.Halt()
+
+	core := cpu.NewCore(cpu.DefaultConfig(), interp.New(b.MustBuild(), interp.NewMemory()))
+	res := core.Run(10_000)
+	fmt.Println("instructions:", res.Instructions)
+	fmt.Println("IPC above 1:", res.IPC() > 1)
+	// Output:
+	// instructions: 3002
+	// IPC above 1: true
+}

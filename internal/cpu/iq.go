@@ -1,0 +1,74 @@
+package cpu
+
+// issueQueue tracks issue-queue occupancy. Entries are allocated at
+// dispatch and freed at issue, which happens out of program order, so the
+// structure keeps a min-heap of the issue times of dispatched-but-unissued
+// instructions.
+type issueQueue struct {
+	size int
+	h    []uint64 // min-heap of outstanding issue cycles
+}
+
+func newIssueQueue(size int) *issueQueue {
+	return &issueQueue{size: size, h: make([]uint64, 0, size+1)}
+}
+
+// admit returns the earliest cycle (>= at) at which a new instruction can
+// be dispatched into the queue, freeing already-issued entries as of that
+// cycle.
+func (q *issueQueue) admit(at uint64) uint64 {
+	q.drain(at)
+	for len(q.h) >= q.size {
+		m := q.pop()
+		if m > at {
+			at = m
+		}
+		q.drain(at)
+	}
+	return at
+}
+
+// record notes the issue cycle of the instruction just dispatched.
+func (q *issueQueue) record(issue uint64) {
+	q.h = append(q.h, issue)
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.h[p] <= q.h[i] {
+			break
+		}
+		q.h[p], q.h[i] = q.h[i], q.h[p]
+		i = p
+	}
+}
+
+// drain removes entries that have issued by cycle `at`.
+func (q *issueQueue) drain(at uint64) {
+	for len(q.h) > 0 && q.h[0] <= at {
+		q.pop()
+	}
+}
+
+func (q *issueQueue) pop() uint64 {
+	m := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.h) && q.h[l] < q.h[small] {
+			small = l
+		}
+		if r < len(q.h) && q.h[r] < q.h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.h[i], q.h[small] = q.h[small], q.h[i]
+		i = small
+	}
+	return m
+}

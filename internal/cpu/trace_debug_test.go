@@ -1,0 +1,20 @@
+package cpu
+
+import (
+	"testing"
+
+	"dvr/internal/workloads"
+)
+
+// TestTraceCamel prints per-instruction pipeline timing for the first
+// instructions of camel to diagnose serialization.
+func TestTraceCamel(t *testing.T) {
+	w := workloads.Camel()
+	fe := w.Frontend()
+	core := NewCore(DefaultConfig(), fe)
+	core.traceN = 60
+	core.traceFn = func(seq uint64, pc int, disp, ready, issue, done, commit uint64) {
+		t.Logf("seq=%d pc=%-2d disp=%-6d ready=%-6d issue=%-6d done=%-6d commit=%-6d", seq, pc, disp, ready, issue, done, commit)
+	}
+	core.Run(2_000)
+}

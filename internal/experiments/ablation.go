@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"dvr/internal/cpu"
+	"dvr/internal/runahead"
+	"dvr/internal/stats"
+	"dvr/internal/workloads"
+)
+
+// AblationRow is one benchmark's speedup under a set of named DVR
+// configurations.
+type AblationRow struct {
+	Bench    string
+	Speedups map[string]float64
+}
+
+// runVariants runs the named runahead option sets against the OoO
+// baseline.
+func runVariants(specs []workloads.Spec, cfg cpu.Config, names []string, opts map[string]runahead.Options) []AblationRow {
+	var rows []AblationRow
+	for _, sp := range specs {
+		base := Run(sp, TechOoO, cfg)
+		row := AblationRow{Bench: sp.Name, Speedups: make(map[string]float64)}
+		for _, name := range names {
+			o := opts[name]
+			w := sp.Build()
+			fe := w.Frontend()
+			core := cpu.NewCore(cfg, fe)
+			core.Attach(runahead.NewVector(o, fe, core.Hierarchy()))
+			roi := sp.ROI
+			if roi == 0 {
+				roi = 300_000
+			}
+			res := core.Run(roi)
+			row.Speedups[name] = Speedup(base, res)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AblationLanes sweeps DVR's maximum vectorization degree. The paper (§6.1)
+// argues 128 lanes is sometimes insufficient on a large core (NAS-CG,
+// NAS-IS) and that 256-element DVR would close the Oracle gap at the cost
+// of a larger VRAT; 32 lanes shows the cost of under-vectorizing.
+func AblationLanes(specs []workloads.Spec, cfg cpu.Config) ([]AblationRow, func() string) {
+	names := []string{"dvr-32", "dvr-64", "dvr-128", "dvr-256"}
+	opts := map[string]runahead.Options{}
+	for i, lanes := range []int{32, 64, 128, 256} {
+		o := runahead.DVROptions()
+		o.Name = names[i]
+		o.Lanes = lanes
+		opts[names[i]] = o
+	}
+	rows := runVariants(specs, cfg, names, opts)
+	return rows, func() string {
+		return ablationTable("Ablation: DVR vectorization degree (speedup vs OoO)", names, rows)
+	}
+}
+
+// AblationReconvergence isolates the reconvergence stack: full DVR vs DVR
+// with first-lane (VR-style) divergence handling. Divergent workloads
+// (bfs, bc, sssp, kangaroo) lose coverage without it.
+func AblationReconvergence(specs []workloads.Spec, cfg cpu.Config) ([]AblationRow, func() string) {
+	full := runahead.DVROptions()
+	full.Name = "reconverge"
+	firstLane := runahead.DVROptions()
+	firstLane.Name = "first-lane"
+	firstLane.Reconverge = false
+	firstLane.Vec.Reconverge = false
+	names := []string{"first-lane", "reconverge"}
+	rows := runVariants(specs, cfg, names, map[string]runahead.Options{"reconverge": full, "first-lane": firstLane})
+	return rows, func() string {
+		return ablationTable("Ablation: divergence handling (speedup vs OoO)", names, rows)
+	}
+}
+
+// AblationTimeout sweeps the subthread's instruction timeout (the paper
+// uses 200).
+func AblationTimeout(specs []workloads.Spec, cfg cpu.Config) ([]AblationRow, func() string) {
+	names := []string{"to-50", "to-200", "to-800"}
+	opts := map[string]runahead.Options{}
+	for i, steps := range []int{50, 200, 800} {
+		o := runahead.DVROptions()
+		o.Name = names[i]
+		o.Vec.MaxSteps = steps
+		opts[names[i]] = o
+	}
+	rows := runVariants(specs, cfg, names, opts)
+	return rows, func() string {
+		return ablationTable("Ablation: subthread instruction timeout (speedup vs OoO)", names, rows)
+	}
+}
+
+// AblationMSHR sweeps the L1-D MSHR count, the structure that bounds the
+// memory-level parallelism every technique can expose.
+func AblationMSHR(specs []workloads.Spec, cfg cpu.Config) ([]AblationRow, func() string) {
+	names := []string{"mshr-12", "mshr-24", "mshr-48"}
+	var rows []AblationRow
+	for _, sp := range specs {
+		row := AblationRow{Bench: sp.Name, Speedups: make(map[string]float64)}
+		for i, mshrs := range []int{12, 24, 48} {
+			c := cfg
+			c.Mem.MSHRs = mshrs
+			base := Run(sp, TechOoO, c)
+			res := Run(sp, TechDVR, c)
+			row.Speedups[names[i]] = Speedup(base, res)
+		}
+		rows = append(rows, row)
+	}
+	return rows, func() string {
+		return ablationTable("Ablation: MSHR count (DVR speedup vs same-MSHR OoO)", names, rows)
+	}
+}
+
+// AblationBandwidth sweeps the DRAM bandwidth (cycles per 64 B line; Table
+// 1 uses 5 = 51.2 GB/s at 4 GHz). DVR converts latency-boundedness into
+// bandwidth-boundedness, so its gain shrinks when bandwidth is scarce.
+func AblationBandwidth(specs []workloads.Spec, cfg cpu.Config) ([]AblationRow, func() string) {
+	names := []string{"bw-2x", "bw-1x", "bw-half"}
+	cyclesPerLine := []uint64{2, 5, 10}
+	var rows []AblationRow
+	for _, sp := range specs {
+		row := AblationRow{Bench: sp.Name, Speedups: make(map[string]float64)}
+		for i, cpl := range cyclesPerLine {
+			c := cfg
+			c.Mem.DRAMCyclesPerLine = cpl
+			base := Run(sp, TechOoO, c)
+			res := Run(sp, TechDVR, c)
+			row.Speedups[names[i]] = Speedup(base, res)
+		}
+		rows = append(rows, row)
+	}
+	return rows, func() string {
+		return ablationTable("Ablation: DRAM bandwidth (DVR speedup vs same-bandwidth OoO)", names, rows)
+	}
+}
+
+func ablationTable(title string, names []string, rows []AblationRow) string {
+	cols := append([]string{"bench"}, names...)
+	t := stats.NewTable(title, cols...)
+	per := make(map[string][]float64)
+	for _, r := range rows {
+		cells := []interface{}{r.Bench}
+		for _, n := range names {
+			cells = append(cells, r.Speedups[n])
+			per[n] = append(per[n], r.Speedups[n])
+		}
+		t.AddRow(cells...)
+	}
+	hm := []interface{}{"h-mean"}
+	for _, n := range names {
+		hm = append(hm, stats.HarmonicMean(per[n]))
+	}
+	t.AddRow(hm...)
+	return t.String()
+}

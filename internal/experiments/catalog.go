@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"dvr/internal/cpu"
+	"dvr/internal/graphgen"
+	"dvr/internal/workloads"
+)
+
+// Suite is a benchmark catalogue at a chosen scale. FullSuite reproduces
+// the paper's evaluation; QuickSuite shrinks graphs and ROIs for tests.
+type Suite struct {
+	GAP   []workloads.Spec // 5 kernels x graph inputs
+	HPCDB []workloads.Spec
+}
+
+// All returns every benchmark in the suite.
+func (s Suite) All() []workloads.Spec {
+	out := make([]workloads.Spec, 0, len(s.GAP)+len(s.HPCDB))
+	out = append(out, s.GAP...)
+	out = append(out, s.HPCDB...)
+	return out
+}
+
+// FullSuite builds the paper's benchmark set: the five GAP kernels over the
+// five Table 2 inputs, plus the eight hpc-db benchmarks.
+func FullSuite() Suite {
+	var s Suite
+	for _, in := range graphgen.Table2Inputs() {
+		s.GAP = append(s.GAP, workloads.GAPSpecs(in)...)
+	}
+	s.HPCDB = workloads.HPCDBSpecs()
+	return s
+}
+
+// GAPOnly builds the five GAP kernels over a single input (used by the
+// ROB-sweep figures, which the paper reports for the GAP set).
+func GAPOnly(in graphgen.Input) Suite {
+	return Suite{GAP: workloads.GAPSpecs(in)}
+}
+
+// QuickSuite is a scaled-down suite for unit tests and examples: one small
+// Kronecker input for the GAP kernels and shortened ROIs.
+func QuickSuite() Suite {
+	in := graphgen.Input{Name: "KR-S", Build: func() *graphgen.Graph { return graphgen.Kronecker(13, 8, 7) }}
+	var s Suite
+	for _, spec := range workloads.GAPSpecs(in) {
+		spec.ROI = 60_000
+		s.GAP = append(s.GAP, spec)
+	}
+	for _, spec := range workloads.HPCDBSpecs() {
+		spec.ROI = 60_000
+		s.HPCDB = append(s.HPCDB, spec)
+	}
+	return s
+}
+
+// Cell identifies one (benchmark, technique, config) simulation.
+type Cell struct {
+	Spec workloads.Spec
+	Tech Technique
+	Cfg  cpu.Config
+}
+
+// RunAll executes the cells concurrently (one simulation per core) and
+// returns results in input order.
+func RunAll(cells []Cell) []cpu.Result {
+	results := make([]cpu.Result, len(cells))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = Run(cells[i].Spec, cells[i].Tech, cells[i].Cfg)
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// Matrix runs every benchmark under every technique with one config and
+// returns results[benchmark][technique].
+func Matrix(specs []workloads.Spec, techs []Technique, cfg cpu.Config) map[string]map[Technique]cpu.Result {
+	var cells []Cell
+	for _, sp := range specs {
+		for _, tech := range techs {
+			cells = append(cells, Cell{Spec: sp, Tech: tech, Cfg: cfg})
+		}
+	}
+	res := RunAll(cells)
+	out := make(map[string]map[Technique]cpu.Result, len(specs))
+	i := 0
+	for _, sp := range specs {
+		row := make(map[Technique]cpu.Result, len(techs))
+		for _, tech := range techs {
+			row[tech] = res[i]
+			i++
+		}
+		out[sp.Name] = row
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/graphgen"
+	"dvr/internal/workloads"
+)
+
+// TestCCLargeInput verifies DVR does not regress connected components on
+// large power-law inputs (both edge endpoints' label loads must be
+// covered via co-stride vectorization).
+func TestCCLargeInput(t *testing.T) {
+	g := graphgen.PowerLaw(60_000, 900_000, 2.3, 2)
+	spec := workloads.Spec{Name: "cc_ljn", Build: func() *workloads.Workload { return workloads.CC(g) }, ROI: 60_000}
+	cfg := cpu.DefaultConfig()
+	base := Run(spec, TechOoO, cfg)
+	dvr := Run(spec, TechDVR, cfg)
+	t.Logf("ooo IPC=%.3f mlp=%.2f dramD=%d", base.IPC(), base.MLP(), base.Mem.DRAMAccesses[0])
+	t.Logf("dvr IPC=%.3f mlp=%.2f dramD=%d dramRA=%d useful=%d late=%d ep=%d speedup=%.2f",
+		dvr.IPC(), dvr.MLP(), dvr.Mem.DRAMAccesses[0], dvr.Mem.TotalDRAM()-dvr.Mem.DRAMAccesses[0],
+		dvr.Mem.TotalPrefUseful(), dvr.Mem.PrefLate[2], dvr.Engine.Episodes, Speedup(base, dvr))
+	if s := Speedup(base, dvr); s < 0.95 {
+		t.Errorf("DVR regresses cc on a large input: %.2fx", s)
+	}
+}

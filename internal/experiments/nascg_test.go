@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/workloads"
+)
+
+// TestNASCGBehaviour watches nas-cg closely: its long rows make the OoO
+// baseline strong, and prefetchers must not regress it.
+func TestNASCGBehaviour(t *testing.T) {
+	spec := workloads.Spec{Name: "nas-cg", Build: workloads.NASCG, ROI: 60_000}
+	cfg := cpu.DefaultConfig()
+	for _, tech := range []Technique{TechOoO, TechIMP, TechVR, TechDVR, TechOracle} {
+		res := Run(spec, tech, cfg)
+		t.Logf("%-8s IPC=%.3f stall=%.1f%% mlp=%.2f pref=%d drop=%d ep=%d dramD=%d dramPF=%d dramTot=%d wb=%d useful=%d late=%d unused=%d",
+			tech, res.IPC(), 100*res.ROBStallFrac(), res.MLP(),
+			res.Engine.Prefetches, res.Mem.PrefDropped[3]+res.Mem.PrefDropped[2]+res.Mem.PrefDropped[4],
+			res.Engine.Episodes, res.Mem.DRAMAccesses[0], res.Mem.TotalDRAM()-res.Mem.DRAMAccesses[0],
+			res.Mem.TotalDRAM(), res.Mem.Writebacks,
+			res.Mem.TotalPrefUseful(), res.Mem.PrefLate[2]+res.Mem.PrefLate[3]+res.Mem.PrefLate[4],
+			res.Mem.PrefUnusedEvict[2]+res.Mem.PrefUnusedEvict[3]+res.Mem.PrefUnusedEvict[4])
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/graphgen"
+	"dvr/internal/workloads"
+)
+
+func TestOracleVsDVRGap(t *testing.T) {
+	g := graphgen.Kronecker(16, 16, 1)
+	for _, sp := range []workloads.Spec{
+		{Name: "bfs_KR", Build: func() *workloads.Workload { return workloads.BFS(g) }, ROI: 100_000},
+		{Name: "bc_KR", Build: func() *workloads.Workload { return workloads.BC(g) }, ROI: 100_000},
+	} {
+		base := Run(sp, TechOoO, cpu.DefaultConfig())
+		dvr := Run(sp, TechDVR, cpu.DefaultConfig())
+		orc := Run(sp, TechOracle, cpu.DefaultConfig())
+		t.Logf("%-8s dvr=%.2f oracle=%.2f", sp.Name, Speedup(base, dvr), Speedup(base, orc))
+	}
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/graphgen"
+	"dvr/internal/workloads"
+)
+
+func TestPRUniformNested(t *testing.T) {
+	g := graphgen.Uniform(32768, 524288, 5)
+	spec := workloads.Spec{Name: "pr_ur", Build: func() *workloads.Workload { return workloads.PR(g) }, ROI: 60_000}
+	cfg := cpu.DefaultConfig()
+	for _, tech := range []Technique{TechOoO, TechDVROffload, TechDVRDiscovery, TechDVR} {
+		res := Run(spec, tech, cfg)
+		t.Logf("%-14s IPC=%.3f stall=%.1f%% mlp=%.2f ep=%d nest=%d to=%d pref=%d uops=%d dramD=%d dramRA=%d useful=%d late=%d hold=%d",
+			tech, res.IPC(), 100*res.ROBStallFrac(), res.MLP(),
+			res.Engine.Episodes, res.Engine.NestedModes, res.Engine.Timeouts,
+			res.Engine.Prefetches, res.Engine.VectorUops,
+			res.Mem.DRAMAccesses[0], res.Mem.TotalDRAM()-res.Mem.DRAMAccesses[0],
+			res.Mem.TotalPrefUseful(), res.Mem.PrefLate[2], res.CommitHoldCycles)
+	}
+}

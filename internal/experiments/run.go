@@ -1,0 +1,79 @@
+// Package experiments wires workloads, the core, and the techniques
+// together and regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index).
+package experiments
+
+import (
+	"fmt"
+
+	"dvr/internal/cpu"
+	"dvr/internal/prefetch"
+	"dvr/internal/runahead"
+	"dvr/internal/workloads"
+)
+
+// Technique names one of the evaluated mechanisms.
+type Technique string
+
+// The evaluated techniques (§6) plus the Figure 8 breakdown variants.
+const (
+	TechOoO          Technique = "ooo"
+	TechPRE          Technique = "pre"
+	TechIMP          Technique = "imp"
+	TechVR           Technique = "vr"
+	TechDVR          Technique = "dvr"
+	TechOracle       Technique = "oracle"
+	TechDVROffload   Technique = "dvr-offload"
+	TechDVRDiscovery Technique = "dvr-discovery"
+)
+
+// AllTechniques is the Figure 7 lineup.
+var AllTechniques = []Technique{TechPRE, TechIMP, TechVR, TechDVR, TechOracle}
+
+// OracleLookahead is the instruction distance the Oracle prefetcher runs
+// ahead of the main thread.
+const OracleLookahead = 512
+
+// Run simulates one benchmark under one technique and returns the result.
+func Run(spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
+	w := spec.Build()
+	fe := w.Frontend()
+	core := cpu.NewCore(cfg, fe)
+	h := core.Hierarchy()
+	switch tech {
+	case TechOoO:
+		// no engine
+	case TechPRE:
+		core.Attach(runahead.NewPRE(fe, h, cfg.Width))
+	case TechIMP:
+		core.Attach(prefetch.NewIMP(h, w.Mem))
+	case TechVR:
+		core.Attach(runahead.NewVR(fe, h))
+	case TechDVR:
+		core.Attach(runahead.NewDVR(fe, h))
+	case TechDVROffload:
+		core.Attach(runahead.NewVector(runahead.OffloadOptions(), fe, h))
+	case TechDVRDiscovery:
+		core.Attach(runahead.NewVector(runahead.DiscoveryOptions(), fe, h))
+	case TechOracle:
+		core.Attach(prefetch.NewOracle(fe, h, OracleLookahead))
+	default:
+		panic(fmt.Sprintf("experiments: unknown technique %q", tech))
+	}
+	roi := spec.ROI
+	if roi == 0 {
+		roi = 300_000
+	}
+	res := core.Run(roi)
+	res.Name = spec.Name
+	res.Technique = string(tech)
+	return res
+}
+
+// Speedup returns b's performance normalized to baseline a (IPC ratio).
+func Speedup(baseline, b cpu.Result) float64 {
+	if baseline.IPC() == 0 {
+		return 0
+	}
+	return b.IPC() / baseline.IPC()
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/workloads"
+)
+
+// TestSmokeCamel exercises a predictable-branch kernel where the ROB does
+// fill up, so the classic runahead triggers (PRE, VR) must fire.
+func TestSmokeCamel(t *testing.T) {
+	spec := workloads.Spec{Name: "camel", Build: workloads.Camel, ROI: 60_000}
+	cfg := cpu.DefaultConfig()
+	for _, tech := range []Technique{TechOoO, TechPRE, TechIMP, TechVR, TechDVR, TechOracle} {
+		res := Run(spec, tech, cfg)
+		t.Logf("%-8s IPC=%.3f cyc=%d stall=%.1f%% mlp=%.2f pref=%d ep=%d disc=%d nest=%d dramD=%d dramRA=%d useL1/2/3=%d/%d/%d mispred=%.1f%%",
+			tech, res.IPC(), res.Cycles, 100*res.ROBStallFrac(), res.MLP(),
+			res.Engine.Prefetches, res.Engine.Episodes, res.Engine.DiscoveryModes, res.Engine.NestedModes,
+			res.Mem.DRAMAccesses[0], res.Mem.TotalDRAM()-res.Mem.DRAMAccesses[0],
+			res.Mem.PrefUsefulAt[0], res.Mem.PrefUsefulAt[1], res.Mem.PrefUsefulAt[2],
+			100*res.MispredictRate())
+	}
+}

@@ -1,0 +1,169 @@
+// Package graphgen generates the graph inputs of Table 2 (scaled down, see
+// DESIGN.md): Kronecker/R-MAT (KR), uniform random (UR), and power-law
+// generators standing in for the LiveJournal, Orkut and Twitter crawls.
+// Graphs are produced in CSR form, the layout the GAP kernels consume.
+package graphgen
+
+import "math"
+
+// Graph is a directed graph in CSR (compressed sparse row) form.
+type Graph struct {
+	N       int      // number of vertices
+	Offsets []uint64 // len N+1; edge range of vertex v is [Offsets[v], Offsets[v+1])
+	Edges   []uint64 // destination vertex ids
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// Degree returns the out-degree of vertex v.
+func (g *Graph) Degree(v int) int { return int(g.Offsets[v+1] - g.Offsets[v]) }
+
+// rng is a splitmix64 PRNG: deterministic, seedable, fast.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// fromEdgeList builds a CSR graph from (src, dst) pairs.
+func fromEdgeList(n int, src, dst []uint32) *Graph {
+	g := &Graph{N: n, Offsets: make([]uint64, n+1), Edges: make([]uint64, len(src))}
+	counts := make([]uint64, n)
+	for _, s := range src {
+		counts[s]++
+	}
+	var acc uint64
+	for v := 0; v < n; v++ {
+		g.Offsets[v] = acc
+		acc += counts[v]
+	}
+	g.Offsets[n] = acc
+	cursor := make([]uint64, n)
+	copy(cursor, g.Offsets[:n])
+	for i, s := range src {
+		g.Edges[cursor[s]] = uint64(dst[i])
+		cursor[s]++
+	}
+	return g
+}
+
+// Kronecker generates an R-MAT/Kronecker graph with 2^scale vertices and
+// edgeFactor edges per vertex, using the Graph500 partition probabilities
+// (a=0.57, b=0.19, c=0.19): a heavily skewed power-law degree distribution
+// with a few extremely hot vertices.
+func Kronecker(scale, edgeFactor int, seed uint64) *Graph {
+	n := 1 << uint(scale)
+	m := n * edgeFactor
+	r := rng{s: seed}
+	src := make([]uint32, m)
+	dst := make([]uint32, m)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.float()
+			switch {
+			case p < a:
+				// top-left: neither bit set
+			case p < a+b:
+				v |= 1 << uint(bit)
+			case p < a+b+c:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		src[i] = uint32(u)
+		dst[i] = uint32(v)
+	}
+	return fromEdgeList(n, src, dst)
+}
+
+// Uniform generates an Erdos-Renyi-style graph with n vertices and m
+// uniformly random edges: degrees concentrate around m/n, so inner loops
+// over neighbours are uniformly short (the paper's UR input, where DVR's
+// Nested Vector Runahead matters most).
+func Uniform(n, m int, seed uint64) *Graph {
+	r := rng{s: seed}
+	src := make([]uint32, m)
+	dst := make([]uint32, m)
+	for i := 0; i < m; i++ {
+		src[i] = uint32(r.intn(n))
+		dst[i] = uint32(r.intn(n))
+	}
+	return fromEdgeList(n, src, dst)
+}
+
+// PowerLaw generates a graph whose out-degrees follow a discrete power law
+// p(d) ~ d^-alpha (smaller alpha = heavier tail, hotter head vertices). It
+// stands in for the real-world crawls (LiveJournal, Orkut, Twitter) of
+// Table 2. Sources are drawn from a Zipf distribution over vertex rank
+// with exponent s = 1/(alpha-1), the rank-frequency exponent matching the
+// degree exponent.
+func PowerLaw(n, m int, alpha float64, seed uint64) *Graph {
+	r := rng{s: seed}
+	s := 1.0 / (alpha - 1.0)
+	cum := make([]float64, n)
+	total := 0.0
+	for rank := 0; rank < n; rank++ {
+		total += math.Pow(float64(rank+1), -s)
+		cum[rank] = total
+	}
+	pick := func() uint32 {
+		u := r.float() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return uint32(lo)
+	}
+	src := make([]uint32, m)
+	dst := make([]uint32, m)
+	for i := 0; i < m; i++ {
+		src[i] = pick()
+		dst[i] = uint32(r.intn(n))
+	}
+	return fromEdgeList(n, src, dst)
+}
+
+// Input is one row of Table 2: a named graph with its generator.
+type Input struct {
+	Name  string
+	Build func() *Graph
+}
+
+// Table2Inputs returns the scaled-down equivalents of the paper's graph
+// inputs: Kron (KR), LiveJournal (LJN), Orkut (ORK), Twitter (TW) and
+// Urand (UR). Densities and skews follow Table 2's node/edge ratios.
+func Table2Inputs() []Input {
+	return []Input{
+		{Name: "KR", Build: func() *Graph { return Kronecker(16, 16, 1) }},
+		{Name: "LJN", Build: func() *Graph { return PowerLaw(60_000, 900_000, 2.3, 2) }},
+		{Name: "ORK", Build: func() *Graph { return PowerLaw(40_000, 1_600_000, 2.6, 3) }},
+		{Name: "TW", Build: func() *Graph { return PowerLaw(70_000, 1_700_000, 2.0, 4) }},
+		{Name: "UR", Build: func() *Graph { return Uniform(65_536, 1_048_576, 5) }},
+	}
+}
+
+// SmallInputs returns quick variants for tests and the quickstart example.
+func SmallInputs() []Input {
+	return []Input{
+		{Name: "KR-S", Build: func() *Graph { return Kronecker(12, 8, 11) }},
+		{Name: "UR-S", Build: func() *Graph { return Uniform(4096, 32768, 12) }},
+	}
+}

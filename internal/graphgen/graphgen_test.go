@@ -1,0 +1,175 @@
+package graphgen
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkCSR validates the CSR invariants: offsets monotonic, edge count
+// consistent, all destinations in range.
+func checkCSR(t *testing.T, g *Graph) {
+	t.Helper()
+	if len(g.Offsets) != g.N+1 {
+		t.Fatalf("offsets len %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != uint64(len(g.Edges)) {
+		t.Fatalf("offset endpoints: %d, %d (edges %d)", g.Offsets[0], g.Offsets[g.N], len(g.Edges))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			t.Fatalf("offsets not monotonic at %d", v)
+		}
+	}
+	for _, d := range g.Edges {
+		if d >= uint64(g.N) {
+			t.Fatalf("edge destination %d out of range", d)
+		}
+	}
+}
+
+func TestKroneckerCSR(t *testing.T) {
+	g := Kronecker(10, 8, 1)
+	checkCSR(t, g)
+	if g.N != 1024 || g.M() != 8192 {
+		t.Errorf("kron size: N=%d M=%d", g.N, g.M())
+	}
+}
+
+func TestUniformCSR(t *testing.T) {
+	g := Uniform(1000, 8000, 2)
+	checkCSR(t, g)
+	if g.N != 1000 || g.M() != 8000 {
+		t.Errorf("uniform size: N=%d M=%d", g.N, g.M())
+	}
+}
+
+func TestPowerLawCSR(t *testing.T) {
+	g := PowerLaw(1000, 8000, 2.2, 3)
+	checkCSR(t, g)
+}
+
+// TestCSRProperty: random generator parameters always yield valid CSR.
+func TestCSRProperty(t *testing.T) {
+	f := func(nRaw, mRaw uint16, seed uint64) bool {
+		n := int(nRaw%2000) + 2
+		m := int(mRaw % 8000)
+		g := Uniform(n, m, seed)
+		if len(g.Offsets) != n+1 || int(g.Offsets[n]) != m {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g.Offsets[v] > g.Offsets[v+1] {
+				return false
+			}
+		}
+		for _, d := range g.Edges {
+			if d >= uint64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKroneckerIsSkewed(t *testing.T) {
+	g := Kronecker(12, 8, 7)
+	degs := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		degs[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	// Top 1% of vertices should own a disproportionate share of edges.
+	top := 0
+	for _, d := range degs[:g.N/100] {
+		top += d
+	}
+	if float64(top) < 0.15*float64(g.M()) {
+		t.Errorf("kron top-1%% owns %.1f%% of edges; expected heavy skew", 100*float64(top)/float64(g.M()))
+	}
+}
+
+func TestUniformIsNotSkewed(t *testing.T) {
+	g := Uniform(4096, 65536, 5)
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Mean degree is 16; a uniform graph's max should stay within a small
+	// multiple (Poisson tail).
+	if maxDeg > 64 {
+		t.Errorf("uniform max degree %d; too skewed", maxDeg)
+	}
+}
+
+func TestPowerLawSkewOrdering(t *testing.T) {
+	heavy := PowerLaw(4096, 65536, 2.0, 9)
+	light := PowerLaw(4096, 65536, 3.0, 9)
+	share := func(g *Graph) float64 {
+		degs := make([]int, g.N)
+		for v := range degs {
+			degs[v] = g.Degree(v)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+		top := 0
+		for _, d := range degs[:g.N/100] {
+			top += d
+		}
+		return float64(top) / float64(g.M())
+	}
+	if share(heavy) <= share(light) {
+		t.Errorf("alpha=2.0 share %.3f should exceed alpha=3.0 share %.3f", share(heavy), share(light))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Kronecker(10, 4, 99)
+	b := Kronecker(10, 4, 99)
+	if a.M() != b.M() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := Kronecker(10, 4, 100)
+	same := true
+	for i := range a.Edges {
+		if a.Edges[i] != c.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestTable2Inputs(t *testing.T) {
+	inputs := Table2Inputs()
+	if len(inputs) != 5 {
+		t.Fatalf("inputs = %d, want 5", len(inputs))
+	}
+	names := map[string]bool{}
+	for _, in := range inputs {
+		names[in.Name] = true
+	}
+	for _, want := range []string{"KR", "LJN", "ORK", "TW", "UR"} {
+		if !names[want] {
+			t.Errorf("missing Table 2 input %s", want)
+		}
+	}
+}
+
+func TestDegreeAccessor(t *testing.T) {
+	g := &Graph{N: 2, Offsets: []uint64{0, 3, 5}, Edges: []uint64{1, 1, 0, 0, 1}}
+	if g.Degree(0) != 3 || g.Degree(1) != 2 {
+		t.Errorf("degrees: %d, %d", g.Degree(0), g.Degree(1))
+	}
+}

@@ -1,0 +1,35 @@
+package interp
+
+import (
+	"testing"
+
+	"dvr/internal/isa"
+)
+
+// BenchmarkStep measures functional interpretation throughput, the inner
+// loop of every simulation.
+func BenchmarkStep(b *testing.B) {
+	bl := isa.NewBuilder("b")
+	bl.Li(1, 0)
+	bl.Li(3, 1<<20)
+	bl.Label("top")
+	bl.Hash(8, 1)
+	bl.AndI(8, 8, (1<<18)-1)
+	bl.LoadIdx(9, 3, 8, 0)
+	bl.AddI(1, 1, 1)
+	bl.CmpI(7, 1, 1<<40)
+	bl.Br(isa.LT, 7, "top")
+	it := New(bl.MustBuild(), NewMemory())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Step()
+	}
+}
+
+// BenchmarkMemoryStore64 measures sparse-memory write throughput.
+func BenchmarkMemoryStore64(b *testing.B) {
+	m := NewMemory()
+	for i := 0; i < b.N; i++ {
+		m.Store64(uint64(i%(1<<22))*8, uint64(i))
+	}
+}

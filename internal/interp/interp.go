@@ -1,0 +1,170 @@
+package interp
+
+import (
+	"fmt"
+
+	"dvr/internal/isa"
+)
+
+// State is the architectural register state of a hardware thread.
+type State struct {
+	Regs   [isa.NumRegs]uint64
+	PC     int
+	Halted bool
+}
+
+// DynInst is one dynamically executed instruction: the static instruction
+// plus the values the timing model needs (effective address, branch outcome).
+type DynInst struct {
+	Seq    uint64 // dynamic instruction number, starting at 0
+	PC     int
+	Inst   isa.Inst
+	Addr   uint64 // effective address for loads/stores
+	Taken  bool   // branch outcome
+	NextPC int    // PC of the next dynamic instruction
+	Val    uint64 // value written to Dst (loads/ALU), or stored value
+}
+
+// Interp functionally executes a program against a Memory. Multiple
+// interpreters may share one Memory (the runahead subthread reads the
+// memory image the main thread is committing into).
+type Interp struct {
+	Prog *isa.Program
+	Mem  *Memory
+	St   State
+	Seq  uint64
+	// SuppressStores, when set, makes stores compute their address but not
+	// modify memory. Runahead execution is transient and must not corrupt
+	// the architectural memory image.
+	SuppressStores bool
+}
+
+// New returns an interpreter at PC 0 with zeroed registers.
+func New(p *isa.Program, m *Memory) *Interp {
+	return &Interp{Prog: p, Mem: m}
+}
+
+// Clone returns a copy of the interpreter sharing the same program and
+// memory but with an independent register state. The clone suppresses
+// stores: it exists to pre-execute the future stream speculatively.
+func (it *Interp) Clone() *Interp {
+	c := *it
+	c.SuppressStores = true
+	return &c
+}
+
+// Step executes one instruction and reports it. ok is false when the
+// program has halted (or runs off the end of the code).
+func (it *Interp) Step() (di DynInst, ok bool) {
+	if it.St.Halted || it.St.PC < 0 || it.St.PC >= len(it.Prog.Code) {
+		it.St.Halted = true
+		return DynInst{}, false
+	}
+	in := it.Prog.Code[it.St.PC]
+	di = DynInst{Seq: it.Seq, PC: it.St.PC, Inst: in, NextPC: it.St.PC + 1}
+	r := &it.St.Regs
+
+	src2 := func() uint64 {
+		if in.UseImm {
+			return uint64(in.Imm)
+		}
+		return r[in.Src2]
+	}
+
+	switch in.Op {
+	case isa.Nop:
+	case isa.Halt:
+		it.St.Halted = true
+	case isa.Li:
+		di.Val = uint64(in.Imm)
+		r[in.Dst] = di.Val
+	case isa.Mov:
+		di.Val = r[in.Src1]
+		r[in.Dst] = di.Val
+	case isa.Hash:
+		di.Val = isa.Mix64(r[in.Src1])
+		r[in.Dst] = di.Val
+	case isa.Add:
+		di.Val = r[in.Src1] + src2()
+		r[in.Dst] = di.Val
+	case isa.Sub:
+		di.Val = r[in.Src1] - src2()
+		r[in.Dst] = di.Val
+	case isa.Mul:
+		di.Val = r[in.Src1] * src2()
+		r[in.Dst] = di.Val
+	case isa.Div:
+		d := src2()
+		if d == 0 {
+			di.Val = 0
+		} else {
+			di.Val = r[in.Src1] / d
+		}
+		r[in.Dst] = di.Val
+	case isa.And:
+		di.Val = r[in.Src1] & src2()
+		r[in.Dst] = di.Val
+	case isa.Or:
+		di.Val = r[in.Src1] | src2()
+		r[in.Dst] = di.Val
+	case isa.Xor:
+		di.Val = r[in.Src1] ^ src2()
+		r[in.Dst] = di.Val
+	case isa.Shl:
+		di.Val = r[in.Src1] << (src2() & 63)
+		r[in.Dst] = di.Val
+	case isa.Shr:
+		di.Val = r[in.Src1] >> (src2() & 63)
+		r[in.Dst] = di.Val
+	case isa.Cmp:
+		di.Val = r[in.Src1] - src2()
+		r[in.Dst] = di.Val
+	case isa.Load:
+		di.Addr = r[in.Src1] + uint64(in.Imm)
+		di.Val = it.Mem.Load64(di.Addr)
+		r[in.Dst] = di.Val
+	case isa.LoadIdx:
+		di.Addr = r[in.Src1] + r[in.Src2]*8 + uint64(in.Imm)
+		di.Val = it.Mem.Load64(di.Addr)
+		r[in.Dst] = di.Val
+	case isa.Store:
+		di.Addr = r[in.Src1] + uint64(in.Imm)
+		di.Val = r[in.Src2]
+		if !it.SuppressStores {
+			it.Mem.Store64(di.Addr, di.Val)
+		}
+	case isa.StoreIdx:
+		di.Addr = r[in.Src1] + r[in.Src2]*8 + uint64(in.Imm)
+		di.Val = r[in.Dst]
+		if !it.SuppressStores {
+			it.Mem.Store64(di.Addr, di.Val)
+		}
+	case isa.Br:
+		di.Taken = in.Cond.Eval(int64(r[in.Src1]))
+		if di.Taken {
+			di.NextPC = in.Target
+		}
+	default:
+		panic(fmt.Sprintf("interp: %s: unknown op %v at pc %d", it.Prog.Name, in.Op, it.St.PC))
+	}
+
+	it.St.PC = di.NextPC
+	it.Seq++
+	if it.St.Halted {
+		di.NextPC = it.St.PC
+	}
+	return di, true
+}
+
+// Run executes at most max instructions (all of them if max <= 0) and
+// returns the number executed.
+func (it *Interp) Run(max uint64) uint64 {
+	var n uint64
+	for max <= 0 || n < max {
+		if _, ok := it.Step(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}

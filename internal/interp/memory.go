@@ -1,0 +1,72 @@
+// Package interp provides functional (architectural) execution of micro-ISA
+// programs: a sparse 64-bit memory, the architectural register state, and a
+// step interpreter that yields the dynamic instruction stream consumed by
+// the timing models. Runahead engines clone interpreter state to pre-execute
+// the future instruction stream speculatively.
+package interp
+
+const (
+	pageShift = 12 // 4 KiB pages
+	pageWords = 1 << (pageShift - 3)
+	pageMask  = (1 << pageShift) - 1
+)
+
+type page [pageWords]uint64
+
+// Memory is a sparse, paged, 64-bit-word memory. Addresses are byte
+// addresses; accesses are 8-byte aligned (the low three address bits are
+// ignored). The zero value is an empty memory where every word reads zero.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{pages: make(map[uint64]*page)} }
+
+// Load64 returns the 64-bit word at addr.
+func (m *Memory) Load64(addr uint64) uint64 {
+	p, ok := m.pages[addr>>pageShift]
+	if !ok {
+		return 0
+	}
+	return p[(addr&pageMask)>>3]
+}
+
+// Store64 writes the 64-bit word at addr.
+func (m *Memory) Store64(addr, val uint64) {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page)
+	}
+	pn := addr >> pageShift
+	p, ok := m.pages[pn]
+	if !ok {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	p[(addr&pageMask)>>3] = val
+}
+
+// StoreSlice writes vals as consecutive 64-bit words starting at addr,
+// filling whole pages at a time.
+func (m *Memory) StoreSlice(addr uint64, vals []uint64) {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page)
+	}
+	for len(vals) > 0 {
+		pn := addr >> pageShift
+		p, ok := m.pages[pn]
+		if !ok {
+			p = new(page)
+			m.pages[pn] = p
+		}
+		idx := (addr & pageMask) >> 3
+		n := copy(p[idx:], vals)
+		vals = vals[n:]
+		addr += uint64(n) * 8
+	}
+}
+
+// Footprint returns the number of bytes of memory touched (page granular).
+func (m *Memory) Footprint() uint64 {
+	return uint64(len(m.pages)) << pageShift
+}

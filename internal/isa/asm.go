@@ -1,0 +1,264 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembly text into a Program. The syntax is what
+// Program.Disassemble emits, plus labels and comments:
+//
+//	; camel inner loop
+//	top:
+//	  loadx r8, [r3+r1*8+0]
+//	  hash  r8, r8
+//	  and   r8, r8, r11
+//	  loadx r9, [r4+r8*8+0]
+//	  add   r1, r1, 1
+//	  cmp   r7, r1, r2
+//	  br.lt r7, top
+//	  halt
+//
+// Operands are comma-separated; rN names a register, a bare integer is an
+// immediate, [rB+off] and [rB+rI*8+off] are memory operands, and a branch
+// target is a label or @pc. Line numbers in the leading column (as printed
+// by Disassemble) are ignored.
+func Assemble(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			b.Label(strings.TrimSuffix(line, ":"))
+			continue
+		}
+		if err := asmLine(b, line); err != nil {
+			return nil, fmt.Errorf("isa: %s: line %d: %w", name, lineNo+1, err)
+		}
+	}
+	return b.Build()
+}
+
+// MustAssemble is Assemble that panics on error.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var asmOps = map[string]Op{
+	"nop": Nop, "add": Add, "sub": Sub, "mul": Mul, "div": Div,
+	"and": And, "or": Or, "xor": Xor, "shl": Shl, "shr": Shr,
+	"li": Li, "mov": Mov, "load": Load, "loadx": LoadIdx,
+	"store": Store, "storex": StoreIdx, "cmp": Cmp, "hash": Hash, "halt": Halt,
+}
+
+var asmConds = map[string]Cond{
+	"eq": EQ, "ne": NE, "lt": LT, "ge": GE, "le": LE, "gt": GT, "al": Always,
+}
+
+func asmLine(b *Builder, line string) error {
+	// Strip a leading disassembly pc column ("  12  add ...").
+	fields := strings.Fields(line)
+	if len(fields) > 1 {
+		if _, err := strconv.Atoi(fields[0]); err == nil {
+			line = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), fields[0]))
+		}
+	}
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(mnemonic)
+	args := splitOperands(rest)
+
+	if cond, ok := strings.CutPrefix(mnemonic, "br."); ok {
+		c, known := asmConds[cond]
+		if !known {
+			return fmt.Errorf("unknown branch condition %q", cond)
+		}
+		switch {
+		case c == Always && len(args) == 1:
+			emitBranch(b, Always, 0, args[0])
+			return nil
+		case len(args) == 2:
+			r, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			emitBranch(b, c, r, args[1])
+			return nil
+		}
+		return fmt.Errorf("branch wants 'br.cc rN, label'")
+	}
+	if mnemonic == "jmp" && len(args) == 1 {
+		emitBranch(b, Always, 0, args[0])
+		return nil
+	}
+
+	op, ok := asmOps[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	switch op {
+	case Nop:
+		b.Nop()
+	case Halt:
+		b.Halt()
+	case Li:
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		b.Li(r, imm)
+	case Mov, Hash:
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants 2 operands", mnemonic)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if op == Mov {
+			b.Mov(dst, src)
+		} else {
+			b.Hash(dst, src)
+		}
+	case Load, LoadIdx:
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		base, idx, off, hasIdx, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		if hasIdx {
+			b.LoadIdx(dst, base, idx, off)
+		} else {
+			b.Load(dst, base, off)
+		}
+	case Store, StoreIdx:
+		base, idx, off, hasIdx, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		val, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if hasIdx {
+			b.StoreIdx(base, idx, off, val)
+		} else {
+			b.Store(base, off, val)
+		}
+	default: // three-operand arithmetic / cmp
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants 3 operands", mnemonic)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		src1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if r, err2 := parseReg(args[2]); err2 == nil {
+			b.Op3(op, dst, src1, r)
+		} else {
+			imm, err3 := parseImm(args[2])
+			if err3 != nil {
+				return fmt.Errorf("operand %q is neither register nor immediate", args[2])
+			}
+			b.OpI(op, dst, src1, imm)
+		}
+	}
+	return nil
+}
+
+// emitBranch emits a branch to a symbolic label or an absolute @pc target.
+func emitBranch(b *Builder, c Cond, src Reg, target string) {
+	target = strings.TrimPrefix(target, "@")
+	if pc, err := strconv.Atoi(target); err == nil {
+		b.BrPC(c, src, pc)
+		return
+	}
+	b.Br(c, src, target)
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+}
+
+// parseMem parses [rB+off], [rB+rI*8+off] or [rB+rI*8] forms.
+func parseMem(s string) (base, idx Reg, off int64, hasIdx bool, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, false, fmt.Errorf("expected memory operand, got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	parts := strings.Split(inner, "+")
+	if len(parts) == 0 {
+		return 0, 0, 0, false, fmt.Errorf("empty memory operand")
+	}
+	base, err = parseReg(parts[0])
+	if err != nil {
+		return
+	}
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		if r, cut := strings.CutSuffix(p, "*8"); cut {
+			idx, err = parseReg(r)
+			if err != nil {
+				return
+			}
+			hasIdx = true
+			continue
+		}
+		var v int64
+		v, err = parseImm(p)
+		if err != nil {
+			return
+		}
+		off += v
+	}
+	return
+}

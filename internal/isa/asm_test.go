@@ -1,0 +1,153 @@
+package isa
+
+import (
+	"testing"
+)
+
+const camelAsm = `
+; Figure 1 inner loop
+	li r1, 0
+	li r2, 1024
+	li r3, 0x100000
+	li r4, 0x200000
+	li r11, 1023
+top:
+	loadx r8, [r3+r1*8+0]
+	hash  r8, r8
+	and   r8, r8, r11
+	loadx r9, [r4+r8*8+0]
+	add   r1, r1, 1
+	cmp   r7, r1, r2
+	br.lt r7, top
+	halt
+`
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble("camel", camelAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 13 {
+		t.Fatalf("assembled %d instructions, want 13", len(p.Code))
+	}
+	if p.Labels["top"] != 5 {
+		t.Errorf("label top = %d, want 5", p.Labels["top"])
+	}
+	br := p.Code[11]
+	if br.Op != Br || br.Cond != LT || br.Target != 5 {
+		t.Errorf("branch = %+v", br)
+	}
+	lx := p.Code[5]
+	if lx.Op != LoadIdx || lx.Dst != 8 || lx.Src1 != 3 || lx.Src2 != 1 {
+		t.Errorf("loadx = %+v", lx)
+	}
+	if p.Code[2].Imm != 0x100000 {
+		t.Errorf("hex immediate = %d", p.Code[2].Imm)
+	}
+}
+
+func TestAssembleMemoryForms(t *testing.T) {
+	p, err := Assemble("mem", `
+	load   r1, [r2+16]
+	loadx  r1, [r2+r3*8+24]
+	store  [r2+8], r4
+	storex [r2+r3*8+0], r4
+	halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != Load || p.Code[0].Imm != 16 {
+		t.Errorf("load = %+v", p.Code[0])
+	}
+	if p.Code[1].Op != LoadIdx || p.Code[1].Imm != 24 {
+		t.Errorf("loadx = %+v", p.Code[1])
+	}
+	if p.Code[2].Op != Store || p.Code[2].Src2 != 4 {
+		t.Errorf("store = %+v", p.Code[2])
+	}
+	if p.Code[3].Op != StoreIdx || p.Code[3].Dst != 4 {
+		t.Errorf("storex = %+v", p.Code[3])
+	}
+}
+
+func TestAssembleImmediateOperand(t *testing.T) {
+	p, err := Assemble("imm", "add r1, r2, 42\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Code[0].UseImm || p.Code[0].Imm != 42 {
+		t.Errorf("imm add = %+v", p.Code[0])
+	}
+}
+
+func TestAssembleJmp(t *testing.T) {
+	p, err := Assemble("j", "top:\njmp top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Cond != Always || p.Code[0].Target != 0 {
+		t.Errorf("jmp = %+v", p.Code[0])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"bogus r1, r2, r3",
+		"br.xx r1, top\ntop:",
+		"add r1, r2",
+		"load r1, r2",
+		"li r99, 0",
+		"br.lt r1, missing",
+	} {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// TestDisassembleAssembleRoundTrip: disassembling any builder-made program
+// and reassembling it yields identical code.
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	b.Li(1, 0)
+	b.Li(2, 100)
+	b.Label("outer")
+	b.LoadIdx(8, 3, 1, 0)
+	b.Hash(9, 8)
+	b.OpI(Xor, 9, 9, 0x5bd1)
+	b.ShrI(10, 9, 3)
+	b.Load(11, 4, 8)
+	b.Store(4, 16, 11)
+	b.StoreIdx(5, 1, 8, 9)
+	b.Mov(12, 11)
+	b.Cmp(7, 1, 2)
+	b.Br(LT, 7, "outer")
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	orig := b.MustBuild()
+
+	// Disassemble prints numeric branch targets (@pc), which the assembler
+	// accepts directly.
+	asm := orig.Disassemble()
+	re, err := Assemble("rt2", asm)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, asm)
+	}
+	if len(re.Code) != len(orig.Code) {
+		t.Fatalf("code length %d != %d", len(re.Code), len(orig.Code))
+	}
+	for pc := range orig.Code {
+		if re.Code[pc] != orig.Code[pc] {
+			t.Errorf("pc %d: %v != %v", pc, re.Code[pc], orig.Code[pc])
+		}
+	}
+}
+
+func TestAssembledProgramRuns(t *testing.T) {
+	p := MustAssemble("camel", camelAsm)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program from a sequence of emit calls, resolving
+// symbolic labels into program-counter branch targets. The zero value is
+// ready to use.
+type Builder struct {
+	name   string
+	code   []Inst
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// PC returns the program counter of the next instruction to be emitted.
+func (b *Builder) PC() int { return len(b.code) }
+
+// Label defines a label at the current PC. Defining the same label twice
+// records an error reported by Build.
+func (b *Builder) Label(name string) {
+	if b.labels == nil {
+		b.labels = make(map[string]int)
+	}
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+func (b *Builder) emit(in Inst) { b.code = append(b.code, in) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Inst{Op: Nop}) }
+
+// Li emits dst = imm.
+func (b *Builder) Li(dst Reg, imm int64) { b.emit(Inst{Op: Li, Dst: dst, Imm: imm}) }
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src Reg) { b.emit(Inst{Op: Mov, Dst: dst, Src1: src}) }
+
+// Op3 emits a three-register arithmetic instruction dst = src1 op src2.
+func (b *Builder) Op3(op Op, dst, src1, src2 Reg) {
+	b.emit(Inst{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// OpI emits a register-immediate arithmetic instruction dst = src1 op imm.
+func (b *Builder) OpI(op Op, dst, src1 Reg, imm int64) {
+	b.emit(Inst{Op: op, Dst: dst, Src1: src1, Imm: imm, UseImm: true})
+}
+
+// Add emits dst = src1 + src2.
+func (b *Builder) Add(dst, src1, src2 Reg) { b.Op3(Add, dst, src1, src2) }
+
+// AddI emits dst = src1 + imm.
+func (b *Builder) AddI(dst, src1 Reg, imm int64) { b.OpI(Add, dst, src1, imm) }
+
+// Sub emits dst = src1 - src2.
+func (b *Builder) Sub(dst, src1, src2 Reg) { b.Op3(Sub, dst, src1, src2) }
+
+// Mul emits dst = src1 * src2.
+func (b *Builder) Mul(dst, src1, src2 Reg) { b.Op3(Mul, dst, src1, src2) }
+
+// MulI emits dst = src1 * imm.
+func (b *Builder) MulI(dst, src1 Reg, imm int64) { b.OpI(Mul, dst, src1, imm) }
+
+// AndI emits dst = src1 & imm.
+func (b *Builder) AndI(dst, src1 Reg, imm int64) { b.OpI(And, dst, src1, imm) }
+
+// Xor emits dst = src1 ^ src2.
+func (b *Builder) Xor(dst, src1, src2 Reg) { b.Op3(Xor, dst, src1, src2) }
+
+// ShlI emits dst = src1 << imm.
+func (b *Builder) ShlI(dst, src1 Reg, imm int64) { b.OpI(Shl, dst, src1, imm) }
+
+// ShrI emits dst = src1 >> imm (logical).
+func (b *Builder) ShrI(dst, src1 Reg, imm int64) { b.OpI(Shr, dst, src1, imm) }
+
+// Hash emits dst = Mix64(src).
+func (b *Builder) Hash(dst, src Reg) { b.emit(Inst{Op: Hash, Dst: dst, Src1: src}) }
+
+// Load emits dst = mem64[base + off].
+func (b *Builder) Load(dst, base Reg, off int64) {
+	b.emit(Inst{Op: Load, Dst: dst, Src1: base, Imm: off})
+}
+
+// LoadIdx emits dst = mem64[base + idx*8 + off].
+func (b *Builder) LoadIdx(dst, base, idx Reg, off int64) {
+	b.emit(Inst{Op: LoadIdx, Dst: dst, Src1: base, Src2: idx, Imm: off})
+}
+
+// Store emits mem64[base + off] = val.
+func (b *Builder) Store(base Reg, off int64, val Reg) {
+	b.emit(Inst{Op: Store, Src1: base, Src2: val, Imm: off})
+}
+
+// StoreIdx emits mem64[base + idx*8 + off] = val.
+func (b *Builder) StoreIdx(base, idx Reg, off int64, val Reg) {
+	b.emit(Inst{Op: StoreIdx, Src1: base, Src2: idx, Imm: off, Dst: val})
+}
+
+// Cmp emits dst = src1 - src2, the compare idiom consumed by Br.
+func (b *Builder) Cmp(dst, src1, src2 Reg) { b.Op3(Cmp, dst, src1, src2) }
+
+// CmpI emits dst = src1 - imm.
+func (b *Builder) CmpI(dst, src1 Reg, imm int64) { b.OpI(Cmp, dst, src1, imm) }
+
+// Br emits a conditional branch on src to the named label.
+func (b *Builder) Br(cond Cond, src Reg, label string) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: label})
+	b.emit(Inst{Op: Br, Cond: cond, Src1: src})
+}
+
+// BrPC emits a conditional branch to an absolute program counter.
+func (b *Builder) BrPC(cond Cond, src Reg, pc int) {
+	b.emit(Inst{Op: Br, Cond: cond, Src1: src, Target: pc})
+}
+
+// Jmp emits an unconditional branch to the named label.
+func (b *Builder) Jmp(label string) { b.Br(Always, 0, label) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() { b.emit(Inst{Op: Halt}) }
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: %s: undefined label %q at pc %d", b.name, f.label, f.pc)
+		}
+		b.code[f.pc].Target = pc
+	}
+	p := &Program{Code: b.code, Labels: b.labels, Name: b.name}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for use in tests and static
+// workload construction where a failure is a programming bug.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

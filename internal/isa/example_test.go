@@ -1,0 +1,39 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"dvr/internal/isa"
+)
+
+// ExampleBuilder assembles the paper's Figure 1 inner loop shape: a
+// striding load feeding an indirect chain, closed by a compare and a
+// backward conditional branch.
+func ExampleBuilder() {
+	b := isa.NewBuilder("figure1")
+	b.Li(1, 0)        // i
+	b.Li(2, 1024)     // NUM_KEYS
+	b.Li(3, 0x100000) // A
+	b.Li(4, 0x200000) // B
+	b.Label("top")
+	b.LoadIdx(8, 3, 1, 0) // a = A[i]      (striding load)
+	b.Hash(8, 8)
+	b.LoadIdx(9, 4, 8, 0) // b = B[hash(a)] (indirect load)
+	b.AddI(1, 1, 1)
+	b.Cmp(7, 1, 2)
+	b.Br(isa.LT, 7, "top")
+	b.Halt()
+	p := b.MustBuild()
+	fmt.Println(len(p.Code), "instructions; loop head at", p.Labels["top"])
+	fmt.Println(p.Code[4])
+	// Output:
+	// 11 instructions; loop head at 4
+	// loadx r8, [r3+r1*8+0]
+}
+
+// ExampleCond shows condition evaluation against a compare result.
+func ExampleCond() {
+	cmp := int64(3 - 10) // Cmp writes Src1 - Src2
+	fmt.Println(isa.LT.Eval(cmp), isa.GE.Eval(cmp))
+	// Output: true false
+}

@@ -1,0 +1,288 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpPredicates(t *testing.T) {
+	cases := []struct {
+		op                     Op
+		isMem, isLoad, isStore bool
+		isBranch, writesDst    bool
+	}{
+		{Nop, false, false, false, false, false},
+		{Add, false, false, false, false, true},
+		{Sub, false, false, false, false, true},
+		{Mul, false, false, false, false, true},
+		{Div, false, false, false, false, true},
+		{And, false, false, false, false, true},
+		{Or, false, false, false, false, true},
+		{Xor, false, false, false, false, true},
+		{Shl, false, false, false, false, true},
+		{Shr, false, false, false, false, true},
+		{Li, false, false, false, false, true},
+		{Mov, false, false, false, false, true},
+		{Load, true, true, false, false, true},
+		{LoadIdx, true, true, false, false, true},
+		{Store, true, false, true, false, false},
+		{StoreIdx, true, false, true, false, false},
+		{Cmp, false, false, false, false, true},
+		{Br, false, false, false, true, false},
+		{Hash, false, false, false, false, true},
+		{Halt, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.op.IsMem(); got != c.isMem {
+			t.Errorf("%v.IsMem() = %v, want %v", c.op, got, c.isMem)
+		}
+		if got := c.op.IsLoad(); got != c.isLoad {
+			t.Errorf("%v.IsLoad() = %v, want %v", c.op, got, c.isLoad)
+		}
+		if got := c.op.IsStore(); got != c.isStore {
+			t.Errorf("%v.IsStore() = %v, want %v", c.op, got, c.isStore)
+		}
+		if got := c.op.IsBranch(); got != c.isBranch {
+			t.Errorf("%v.IsBranch() = %v, want %v", c.op, got, c.isBranch)
+		}
+		if got := c.op.WritesDst(); got != c.writesDst {
+			t.Errorf("%v.WritesDst() = %v, want %v", c.op, got, c.writesDst)
+		}
+		if !c.op.Valid() {
+			t.Errorf("%v.Valid() = false", c.op)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("Op(200).Valid() = true")
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		v    int64
+		want bool
+	}{
+		{EQ, 0, true}, {EQ, 1, false}, {EQ, -1, false},
+		{NE, 0, false}, {NE, 5, true}, {NE, -5, true},
+		{LT, -1, true}, {LT, 0, false}, {LT, 1, false},
+		{GE, -1, false}, {GE, 0, true}, {GE, 1, true},
+		{LE, -1, true}, {LE, 0, true}, {LE, 1, false},
+		{GT, -1, false}, {GT, 0, false}, {GT, 1, true},
+		{Always, 0, true}, {Always, -7, true},
+		{CondNone, 0, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.v); got != c.want {
+			t.Errorf("%v.Eval(%d) = %v, want %v", c.c, c.v, got, c.want)
+		}
+	}
+}
+
+// TestCondComplement checks LT/GE and LE/GT are exact complements for all
+// values (property-based).
+func TestCondComplement(t *testing.T) {
+	if err := quick.Check(func(v int64) bool {
+		return LT.Eval(v) != GE.Eval(v) && LE.Eval(v) != GT.Eval(v) && EQ.Eval(v) != NE.Eval(v)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []Reg
+	}{
+		{Inst{Op: Nop}, nil},
+		{Inst{Op: Li, Dst: 1, Imm: 5}, nil},
+		{Inst{Op: Mov, Dst: 1, Src1: 2}, []Reg{2}},
+		{Inst{Op: Add, Dst: 1, Src1: 2, Src2: 3}, []Reg{2, 3}},
+		{Inst{Op: Add, Dst: 1, Src1: 2, Imm: 9, UseImm: true}, []Reg{2}},
+		{Inst{Op: Load, Dst: 1, Src1: 2}, []Reg{2}},
+		{Inst{Op: LoadIdx, Dst: 1, Src1: 2, Src2: 3}, []Reg{2, 3}},
+		{Inst{Op: Store, Src1: 2, Src2: 3}, []Reg{2, 3}},
+		{Inst{Op: StoreIdx, Src1: 2, Src2: 3, Dst: 4}, []Reg{2, 3, 4}},
+		{Inst{Op: Br, Cond: LT, Src1: 7}, []Reg{7}},
+		{Inst{Op: Br, Cond: Always}, nil},
+		{Inst{Op: Hash, Dst: 1, Src1: 6}, []Reg{6}},
+	}
+	for _, c := range cases {
+		got := c.in.SrcRegs(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%v: SrcRegs = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v: SrcRegs = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSrcRegsAppends(t *testing.T) {
+	buf := []Reg{9}
+	got := Inst{Op: Add, Src1: 1, Src2: 2}.SrcRegs(buf)
+	if len(got) != 3 || got[0] != 9 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("SrcRegs should append: got %v", got)
+	}
+}
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(1, 0)
+	b.Label("loop")
+	b.AddI(1, 1, 1)
+	b.CmpI(2, 1, 10)
+	b.Br(LT, 2, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[3].Target != 1 {
+		t.Errorf("branch target = %d, want 1", p.Code[3].Target)
+	}
+	if p.Labels["loop"] != 1 {
+		t.Errorf("label loop = %d, want 1", p.Labels["loop"])
+	}
+}
+
+func TestBuilderForwardLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Target != 2 {
+		t.Errorf("forward target = %d, want 2", p.Code[0].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Error("expected error for undefined label")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("expected error for duplicate label")
+	}
+}
+
+func TestValidateRejectsBadTarget(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{{Op: Br, Cond: LT, Src1: 1, Target: 99}}}
+	if err := p.Validate(); err == nil {
+		t.Error("expected out-of-range target error")
+	}
+}
+
+func TestValidateRejectsCondlessBranch(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{{Op: Br, Target: 0}}}
+	if err := p.Validate(); err == nil {
+		t.Error("expected missing-condition error")
+	}
+}
+
+func TestValidateRejectsBadOpcode(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{{Op: Op(77)}}}
+	if err := p.Validate(); err == nil {
+		t.Error("expected invalid-opcode error")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on error")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Jmp("missing")
+	b.MustBuild()
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: Li, Dst: 3, Imm: 42}, "li r3, 42"},
+		{Inst{Op: Load, Dst: 1, Src1: 2, Imm: 8}, "load r1, [r2+8]"},
+		{Inst{Op: LoadIdx, Dst: 1, Src1: 2, Src2: 3, Imm: 0}, "loadx r1, [r2+r3*8+0]"},
+		{Inst{Op: Br, Cond: LT, Src1: 7, Target: 4}, "br.lt r7, @4"},
+		{Inst{Op: Add, Dst: 1, Src1: 2, Src2: 3}, "add r1, r2, r3"},
+		{Inst{Op: Add, Dst: 1, Src1: 2, Imm: 5, UseImm: true}, "add r1, r2, 5"},
+		{Inst{Op: Halt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestMix64 checks the hash is deterministic, non-identity and spreads
+// single-bit input changes (property-based avalanche smoke test).
+func TestMix64(t *testing.T) {
+	if Mix64(1) == Mix64(2) {
+		t.Error("trivial collision")
+	}
+	if Mix64(7) != Mix64(7) {
+		t.Error("non-deterministic")
+	}
+	if err := quick.Check(func(x uint64) bool {
+		// flipping bit 0 must change at least 8 output bits
+		d := Mix64(x) ^ Mix64(x^1)
+		n := 0
+		for d != 0 {
+			d &= d - 1
+			n++
+		}
+		return n >= 8
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegValidity(t *testing.T) {
+	if !Reg(0).Valid() || !Reg(15).Valid() {
+		t.Error("r0/r15 should be valid")
+	}
+	if Reg(16).Valid() {
+		t.Error("r16 should be invalid")
+	}
+	if Reg(3).String() != "r3" {
+		t.Errorf("Reg(3).String() = %q", Reg(3).String())
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b := NewBuilder("d")
+	b.Li(1, 0)
+	b.Label("top")
+	b.AddI(1, 1, 1)
+	b.CmpI(7, 1, 4)
+	b.Br(LT, 7, "top")
+	b.Halt()
+	out := b.MustBuild().Disassemble()
+	for _, want := range []string{"top:", "li r1, 0", "br.lt r7, @1", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

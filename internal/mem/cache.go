@@ -1,0 +1,176 @@
+// Package mem models the memory hierarchy of Table 1: set-associative LRU
+// caches (L1-D, L2, L3), a 24-entry L1-D MSHR file with miss merging, a
+// DRAM channel with a 50 ns minimum latency and 51.2 GB/s of bandwidth
+// under a request-based contention model, and the always-on 16-stream
+// L1-D stride prefetcher. Prefetched lines carry provenance so prefetch
+// accuracy, coverage and timeliness (Figures 9-11) can be measured.
+package mem
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Source identifies who generated a memory access; it drives the
+// accuracy/coverage/timeliness accounting.
+type Source uint8
+
+// Access sources.
+const (
+	SrcDemand   Source = iota // main-thread load/store
+	SrcStridePF               // baseline L1-D stride prefetcher
+	SrcRunahead               // any runahead technique (PRE/VR/DVR)
+	SrcIMP                    // indirect memory prefetcher
+	SrcOracle                 // oracle prefetcher
+	numSources
+)
+
+// IsPrefetch reports whether the source is a prefetch rather than demand.
+func (s Source) IsPrefetch() bool { return s != SrcDemand }
+
+func (s Source) String() string {
+	switch s {
+	case SrcDemand:
+		return "demand"
+	case SrcStridePF:
+		return "stride-pf"
+	case SrcRunahead:
+		return "runahead"
+	case SrcIMP:
+		return "imp"
+	case SrcOracle:
+		return "oracle"
+	}
+	return "unknown"
+}
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+// Hit levels.
+const (
+	LvlL1 Level = iota
+	LvlL2
+	LvlL3
+	LvlMem
+	numLevels
+)
+
+func (l Level) String() string {
+	switch l {
+	case LvlL1:
+		return "L1"
+	case LvlL2:
+		return "L2"
+	case LvlL3:
+		return "L3"
+	case LvlMem:
+		return "Mem"
+	}
+	return "?"
+}
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	SizeBytes int
+	Assoc     int
+	Latency   uint64 // access latency in cycles
+}
+
+type cacheLine struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	lastUse  uint64
+	prefSrc  Source // valid when prefetched && !prefUsed
+	prefetch bool   // line was installed by a prefetch and not yet demanded
+}
+
+// cache is one set-associative LRU cache level.
+type cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	setMask  uint64
+	useClock uint64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	nLines := cfg.SizeBytes / LineSize
+	nSets := nLines / cfg.Assoc
+	if nSets < 1 {
+		nSets = 1
+	}
+	// round down to a power of two for cheap indexing
+	for nSets&(nSets-1) != 0 {
+		nSets &^= nSets & -nSets
+	}
+	sets := make([][]cacheLine, nSets)
+	backing := make([]cacheLine, nSets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &cache{cfg: cfg, sets: sets, setMask: uint64(nSets - 1)}
+}
+
+func (c *cache) set(line uint64) []cacheLine { return c.sets[line&c.setMask] }
+
+// lookup probes for line; on hit it refreshes LRU state and returns the way.
+func (c *cache) lookup(line uint64) *cacheLine {
+	c.useClock++
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lastUse = c.useClock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// install fills line, evicting the LRU way. It returns the victim line
+// (valid=false in the returned struct if the way was empty) so the caller
+// can account dirty writebacks and wasted prefetches.
+func (c *cache) install(line uint64, src Source) cacheLine {
+	c.useClock++
+	set := c.set(line)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	old := set[victim]
+	set[victim] = cacheLine{
+		tag:      line,
+		valid:    true,
+		lastUse:  c.useClock,
+		prefetch: src.IsPrefetch(),
+		prefSrc:  src,
+	}
+	return old
+}
+
+// invalidate drops line if present and returns whether it was present.
+func (c *cache) invalidate(line uint64) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether line is resident without perturbing LRU.
+func (c *cache) contains(line uint64) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,388 @@
+package mem
+
+// Config sizes the whole hierarchy. DefaultConfig reproduces Table 1.
+type Config struct {
+	L1D CacheConfig
+	L2  CacheConfig
+	L3  CacheConfig
+
+	MSHRs int // outstanding L1-D misses
+
+	DRAMMinLatency    uint64 // cycles (50 ns at 4 GHz = 200)
+	DRAMCyclesPerLine uint64 // bandwidth: 51.2 GB/s at 4 GHz = 64 B per 5 cycles
+
+	StrideStreams int  // L1-D stride prefetcher streams
+	StrideDegree  int  // prefetch distance in strides
+	StrideEnabled bool // the paper keeps the stride prefetcher always on
+}
+
+// DefaultConfig returns the Table 1 memory system: 32 KB/8-way/4-cycle L1-D
+// with 24 MSHRs and a 16-stream stride prefetcher, 256 KB/8-way/8-cycle L2,
+// 8 MB/16-way/30-cycle L3, and DRAM with 50 ns minimum latency and
+// 51.2 GB/s bandwidth at 4 GHz.
+func DefaultConfig() Config {
+	return Config{
+		L1D:               CacheConfig{SizeBytes: 32 << 10, Assoc: 8, Latency: 4},
+		L2:                CacheConfig{SizeBytes: 256 << 10, Assoc: 8, Latency: 8},
+		L3:                CacheConfig{SizeBytes: 8 << 20, Assoc: 16, Latency: 30},
+		MSHRs:             24,
+		DRAMMinLatency:    200,
+		DRAMCyclesPerLine: 5,
+		StrideStreams:     16,
+		StrideDegree:      4,
+		StrideEnabled:     true,
+	}
+}
+
+// Stats aggregates hierarchy events for the evaluation figures.
+type Stats struct {
+	Accesses     [numSources]uint64
+	DemandHits   [numLevels]uint64 // where demand accesses were satisfied
+	DemandMerged uint64            // demand misses merged into an in-flight MSHR
+	DRAMAccesses [numSources]uint64
+	Writebacks   uint64
+
+	PrefIssued       [numSources]uint64 // prefetches that allocated an MSHR
+	PrefDropped      [numSources]uint64 // prefetches rejected (MSHR full / resident)
+	PrefUsefulAt     [numLevels]uint64  // demanded prefetched lines, by level found
+	PrefLate         [numSources]uint64 // demand merged with in-flight prefetch
+	PrefUnusedEvict  [numSources]uint64 // prefetched lines evicted from L3 unused
+	MSHRBusyCycles   uint64             // integral of MSHR occupancy over time
+	DemandMissCycles uint64             // integral of demand-miss latency
+}
+
+// Result describes the outcome of one hierarchy access.
+type Result struct {
+	Done     uint64 // cycle at which data is available
+	Level    Level  // where the access was satisfied
+	Rejected bool   // prefetch dropped (MSHR pressure or already resident)
+	Merged   bool   // merged into an in-flight miss
+}
+
+// Hierarchy is the full cache/DRAM model. It is cycle-stamped: callers pass
+// the current cycle with every access and receive a completion cycle.
+type Hierarchy struct {
+	cfg         Config
+	l1d, l2, l3 *cache
+	mshr        *mshrFile
+	dram        *dramSched
+	stride      *stridePrefetcher
+	Stats       Stats
+	lastCycle   uint64
+
+	// observer, when set, sees every demand load at execution time (the
+	// point where an L1-D-level prefetcher like IMP trains and triggers).
+	observer func(pc int, addr uint64, now uint64)
+}
+
+// Observe registers an L1-D access observer.
+func (h *Hierarchy) Observe(fn func(pc int, addr uint64, now uint64)) { h.observer = fn }
+
+// NewHierarchy builds a hierarchy from cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg:  cfg,
+		l1d:  newCache(cfg.L1D),
+		l2:   newCache(cfg.L2),
+		l3:   newCache(cfg.L3),
+		mshr: newMSHRFile(cfg.MSHRs),
+		dram: newDRAMSched(cfg.DRAMCyclesPerLine),
+	}
+	if cfg.StrideEnabled {
+		h.stride = newStridePrefetcher(cfg.StrideStreams, cfg.StrideDegree)
+	}
+	return h
+}
+
+// Config returns the configuration the hierarchy was built with.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+func lineOf(addr uint64) uint64 { return addr / LineSize }
+
+// Resident reports whether the line holding addr is in any cache level or
+// has a fill in flight. Prefetchers use it to avoid redundant requests.
+func (h *Hierarchy) Resident(addr uint64) bool {
+	line := lineOf(addr)
+	if h.l1d.contains(line) || h.l2.contains(line) || h.l3.contains(line) {
+		return true
+	}
+	_, pending := h.mshr.lookup(line)
+	return pending
+}
+
+// prefetchReserve is the number of MSHRs prefetch sources may not take,
+// keeping headroom for demand misses.
+const prefetchReserve = 4
+
+// MSHRInUse returns the number of MSHRs occupied at cycle now.
+func (h *Hierarchy) MSHRInUse(now uint64) int { return h.mshr.inUse(now) }
+
+// MSHRFree reports whether a prefetch-usable MSHR is free at cycle now.
+func (h *Hierarchy) MSHRFree(now uint64) bool { return !h.mshr.full(now, prefetchReserve) }
+
+// Access performs a demand load or store issued by the main core at cycle
+// now from the given load/store PC (used to train the stride prefetcher).
+func (h *Hierarchy) Access(addr uint64, now uint64, write bool, pc int) Result {
+	res := h.access(addr, now, write, SrcDemand)
+	if h.stride != nil && !write {
+		for _, pf := range h.stride.observe(uint64(pc), addr) {
+			h.Prefetch(pf, now, SrcStridePF)
+		}
+	}
+	if h.observer != nil && !write {
+		h.observer(pc, addr, now)
+	}
+	return res
+}
+
+// Prefetch requests the line holding addr on behalf of src. Prefetches that
+// find the line resident or in flight, or that find no free MSHR, are
+// dropped (Rejected).
+func (h *Hierarchy) Prefetch(addr uint64, now uint64, src Source) Result {
+	line := lineOf(addr)
+	if h.l1d.contains(line) {
+		h.Stats.PrefDropped[src]++
+		return Result{Done: now, Level: LvlL1, Rejected: true}
+	}
+	if _, pending := h.mshr.lookup(line); pending {
+		h.Stats.PrefDropped[src]++
+		return Result{Done: now, Rejected: true, Merged: true}
+	}
+	if h.mshr.full(now, prefetchReserve) {
+		h.Stats.PrefDropped[src]++
+		return Result{Done: now, Rejected: true}
+	}
+	res := h.access(addr, now, false, src)
+	if !res.Rejected {
+		h.Stats.PrefIssued[src]++
+	}
+	return res
+}
+
+// RunaheadAccess performs a speculative load on behalf of a runahead
+// engine. Unlike Prefetch it does not drop on MSHR pressure: the in-order
+// runahead subthread waits for a free MSHR, which is how DVR throttles its
+// memory-level parallelism to the machine. It returns where the line was
+// found so engines can count true prefetches (non-L1 results).
+func (h *Hierarchy) RunaheadAccess(addr uint64, now uint64, src Source) Result {
+	res := h.access(addr, now, false, src)
+	if res.Level != LvlL1 && !res.Merged {
+		h.Stats.PrefIssued[src]++
+	}
+	return res
+}
+
+// NextMSHRFree returns the first cycle >= now at which a prefetch-usable
+// MSHR is free.
+func (h *Hierarchy) NextMSHRFree(now uint64) uint64 {
+	return h.mshr.freeAt(now, prefetchReserve)
+}
+
+// access is the shared demand/prefetch path.
+func (h *Hierarchy) access(addr uint64, now uint64, write bool, src Source) Result {
+	if now > h.lastCycle {
+		h.lastCycle = now
+	}
+	h.Stats.Accesses[src]++
+	line := lineOf(addr)
+
+	// Merge with an in-flight miss first: lines are installed into the
+	// caches when the miss is initiated, so an outstanding MSHR entry means
+	// the data has not actually arrived yet. A prefetch entry whose service
+	// has not yet STARTED at `now` (runahead issues with future-timestamped
+	// cursors) does not exist yet from the demand's point of view: the
+	// demand takes the miss over instead of waiting on the future fill, and
+	// must also ignore the phantom copies the prefetch installed in the
+	// caches.
+	overtake := false
+	if e, ok := h.mshr.lookup(line); ok && e.done > now {
+		if src == SrcDemand && e.src.IsPrefetch() && e.start > now {
+			overtake = true
+			h.Stats.PrefLate[e.src]++
+			h.clearPrefTag(h.l1d, line)
+			h.clearPrefTag(h.l2, line)
+			h.clearPrefTag(h.l3, line)
+		} else {
+			done := e.done
+			if src == SrcDemand {
+				h.Stats.DemandMerged++
+				h.Stats.DemandMissCycles += done - now
+				if e.src.IsPrefetch() {
+					// A demand arrived before the prefetch completed: late.
+					h.Stats.PrefLate[e.src]++
+					h.clearPrefTag(h.l1d, line)
+					h.clearPrefTag(h.l2, line)
+					h.clearPrefTag(h.l3, line)
+					e.src = SrcDemand
+					h.mshr.pending[line] = e
+				}
+			}
+			if write {
+				h.markDirty(line)
+			}
+			return Result{Done: done, Merged: true}
+		}
+	}
+
+	// L1-D
+	if cl := h.l1d.lookup(line); cl != nil && !overtake {
+		if write {
+			h.markDirty(line)
+		}
+		if src == SrcDemand {
+			h.Stats.DemandHits[LvlL1]++
+			if cl.prefetch {
+				h.Stats.PrefUsefulAt[LvlL1]++
+				cl.prefetch = false
+				h.clearPrefTag(h.l2, line)
+				h.clearPrefTag(h.l3, line)
+			}
+		}
+		return Result{Done: now + h.cfg.L1D.Latency, Level: LvlL1}
+	}
+
+	// Allocate an MSHR; when none is free the miss waits for one. Prefetch
+	// sources leave a reserve of MSHRs for demand misses. The Oracle is the
+	// paper's hypothetical technique: it is bandwidth-constrained but not
+	// MSHR-constrained.
+	reserve := 0
+	if src.IsPrefetch() && src != SrcOracle {
+		reserve = prefetchReserve
+	}
+	start := now
+	if src != SrcOracle && h.mshr.full(now, reserve) {
+		if free := h.mshr.freeAt(now, reserve); free > start {
+			start = free
+		}
+		h.mshr.retire(start)
+	}
+
+	t := start + h.cfg.L1D.Latency
+	level := LvlMem
+	var done uint64
+	if cl := h.l2.lookup(line); cl != nil && !overtake {
+		level = LvlL2
+		done = t + h.cfg.L2.Latency
+		if src == SrcDemand && cl.prefetch {
+			h.Stats.PrefUsefulAt[LvlL2]++
+			cl.prefetch = false
+			h.clearPrefTag(h.l3, line)
+		}
+	} else {
+		t += h.cfg.L2.Latency
+		if cl := h.l3.lookup(line); cl != nil && !overtake {
+			level = LvlL3
+			done = t + h.cfg.L3.Latency
+			if src == SrcDemand && cl.prefetch {
+				h.Stats.PrefUsefulAt[LvlL3]++
+				cl.prefetch = false
+			}
+		} else {
+			// DRAM, under request-based bandwidth contention.
+			req := t + h.cfg.L3.Latency
+			serviceStart := h.dram.schedule(req)
+			done = serviceStart + h.cfg.DRAMMinLatency
+			h.Stats.DRAMAccesses[src]++
+			h.installAll3(line, src)
+		}
+	}
+	if level == LvlL2 || level == LvlL3 {
+		h.installL1(line, src)
+		if level == LvlL3 {
+			h.evict(h.l2.install(line, src), false)
+		}
+	}
+	if write {
+		h.markDirty(line)
+	}
+	if src == SrcDemand {
+		h.Stats.DemandHits[level]++
+		h.Stats.DemandMissCycles += done - now
+	}
+	h.mshr.allocate(line, start, done, src)
+	return Result{Done: done, Level: level}
+}
+
+func (h *Hierarchy) installL1(line uint64, src Source) {
+	h.evict(h.l1d.install(line, src), false)
+}
+
+func (h *Hierarchy) installAll3(line uint64, src Source) {
+	h.evict(h.l1d.install(line, src), false)
+	h.evict(h.l2.install(line, src), false)
+	h.evict(h.l3.install(line, src), true)
+}
+
+// evict accounts for a victim line leaving a cache level. Unused prefetch
+// accounting happens only when the line leaves the L3 (leaves the chip).
+func (h *Hierarchy) evict(victim cacheLine, fromL3 bool) {
+	if !victim.valid {
+		return
+	}
+	if victim.dirty && fromL3 {
+		// Dirty writeback consumes a DRAM slot.
+		h.dram.schedule(h.lastCycle)
+		h.Stats.Writebacks++
+	}
+	if fromL3 && victim.prefetch {
+		h.Stats.PrefUnusedEvict[victim.prefSrc]++
+	}
+}
+
+// markDirty sets the dirty bit on every resident copy of line, so the
+// eventual L3 eviction accounts a writeback.
+func (h *Hierarchy) markDirty(line uint64) {
+	for _, c := range []*cache{h.l1d, h.l2, h.l3} {
+		set := c.set(line)
+		for i := range set {
+			if set[i].valid && set[i].tag == line {
+				set[i].dirty = true
+				break
+			}
+		}
+	}
+}
+
+func (h *Hierarchy) clearPrefTag(c *cache, line uint64) {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].prefetch = false
+			return
+		}
+	}
+}
+
+// FinishStats folds still-outstanding MSHR occupancy into the statistics;
+// call once at the end of simulation with the final cycle.
+func (h *Hierarchy) FinishStats(now uint64) {
+	h.mshr.retire(^uint64(0) >> 1)
+	h.Stats.MSHRBusyCycles = h.mshr.busyCycles
+}
+
+// TotalPrefIssued sums prefetches issued across prefetching sources.
+func (s Stats) TotalPrefIssued() uint64 {
+	var t uint64
+	for src := Source(0); src < numSources; src++ {
+		t += s.PrefIssued[src]
+	}
+	return t
+}
+
+// TotalPrefUseful sums prefetched lines that were later demanded.
+func (s Stats) TotalPrefUseful() uint64 {
+	var t uint64
+	for l := Level(0); l < numLevels; l++ {
+		t += s.PrefUsefulAt[l]
+	}
+	return t
+}
+
+// TotalDRAM sums DRAM accesses across sources.
+func (s Stats) TotalDRAM() uint64 {
+	var t uint64
+	for src := Source(0); src < numSources; src++ {
+		t += s.DRAMAccesses[src]
+	}
+	return t
+}

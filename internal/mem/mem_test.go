@@ -1,0 +1,450 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.StrideEnabled = false // most tests want deterministic traffic
+	return cfg
+}
+
+func TestL1HitLatency(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	r1 := h.Access(0x1000, 0, false, 1)
+	if r1.Level != LvlMem {
+		t.Fatalf("first access level = %v, want Mem", r1.Level)
+	}
+	r2 := h.Access(0x1000, r1.Done+1, false, 1)
+	if r2.Level != LvlL1 {
+		t.Fatalf("second access level = %v, want L1", r2.Level)
+	}
+	if r2.Done != r1.Done+1+h.Config().L1D.Latency {
+		t.Errorf("L1 hit done = %d, want +%d", r2.Done, h.Config().L1D.Latency)
+	}
+}
+
+func TestMissLatencyComposition(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	r := h.Access(0x4000, 100, false, 1)
+	cfg := h.Config()
+	min := 100 + cfg.L1D.Latency + cfg.L2.Latency + cfg.L3.Latency + cfg.DRAMMinLatency
+	if r.Done < min {
+		t.Errorf("DRAM miss done = %d, below floor %d", r.Done, min)
+	}
+	if r.Done > min+cfg.DRAMCyclesPerLine*8 {
+		t.Errorf("uncontended miss done = %d, far above floor %d", r.Done, min)
+	}
+}
+
+func TestSameLineMergesIntoMSHR(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	r1 := h.Access(0x4000, 0, false, 1)
+	r2 := h.Access(0x4008, 5, false, 2) // same 64 B line
+	if !r2.Merged {
+		t.Error("same-line access should merge")
+	}
+	if r2.Done != r1.Done {
+		t.Errorf("merged done = %d, want %d", r2.Done, r1.Done)
+	}
+	if h.Stats.DemandMerged != 1 {
+		t.Errorf("DemandMerged = %d, want 1", h.Stats.DemandMerged)
+	}
+}
+
+func TestInstalledLineNotVisibleBeforeFill(t *testing.T) {
+	// A second access to a missing line before the fill returns must wait
+	// for the fill (merge), not hit the just-installed tag.
+	h := NewHierarchy(testConfig())
+	r1 := h.Access(0x4000, 0, false, 1)
+	r2 := h.Access(0x4000, 10, false, 1)
+	if r2.Done != r1.Done || !r2.Merged {
+		t.Errorf("pre-fill access: done=%d merged=%v, want done=%d merged", r2.Done, r2.Merged, r1.Done)
+	}
+	r3 := h.Access(0x4000, r1.Done+1, false, 1)
+	if r3.Level != LvlL1 {
+		t.Errorf("post-fill access level = %v, want L1", r3.Level)
+	}
+}
+
+func TestMSHRLimitDelaysExcessMisses(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	var lastDone uint64
+	for i := 0; i <= cfg.MSHRs; i++ {
+		r := h.Access(uint64(0x100000+i*4096), 0, false, i)
+		if i < cfg.MSHRs {
+			lastDone = max64(lastDone, r.Done)
+			continue
+		}
+		// The 25th concurrent miss must wait for an MSHR.
+		if r.Done <= lastDone {
+			t.Errorf("miss %d done=%d did not wait for an MSHR (last=%d)", i, r.Done, lastDone)
+		}
+	}
+}
+
+func TestMSHRReserveForDemand(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	// Fill MSHRs up to the prefetch cap with prefetches.
+	issued := 0
+	for i := 0; issued < cfg.MSHRs; i++ {
+		r := h.Prefetch(uint64(0x200000+i*4096), 0, SrcIMP)
+		if r.Rejected {
+			break
+		}
+		issued++
+	}
+	if issued != cfg.MSHRs-prefetchReserve {
+		t.Errorf("prefetches issued = %d, want %d (cap minus reserve)", issued, cfg.MSHRs-prefetchReserve)
+	}
+	// A demand miss must still find an MSHR immediately.
+	r := h.Access(0x900000, 1, false, 9)
+	cfgm := h.Config()
+	floor := 1 + cfgm.L1D.Latency + cfgm.L2.Latency + cfgm.L3.Latency + cfgm.DRAMMinLatency
+	if r.Done > floor+cfgm.DRAMCyclesPerLine*uint64(cfg.MSHRs) {
+		t.Errorf("demand delayed too long: done=%d floor=%d", r.Done, floor)
+	}
+}
+
+func TestPrefetchDroppedWhenResident(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	r := h.Access(0x4000, 0, false, 1)
+	pf := h.Prefetch(0x4000, r.Done+10, SrcIMP)
+	if !pf.Rejected {
+		t.Error("prefetch of resident line should be rejected")
+	}
+	if h.Stats.PrefDropped[SrcIMP] != 1 {
+		t.Errorf("PrefDropped = %d, want 1", h.Stats.PrefDropped[SrcIMP])
+	}
+}
+
+func TestPrefetchUsefulAccounting(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	pf := h.Prefetch(0x8000, 0, SrcRunahead)
+	if pf.Rejected {
+		t.Fatal("prefetch rejected")
+	}
+	// Demand after the fill: found in L1, attributed to the prefetcher.
+	h.Access(0x8000, pf.Done+1, false, 1)
+	if h.Stats.PrefUsefulAt[LvlL1] != 1 {
+		t.Errorf("PrefUsefulAt[L1] = %d, want 1", h.Stats.PrefUsefulAt[LvlL1])
+	}
+	// Second access must not double count.
+	h.Access(0x8000, pf.Done+2, false, 1)
+	if h.Stats.PrefUsefulAt[LvlL1] != 1 {
+		t.Errorf("double-counted useful prefetch")
+	}
+}
+
+func TestPrefetchLateAccounting(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	pf := h.Prefetch(0x8000, 0, SrcRunahead)
+	// Demand arrives before the fill: late prefetch, merged.
+	r := h.Access(0x8000, 5, false, 1)
+	if !r.Merged || r.Done != pf.Done {
+		t.Errorf("late demand should merge with prefetch fill")
+	}
+	if h.Stats.PrefLate[SrcRunahead] != 1 {
+		t.Errorf("PrefLate = %d, want 1", h.Stats.PrefLate[SrcRunahead])
+	}
+	// The line no longer counts as a prefetched line once demanded.
+	h.Access(0x8000, pf.Done+5, false, 1)
+	if h.Stats.PrefUsefulAt[LvlL1] != 0 {
+		t.Error("late prefetch also counted as useful")
+	}
+}
+
+func TestRunaheadAccessWaitsForMSHR(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	var maxDone uint64
+	for i := 0; i < cfg.MSHRs; i++ {
+		r := h.RunaheadAccess(uint64(0x300000+i*4096), 0, SrcRunahead)
+		maxDone = max64(maxDone, r.Done)
+	}
+	r := h.RunaheadAccess(0x700000, 0, SrcRunahead)
+	if !(r.Done > cfg.DRAMMinLatency) {
+		t.Errorf("overflow runahead access done=%d; should have waited", r.Done)
+	}
+}
+
+func TestDRAMBandwidthContention(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	// Issue many simultaneous misses; service must be spread at the line
+	// rate, so the span of completion times reflects the bandwidth.
+	n := 16
+	var minDone, maxDone uint64 = ^uint64(0), 0
+	for i := 0; i < n; i++ {
+		r := h.Access(uint64(0x500000+i*4096), 0, false, i)
+		minDone = min64(minDone, r.Done)
+		maxDone = max64(maxDone, r.Done)
+	}
+	span := maxDone - minDone
+	if span < uint64(n-10)*cfg.DRAMCyclesPerLine {
+		t.Errorf("span %d too small for %d lines at %d cycles/line", span, n, cfg.DRAMCyclesPerLine)
+	}
+}
+
+// TestDRAMCalendarRespectsRate property: no epoch ever exceeds its
+// capacity, regardless of request timestamp order.
+func TestDRAMCalendarRespectsRate(t *testing.T) {
+	f := func(times []uint16) bool {
+		d := newDRAMSched(5)
+		for _, tm := range times {
+			d.schedule(uint64(tm))
+		}
+		for _, c := range d.used {
+			if c > d.linesPerEpoch {
+				return false
+			}
+		}
+		return d.scheduled() == uint64(len(times))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRAMCalendarOutOfOrderTimestamps(t *testing.T) {
+	d := newDRAMSched(5)
+	// A far-future request must not delay an earlier one.
+	far := d.schedule(100000)
+	near := d.schedule(10)
+	if near >= far {
+		t.Errorf("early request scheduled at %d, after late request at %d", near, far)
+	}
+}
+
+func TestStridePrefetcherDetectsStream(t *testing.T) {
+	p := newStridePrefetcher(16, 4)
+	var got []uint64
+	for i := 0; i < 8; i++ {
+		got = p.observe(42, uint64(0x1000+i*64))
+	}
+	if len(got) != 4 {
+		t.Fatalf("prefetch count = %d, want 4", len(got))
+	}
+	if got[0] != 0x1000+7*64+64 {
+		t.Errorf("first prefetch = %#x, want next line", got[0])
+	}
+}
+
+func TestStridePrefetcherIgnoresRandom(t *testing.T) {
+	p := newStridePrefetcher(16, 4)
+	addrs := []uint64{0x1000, 0x9000, 0x2000, 0xf000, 0x3000, 0x100, 0x7700}
+	for _, a := range addrs {
+		if got := p.observe(42, a); len(got) != 0 {
+			t.Fatalf("prefetched %v on a random stream", got)
+		}
+	}
+}
+
+func TestStridePrefetcherTracksNegativeStride(t *testing.T) {
+	p := newStridePrefetcher(16, 2)
+	var got []uint64
+	for i := 0; i < 8; i++ {
+		got = p.observe(7, uint64(0x100000-i*64))
+	}
+	if len(got) == 0 {
+		t.Error("negative stride not detected")
+	}
+}
+
+func TestStridePrefetcherStreamEviction(t *testing.T) {
+	p := newStridePrefetcher(2, 1)
+	p.observe(1, 0x1000)
+	p.observe(2, 0x2000)
+	p.observe(3, 0x3000) // evicts LRU (pc 1)
+	// pc 1 must retrain from scratch without crashing.
+	for i := 1; i < 6; i++ {
+		p.observe(1, uint64(0x1000+i*8))
+	}
+}
+
+func TestHierarchyStridePrefetcherEndToEnd(t *testing.T) {
+	cfg := DefaultConfig() // stride prefetcher enabled
+	h := NewHierarchy(cfg)
+	now := uint64(0)
+	for i := 0; i < 64; i++ {
+		r := h.Access(uint64(0x100000+i*8), now, false, 5)
+		now = r.Done + 1
+	}
+	if h.Stats.PrefIssued[SrcStridePF] == 0 {
+		t.Error("stride prefetcher never fired on a sequential walk")
+	}
+	// With a serial access stream the prefetch is either timely (useful)
+	// or still in flight when demanded (late); both mean it engaged.
+	if h.Stats.PrefUsefulAt[LvlL1]+h.Stats.PrefLate[SrcStridePF] == 0 {
+		t.Error("no stride prefetch was consumed")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(CacheConfig{SizeBytes: 4 * LineSize, Assoc: 2, Latency: 1})
+	// Two sets; fill set 0's two ways, then a third line in set 0 evicts
+	// the least recently used.
+	c.install(0, SrcDemand) // set 0
+	c.install(2, SrcDemand) // set 0 (line 2 maps to set 0 of 2 sets)
+	c.lookup(0)             // touch 0 so 2 is LRU
+	victim := c.install(4, SrcDemand)
+	if !victim.valid || victim.tag != 2 {
+		t.Errorf("evicted tag %d (valid=%v), want 2", victim.tag, victim.valid)
+	}
+	if c.contains(2) {
+		t.Error("line 2 should be gone")
+	}
+	if !c.contains(0) || !c.contains(4) {
+		t.Error("lines 0 and 4 should be resident")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newCache(CacheConfig{SizeBytes: 4 * LineSize, Assoc: 2, Latency: 1})
+	c.install(8, SrcDemand)
+	if !c.invalidate(8) {
+		t.Error("invalidate reported absent line")
+	}
+	if c.contains(8) {
+		t.Error("line survived invalidate")
+	}
+	if c.invalidate(8) {
+		t.Error("second invalidate reported present")
+	}
+}
+
+func TestUnusedPrefetchEvictionCounted(t *testing.T) {
+	cfg := testConfig()
+	cfg.L1D = CacheConfig{SizeBytes: 2 * LineSize, Assoc: 1, Latency: 4}
+	cfg.L2 = CacheConfig{SizeBytes: 2 * LineSize, Assoc: 1, Latency: 8}
+	cfg.L3 = CacheConfig{SizeBytes: 2 * LineSize, Assoc: 1, Latency: 30}
+	h := NewHierarchy(cfg)
+	pf := h.Prefetch(0x0, 0, SrcRunahead)
+	// Conflict-evict it from the tiny L3 without ever demanding it.
+	h.Access(2*LineSize, pf.Done+1, false, 1) // same set in 2-set caches? ensure conflict:
+	h.Access(4*LineSize, pf.Done+500, false, 1)
+	h.Access(6*LineSize, pf.Done+1000, false, 1)
+	if h.Stats.PrefUnusedEvict[SrcRunahead] == 0 {
+		t.Error("unused prefetch eviction not counted")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.L1D = CacheConfig{SizeBytes: LineSize, Assoc: 1, Latency: 4}
+	cfg.L2 = CacheConfig{SizeBytes: LineSize, Assoc: 1, Latency: 8}
+	cfg.L3 = CacheConfig{SizeBytes: LineSize, Assoc: 1, Latency: 30}
+	h := NewHierarchy(cfg)
+	r := h.Access(0x0, 0, true, 1) // write-allocate, dirty
+	h.Access(1<<20, r.Done+1, false, 1)
+	h.Access(2<<20, r.Done+600, false, 1)
+	if h.Stats.Writebacks == 0 {
+		t.Error("dirty eviction produced no writeback")
+	}
+}
+
+func TestResident(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	if h.Resident(0x4000) {
+		t.Error("empty hierarchy reports resident")
+	}
+	h.Access(0x4000, 0, false, 1)
+	if !h.Resident(0x4000) {
+		t.Error("in-flight line should count as resident")
+	}
+}
+
+func TestSourceStrings(t *testing.T) {
+	for s := Source(0); s < numSources; s++ {
+		if s.String() == "unknown" {
+			t.Errorf("source %d has no name", s)
+		}
+	}
+	for l := Level(0); l < numLevels; l++ {
+		if l.String() == "?" {
+			t.Errorf("level %d has no name", l)
+		}
+	}
+}
+
+func TestStatsTotals(t *testing.T) {
+	var s Stats
+	s.PrefIssued[SrcIMP] = 3
+	s.PrefIssued[SrcRunahead] = 4
+	s.PrefUsefulAt[LvlL1] = 2
+	s.PrefUsefulAt[LvlL2] = 1
+	s.DRAMAccesses[SrcDemand] = 5
+	s.DRAMAccesses[SrcOracle] = 6
+	if s.TotalPrefIssued() != 7 || s.TotalPrefUseful() != 3 || s.TotalDRAM() != 11 {
+		t.Errorf("totals wrong: %d %d %d", s.TotalPrefIssued(), s.TotalPrefUseful(), s.TotalDRAM())
+	}
+}
+
+func TestMSHRBusyCyclesAccumulate(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	r := h.Access(0x4000, 0, false, 1)
+	h.FinishStats(r.Done + 1)
+	if h.Stats.MSHRBusyCycles == 0 {
+		t.Error("MSHR busy cycles not accumulated")
+	}
+	if h.Stats.MSHRBusyCycles < r.Done-10 {
+		t.Errorf("busy cycles %d below miss latency %d", h.Stats.MSHRBusyCycles, r.Done)
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestDemandOvertakesFutureStartPrefetch(t *testing.T) {
+	// A runahead access issued on a future-timestamped subthread cursor
+	// must be invisible to a demand that arrives earlier: the demand
+	// refetches at its own pace rather than waiting for the future fill.
+	h := NewHierarchy(testConfig())
+	pf := h.RunaheadAccess(0x40000, 5000, SrcRunahead) // starts at t=5000
+	if pf.Done < 5000 {
+		t.Fatal("prefetch done before its issue time")
+	}
+	r := h.Access(0x40000, 100, false, 1) // demand at t=100
+	if r.Merged {
+		t.Fatal("demand merged with a fill that has not started")
+	}
+	cfg := h.Config()
+	floor := 100 + cfg.L1D.Latency + cfg.L2.Latency + cfg.L3.Latency + cfg.DRAMMinLatency
+	if r.Done > floor+cfg.DRAMCyclesPerLine*16 {
+		t.Errorf("overtaking demand done=%d, want near %d", r.Done, floor)
+	}
+	if h.Stats.PrefLate[SrcRunahead] != 1 {
+		t.Errorf("overtaken prefetch not accounted late: %d", h.Stats.PrefLate[SrcRunahead])
+	}
+}
+
+func TestOracleBypassesMSHRLimit(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	// Saturate MSHRs with demand misses, then an Oracle prefetch must not
+	// be delayed by MSHR occupancy (only by bandwidth).
+	for i := 0; i < cfg.MSHRs; i++ {
+		h.Access(uint64(0x100000+i*4096), 0, false, i)
+	}
+	r := h.RunaheadAccess(0x900000, 0, SrcOracle)
+	bwDelay := uint64(cfg.MSHRs+2) * cfg.DRAMCyclesPerLine
+	floor := cfg.L1D.Latency + cfg.L2.Latency + cfg.L3.Latency + cfg.DRAMMinLatency
+	if r.Done > floor+bwDelay {
+		t.Errorf("oracle access done=%d; should bypass the MSHR wait (floor %d + bw %d)", r.Done, floor, bwDelay)
+	}
+}

@@ -1,0 +1,84 @@
+package mem
+
+import "sort"
+
+// mshrFile models the L1-D miss status holding registers: a bounded set of
+// outstanding line misses. Misses to a line already outstanding merge into
+// the existing entry (no new MSHR). When all MSHRs are busy, a new miss
+// must wait until the earliest outstanding fill returns; prefetch sources
+// may instead be dropped by the caller.
+type mshrFile struct {
+	cap     int
+	pending map[uint64]mshrEntry // line -> entry
+
+	// occupancy integration for MLP statistics: sum over entries of their
+	// in-flight duration, accumulated at retirement.
+	busyCycles uint64
+}
+
+type mshrEntry struct {
+	done  uint64
+	start uint64
+	src   Source
+}
+
+func newMSHRFile(capacity int) *mshrFile {
+	return &mshrFile{cap: capacity, pending: make(map[uint64]mshrEntry)}
+}
+
+// retire drops entries whose fills have arrived by cycle now.
+func (m *mshrFile) retire(now uint64) {
+	for line, e := range m.pending {
+		if e.done <= now {
+			m.busyCycles += e.done - e.start
+			delete(m.pending, line)
+		}
+	}
+}
+
+// lookup returns the outstanding entry for line, if any.
+func (m *mshrFile) lookup(line uint64) (mshrEntry, bool) {
+	e, ok := m.pending[line]
+	return e, ok
+}
+
+// full reports whether fewer than `reserve`+1 MSHRs are free at cycle now.
+// Prefetch sources pass a nonzero reserve so a few MSHRs always remain for
+// demand misses.
+func (m *mshrFile) full(now uint64, reserve int) bool {
+	m.retire(now)
+	return len(m.pending) >= m.cap-reserve
+}
+
+// freeAt returns the first cycle >= now at which occupancy drops below
+// cap-reserve.
+func (m *mshrFile) freeAt(now uint64, reserve int) uint64 {
+	m.retire(now)
+	need := len(m.pending) - (m.cap - reserve) + 1
+	if need <= 0 {
+		return now
+	}
+	dones := make([]uint64, 0, len(m.pending))
+	for _, e := range m.pending {
+		dones = append(dones, e.done)
+	}
+	sort.Slice(dones, func(i, j int) bool { return dones[i] < dones[j] })
+	if need > len(dones) {
+		need = len(dones)
+	}
+	if need == 0 {
+		return now
+	}
+	return dones[need-1]
+}
+
+// allocate records a new outstanding miss for line completing at done.
+func (m *mshrFile) allocate(line uint64, start, done uint64, src Source) {
+	m.pending[line] = mshrEntry{done: done, start: start, src: src}
+}
+
+// inUse returns the number of currently outstanding entries.
+func (m *mshrFile) inUse(now uint64) int {
+	m.retire(now)
+	return len(m.pending)
+}

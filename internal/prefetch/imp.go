@@ -1,0 +1,150 @@
+// Package prefetch implements the non-runahead prefetching baselines of the
+// evaluation: IMP, the indirect memory prefetcher of Yu et al. (MICRO '15),
+// and the Oracle prefetcher, which knows all future memory accesses.
+package prefetch
+
+import (
+	"dvr/internal/cpu"
+	"dvr/internal/interp"
+	"dvr/internal/isa"
+	"dvr/internal/mem"
+	"dvr/internal/runahead"
+)
+
+// IMP is the Indirect Memory Prefetcher: it sits at the L1-D, detects
+// A[B[i]]-style patterns by correlating the *values* returned by striding
+// loads with the *addresses* of subsequent loads (addr = base + value *
+// coeff), and prefetches the indirect targets for the index values the
+// stride prefetcher is about to bring in. It handles one level of simple
+// indirection but not the complex chains of graph and database workloads.
+type IMP struct {
+	hier *mem.Hierarchy
+	fmem *interp.Memory
+	rpt  *runahead.RPT
+
+	lastVal map[int]uint64 // striding-load PC -> last loaded value
+	pats    map[impKey]*impPattern
+	degree  int
+
+	stats cpu.EngineStats
+}
+
+type impKey struct {
+	stridePC int
+	indirPC  int
+	coeff    int64
+}
+
+type impPattern struct {
+	base      uint64
+	conf      int
+	confirmed bool
+}
+
+// impCoeffs are the candidate index-to-address scale factors IMP tests.
+var impCoeffs = []int64{1, 2, 4, 8, 16, 32}
+
+// NewIMP builds an IMP over the core's hierarchy and functional memory
+// (which stands in for the values of prefetched index-array lines). It
+// registers itself as the hierarchy's L1-D observer: IMP trains and
+// triggers at access (execution) time, not commit time, so its prefetch
+// distance tracks the out-of-order window.
+func NewIMP(hier *mem.Hierarchy, fmem *interp.Memory) *IMP {
+	p := &IMP{
+		hier:    hier,
+		fmem:    fmem,
+		rpt:     runahead.NewRPT(32),
+		lastVal: make(map[int]uint64),
+		pats:    make(map[impKey]*impPattern),
+		degree:  8,
+	}
+	hier.Observe(p.observe)
+	return p
+}
+
+// Name implements cpu.Engine.
+func (p *IMP) Name() string { return "imp" }
+
+// OnROBStall implements cpu.Engine.
+func (p *IMP) OnROBStall(from, to uint64) {}
+
+// Advance implements cpu.Engine.
+func (p *IMP) Advance(now uint64) {}
+
+// CommitBlockedUntil implements cpu.Engine.
+func (p *IMP) CommitBlockedUntil() uint64 { return 0 }
+
+// Stats implements cpu.Engine.
+func (p *IMP) Stats() cpu.EngineStats { return p.stats }
+
+// OnCommit implements cpu.Engine; IMP works at the L1-D level instead
+// (see observe).
+func (p *IMP) OnCommit(di interp.DynInst, cycle uint64) {}
+
+// observe is the L1-D access hook: it trains the stride and indirect
+// pattern tables and issues indirect prefetches when a striding load
+// advances.
+func (p *IMP) observe(pc int, addr uint64, cycle uint64) {
+	e := p.rpt.Observe(pc, addr)
+	if e.Confident() {
+		p.lastVal[pc] = p.fmem.Load64(addr)
+		p.trigger(pc, addr, e, cycle)
+		return
+	}
+
+	// Candidate indirect load: correlate its address against recent
+	// striding-load values.
+	for spc, v := range p.lastVal {
+		if spc == pc {
+			continue
+		}
+		for _, c := range impCoeffs {
+			base := addr - v*uint64(c)
+			k := impKey{stridePC: spc, indirPC: pc, coeff: c}
+			pat, ok := p.pats[k]
+			if !ok {
+				if len(p.pats) < 256 {
+					p.pats[k] = &impPattern{base: base, conf: 1}
+				}
+				continue
+			}
+			if pat.base == base {
+				pat.conf++
+				if pat.conf >= 3 {
+					pat.confirmed = true
+				}
+			} else if !pat.confirmed {
+				pat.base = base
+				pat.conf = 1
+			} else {
+				pat.conf--
+				if pat.conf <= 0 {
+					delete(p.pats, k)
+				}
+			}
+		}
+	}
+}
+
+// trigger fires the confirmed patterns anchored at a striding load: the
+// index values at addr+stride .. addr+degree*stride (being brought in by
+// the stride prefetcher) are translated and their targets prefetched.
+func (p *IMP) trigger(pc int, addr uint64, e *runahead.RPTEntry, cycle uint64) {
+	for k, pat := range p.pats {
+		if !pat.confirmed || k.stridePC != pc {
+			continue
+		}
+		for d := 1; d <= p.degree; d++ {
+			idxAddr := uint64(int64(addr) + int64(d)*e.Stride)
+			idx := p.fmem.Load64(idxAddr)
+			target := pat.base + idx*uint64(k.coeff)
+			res := p.hier.Prefetch(target, cycle, mem.SrcIMP)
+			if !res.Rejected {
+				p.stats.Prefetches++
+			}
+		}
+	}
+}
+
+var _ cpu.Engine = (*IMP)(nil)
+var _ = isa.Nop

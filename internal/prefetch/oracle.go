@@ -1,0 +1,80 @@
+package prefetch
+
+import (
+	"dvr/internal/cpu"
+	"dvr/internal/interp"
+	"dvr/internal/mem"
+)
+
+// Oracle is the hypothetical technique of the evaluation: it knows all
+// memory accesses in advance (it runs the real future instruction stream)
+// and prefetches each load a fixed instruction distance ahead of the main
+// thread, subject only to MSHR and DRAM-bandwidth limits.
+type Oracle struct {
+	ahead     *interp.Interp
+	hier      *mem.Hierarchy
+	lookahead uint64 // instructions of lookahead
+	committed uint64
+	queue     []uint64
+	stats     cpu.EngineStats
+}
+
+// NewOracle clones the frontend at its current state and keeps the clone
+// `lookahead` instructions ahead of the main thread's commit point.
+func NewOracle(fe cpu.Frontend, hier *mem.Hierarchy, lookahead uint64) *Oracle {
+	ahead := fe.Clone()
+	// The frontend may already be fast-forwarded; count commits from its
+	// current position.
+	return &Oracle{ahead: ahead, hier: hier, lookahead: lookahead, committed: ahead.Seq}
+}
+
+// Name implements cpu.Engine.
+func (o *Oracle) Name() string { return "oracle" }
+
+// OnROBStall implements cpu.Engine.
+func (o *Oracle) OnROBStall(from, to uint64) {}
+
+// CommitBlockedUntil implements cpu.Engine.
+func (o *Oracle) CommitBlockedUntil() uint64 { return 0 }
+
+// Stats implements cpu.Engine.
+func (o *Oracle) Stats() cpu.EngineStats { return o.stats }
+
+// OnCommit implements cpu.Engine: advance the future view and drain the
+// prefetch queue within resource limits.
+func (o *Oracle) OnCommit(di interp.DynInst, cycle uint64) {
+	o.committed++
+	for o.ahead.Seq < o.committed+o.lookahead {
+		adi, ok := o.ahead.Step()
+		if !ok {
+			break
+		}
+		if adi.Inst.Op.IsMem() {
+			// "All memory accesses in advance": loads and stores alike
+			// (write-allocate makes store misses as costly as load misses).
+			if len(o.queue) < 4096 {
+				o.queue = append(o.queue, adi.Addr)
+			}
+		}
+	}
+	o.Advance(cycle)
+}
+
+// Advance implements cpu.Engine: issue queued prefetches. The Oracle is
+// the hypothetical upper bound: it pays DRAM bandwidth but is not bounded
+// by the MSHR file.
+func (o *Oracle) Advance(now uint64) {
+	for len(o.queue) > 0 {
+		addr := o.queue[0]
+		o.queue = o.queue[1:]
+		if o.hier.Resident(addr) {
+			continue
+		}
+		res := o.hier.RunaheadAccess(addr, now, mem.SrcOracle)
+		if res.Level != mem.LvlL1 {
+			o.stats.Prefetches++
+		}
+	}
+}
+
+var _ cpu.Engine = (*Oracle)(nil)

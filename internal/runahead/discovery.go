@@ -1,0 +1,222 @@
+package runahead
+
+import (
+	"dvr/internal/interp"
+	"dvr/internal/isa"
+)
+
+// discoveryBudget caps how many committed instructions Discovery Mode may
+// observe before giving up (one loop iteration is expected to be far
+// shorter).
+const discoveryBudget = 400
+
+// DefaultLanes is the maximum vectorization degree of one DVR invocation.
+const DefaultLanes = 128
+
+// discovery is Discovery Mode (§4.1): it follows the main thread's
+// committed stream for one iteration of the loop containing a striding
+// load, and determines (i) the innermost striding load, (ii) the dependent
+// load chain (via the Vector Taint Tracker and Final-Load Register), and
+// (iii) the remaining loop iterations (via the Last-Compare Register,
+// Seen-Branch Bit, and register-file checkpoints).
+type discovery struct {
+	targetPC int
+	stride   int64
+
+	vtt     uint16 // Vector Taint Tracker: one bit per architectural register
+	flrPC   int    // Final-Load Register: last tainted load's PC (-1: none)
+	steps   int
+	started bool
+
+	// Loop-bound inference.
+	lcrValid   bool
+	lcrSrc1    isa.Reg
+	lcrSrc2    isa.Reg
+	lcrUseImm  bool
+	lcrImm     int64
+	lcrDst     isa.Reg
+	sbb        bool // Seen-Branch Bit
+	backBranch int  // PC of the backward branch closing the loop (-1: none)
+
+	// Innermost-stride switching: per-RPT-entry seen bits (§4.1.1).
+	seenStride map[int]bool
+
+	// Register-file checkpoint at Discovery Mode entry.
+	enter [isa.NumRegs]uint64
+
+	branchesAfterFLR bool // footnote 1: branches between FLR and loop close
+}
+
+// discoveryResult is what Discovery Mode hands to the subthread spawn.
+type discoveryResult struct {
+	stridePC   int
+	stride     int64
+	flrPC      int // -1 when no dependent chain was found
+	lanes      int // remaining loop iterations, capped at DefaultLanes
+	boundKnown bool
+	boundReg   isa.Reg // loop-bound register (constant across the iteration)
+	boundIsImm bool    // the loop bound is an immediate in the compare
+	boundImm   int64
+	ivReg      isa.Reg // induction-variable register
+	incr       int64   // loop increment (the IR for nested mode)
+	backBranch int     // backward branch PC (-1 if none seen)
+	divergent  bool    // branches seen between FLR and loop close (footnote 1)
+}
+
+// hasChain reports whether a dependent load chain was found; DVR is only
+// worth triggering when there is one (§4.1.2).
+func (r discoveryResult) hasChain() bool { return r.flrPC >= 0 }
+
+func newDiscovery(targetPC int, stride int64, regs [isa.NumRegs]uint64) *discovery {
+	return &discovery{
+		targetPC:   targetPC,
+		stride:     stride,
+		flrPC:      -1,
+		backBranch: -1,
+		seenStride: make(map[int]bool),
+		enter:      regs,
+	}
+}
+
+// seedTaint marks the striding load's destination register tainted.
+func (d *discovery) seedTaint(dst isa.Reg) { d.vtt = 1 << uint(dst) }
+
+func (d *discovery) tainted(r isa.Reg) bool { return d.vtt&(1<<uint(r)) != 0 }
+
+// observe feeds one committed instruction. It returns (result, true) when
+// Discovery Mode completes (the striding load commits again), and aborts by
+// returning done=true with lanes=0 when the budget runs out.
+func (d *discovery) observe(di interp.DynInst, rpt *RPT, regs [isa.NumRegs]uint64) (discoveryResult, bool) {
+	in := di.Inst
+
+	if di.PC == d.targetPC && d.started {
+		return d.finish(regs), true
+	}
+	d.started = true
+	d.steps++
+	if d.steps > discoveryBudget {
+		return discoveryResult{stridePC: d.targetPC, flrPC: -1}, true
+	}
+
+	// Innermost striding-load detection (§4.1.1): seeing another confident
+	// striding load twice before returning to the target means that load is
+	// more inner; switch Discovery Mode to it.
+	if in.Op.IsLoad() {
+		if e := rpt.Lookup(di.PC); e != nil && e.Confident() && di.PC != d.targetPC {
+			if d.seenStride[di.PC] {
+				nd := newDiscovery(di.PC, e.Stride, regs)
+				nd.seedTaint(in.Dst)
+				*d = *nd
+				d.started = true
+				return discoveryResult{}, false
+			}
+			d.seenStride[di.PC] = true
+		}
+	}
+
+	// Taint propagation (§4.1.2).
+	anySrcTainted := false
+	for _, r := range in.SrcRegs(nil) {
+		if d.tainted(r) {
+			anySrcTainted = true
+			break
+		}
+	}
+	if in.Op.IsLoad() && anySrcTainted {
+		// A load whose address depends on the striding load: update the FLR
+		// and zero the LCR/SBB.
+		d.flrPC = di.PC
+		d.lcrValid = false
+		d.sbb = false
+		d.branchesAfterFLR = false
+	}
+	if in.Op.WritesDst() {
+		if anySrcTainted {
+			d.vtt |= 1 << uint(in.Dst)
+		} else {
+			d.vtt &^= 1 << uint(in.Dst)
+		}
+	}
+
+	// Loop-bound inference (§4.1.3).
+	if in.Op == isa.Cmp && !d.sbb {
+		d.lcrValid = true
+		d.lcrSrc1 = in.Src1
+		d.lcrSrc2 = in.Src2
+		d.lcrUseImm = in.UseImm
+		d.lcrImm = in.Imm
+		d.lcrDst = in.Dst
+	}
+	if in.Op == isa.Br && in.Cond != isa.Always {
+		switch {
+		case d.lcrValid && in.Src1 == d.lcrDst && in.Target <= d.targetPC:
+			// The loop-closing backward branch.
+			d.sbb = true
+			d.backBranch = di.PC
+		case d.flrPC >= 0 && !d.sbb:
+			// Some other branch between the FLR and the loop close
+			// (footnote 1): lanes may diverge after the final load.
+			d.branchesAfterFLR = true
+		}
+	}
+	return discoveryResult{}, false
+}
+
+// finish compares the entry and exit register-file checkpoints against the
+// LCR to infer the loop bound and increment, then packages the result.
+func (d *discovery) finish(exit [isa.NumRegs]uint64) discoveryResult {
+	res := discoveryResult{
+		stridePC:   d.targetPC,
+		stride:     d.stride,
+		flrPC:      d.flrPC,
+		lanes:      DefaultLanes,
+		backBranch: d.backBranch,
+		divergent:  d.branchesAfterFLR,
+	}
+	if !d.lcrValid || !d.sbb {
+		return res
+	}
+	type operand struct {
+		reg   isa.Reg
+		isReg bool
+		enter uint64
+		exit  uint64
+	}
+	a := operand{reg: d.lcrSrc1, isReg: true, enter: d.enter[d.lcrSrc1], exit: exit[d.lcrSrc1]}
+	b := operand{reg: d.lcrSrc2, isReg: !d.lcrUseImm}
+	if b.isReg {
+		b.enter, b.exit = d.enter[d.lcrSrc2], exit[d.lcrSrc2]
+	} else {
+		b.enter, b.exit = uint64(d.lcrImm), uint64(d.lcrImm)
+	}
+
+	var iv, bound operand
+	switch {
+	case a.enter != a.exit && b.enter == b.exit:
+		iv, bound = a, b
+	case b.isReg && b.enter != b.exit && a.enter == a.exit:
+		iv, bound = b, a
+	default:
+		return res // no match: run for the full 128 elements
+	}
+
+	incr := int64(iv.exit) - int64(iv.enter)
+	if incr == 0 {
+		return res
+	}
+	remaining := (int64(bound.exit) - int64(iv.exit)) / incr
+	switch {
+	case remaining < 0:
+		remaining = 0
+	case remaining > MaxLanes:
+		remaining = MaxLanes
+	}
+	res.lanes = int(remaining)
+	res.boundKnown = true
+	res.boundReg = bound.reg
+	res.boundIsImm = !bound.isReg
+	res.boundImm = int64(bound.exit)
+	res.ivReg = iv.reg
+	res.incr = incr
+	return res
+}

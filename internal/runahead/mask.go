@@ -1,0 +1,80 @@
+// Package runahead implements the paper's contribution and its runahead
+// baselines: the shared SIMT vector-runahead execution engine (speculative
+// vectorization over up to 128 lanes with gathers, taint propagation and
+// GPU-style divergence/reconvergence), the 32-entry stride detector (RPT),
+// Discovery Mode (VTT, FLR, LCR/SBB, loop-bound inference with register-file
+// checkpoints), Nested Vector Runahead (NDM with IR and ILR), the decoupled
+// DVR subthread, Vector Runahead (VR) and Precise Runahead (PRE), plus the
+// paper's 1139-byte hardware-overhead accounting.
+package runahead
+
+import "math/bits"
+
+// MaxLanes is the widest vectorization degree the engine supports. The
+// paper's DVR uses 16 AVX-512 registers of 8 64-bit elements = 128
+// scalar-equivalent lanes (DefaultLanes); the engine also supports the
+// 256-wide configuration the paper floats in §6.1 ("wider 256-element DVR
+// units would achieve the higher performance of the Oracle, at the expense
+// of a larger VRAT and more physical vector registers").
+const MaxLanes = 256
+
+// VectorWidth is the number of 64-bit lanes per AVX-512 vector instruction.
+const VectorWidth = 8
+
+// Mask is a lane activity mask, one bit per scalar-equivalent lane.
+type Mask [4]uint64
+
+// FullMask returns a mask with the first n lanes set.
+func FullMask(n int) Mask {
+	var m Mask
+	for i := 0; i < n && i < MaxLanes; i++ {
+		m.Set(i)
+	}
+	return m
+}
+
+// Set activates lane i.
+func (m *Mask) Set(i int) { m[i>>6] |= 1 << uint(i&63) }
+
+// Clear deactivates lane i.
+func (m *Mask) Clear(i int) { m[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports whether lane i is active.
+func (m Mask) Get(i int) bool { return m[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of active lanes.
+func (m Mask) Count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no lane is active.
+func (m Mask) Empty() bool { return m[0]|m[1]|m[2]|m[3] == 0 }
+
+// First returns the lowest active lane, or -1 if none.
+func (m Mask) First() int {
+	for i, w := range m {
+		if w != 0 {
+			return 64*i + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// And returns the intersection of two masks.
+func (m Mask) And(o Mask) Mask {
+	return Mask{m[0] & o[0], m[1] & o[1], m[2] & o[2], m[3] & o[3]}
+}
+
+// AndNot returns m with o's lanes cleared.
+func (m Mask) AndNot(o Mask) Mask {
+	return Mask{m[0] &^ o[0], m[1] &^ o[1], m[2] &^ o[2], m[3] &^ o[3]}
+}
+
+// Or returns the union of two masks.
+func (m Mask) Or(o Mask) Mask {
+	return Mask{m[0] | o[0], m[1] | o[1], m[2] | o[2], m[3] | o[3]}
+}

@@ -1,0 +1,200 @@
+package runahead
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFullMask(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 127, 128} {
+		m := FullMask(n)
+		if m.Count() != n {
+			t.Errorf("FullMask(%d).Count() = %d", n, m.Count())
+		}
+		for i := 0; i < MaxLanes; i++ {
+			if m.Get(i) != (i < n) {
+				t.Errorf("FullMask(%d).Get(%d) = %v", n, i, m.Get(i))
+			}
+		}
+	}
+}
+
+func TestMaskSetClearGet(t *testing.T) {
+	f := func(lanes []uint8) bool {
+		var m Mask
+		ref := map[int]bool{}
+		for _, l := range lanes {
+			i := int(l) % MaxLanes
+			if ref[i] {
+				m.Clear(i)
+				ref[i] = false
+			} else {
+				m.Set(i)
+				ref[i] = true
+			}
+		}
+		count := 0
+		for i := 0; i < MaxLanes; i++ {
+			if ref[i] {
+				count++
+			}
+			if m.Get(i) != ref[i] {
+				return false
+			}
+		}
+		return m.Count() == count && m.Empty() == (count == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskFirst(t *testing.T) {
+	var m Mask
+	if m.First() != -1 {
+		t.Errorf("empty First() = %d", m.First())
+	}
+	m.Set(77)
+	m.Set(100)
+	if m.First() != 77 {
+		t.Errorf("First() = %d, want 77", m.First())
+	}
+	m.Clear(77)
+	if m.First() != 100 {
+		t.Errorf("First() = %d, want 100", m.First())
+	}
+	var lo Mask
+	lo.Set(3)
+	if lo.First() != 3 {
+		t.Errorf("First() = %d, want 3", lo.First())
+	}
+}
+
+func TestMaskBooleanAlgebra(t *testing.T) {
+	f := func(a64, a1, b64, b1 uint64) bool {
+		a := Mask{a64, a1, b1, a64 ^ b64}
+		b := Mask{b64, b1, a1, a64 & b1}
+		and := a.And(b)
+		or := a.Or(b)
+		anot := a.AndNot(b)
+		for i := 0; i < MaxLanes; i++ {
+			if and.Get(i) != (a.Get(i) && b.Get(i)) {
+				return false
+			}
+			if or.Get(i) != (a.Get(i) || b.Get(i)) {
+				return false
+			}
+			if anot.Get(i) != (a.Get(i) && !b.Get(i)) {
+				return false
+			}
+		}
+		// Partition property: And + AndNot = original.
+		return and.Count()+anot.Count() == a.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHardwareOverheadBudget(t *testing.T) {
+	o := DefaultBudget().Bytes()
+	if o.Total != 1139 {
+		t.Errorf("hardware overhead = %d bytes, paper says 1139", o.Total)
+	}
+	// The itemized costs of §4.4.
+	wants := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"stride detector", o.StrideDetector, 460},
+		{"VRAT", o.VRAT, 288},
+		{"VIR", o.VIR, 86},
+		{"front-end buffer", o.FrontEndBuffer, 64},
+		{"reconvergence stack", o.ReconvStack, 176},
+		{"FLR", o.FLR, 6},
+		{"LCR", o.LCR, 2},
+		{"loop-bound detector", o.LoopBoundDetector, 48},
+	}
+	for _, w := range wants {
+		if w.got != w.want {
+			t.Errorf("%s = %d bytes, want %d", w.name, w.got, w.want)
+		}
+	}
+}
+
+func TestRPTDetectsStride(t *testing.T) {
+	r := NewRPT(32)
+	var e *RPTEntry
+	for i := 0; i < 5; i++ {
+		e = r.Observe(10, uint64(0x1000+i*8))
+	}
+	if !e.Confident() || e.Stride != 8 {
+		t.Errorf("stride not detected: conf=%d stride=%d", e.Conf, e.Stride)
+	}
+}
+
+func TestRPTRejectsRandom(t *testing.T) {
+	r := NewRPT(32)
+	var e *RPTEntry
+	for _, a := range []uint64{0x50, 0x9000, 0x40, 0x7777, 0x2410} {
+		e = r.Observe(10, a)
+	}
+	if e.Confident() {
+		t.Error("random addresses detected as striding")
+	}
+}
+
+func TestRPTNegativeStride(t *testing.T) {
+	r := NewRPT(32)
+	var e *RPTEntry
+	for i := 0; i < 5; i++ {
+		e = r.Observe(10, uint64(0x10000-i*16))
+	}
+	if !e.Confident() || e.Stride != -16 {
+		t.Errorf("negative stride: conf=%d stride=%d", e.Conf, e.Stride)
+	}
+}
+
+func TestRPTEviction(t *testing.T) {
+	r := NewRPT(2)
+	for pc := 0; pc < 5; pc++ {
+		for i := 0; i < 3; i++ {
+			r.Observe(pc, uint64(0x1000*pc+i*8))
+		}
+	}
+	// Only the two most recent PCs survive.
+	if r.Lookup(0) != nil || r.Lookup(1) != nil || r.Lookup(2) != nil {
+		t.Error("old entries not evicted from a 2-entry RPT")
+	}
+	if r.Lookup(4) == nil {
+		t.Error("most recent entry missing")
+	}
+}
+
+func TestRPTLastConfident(t *testing.T) {
+	r := NewRPT(32)
+	for i := 0; i < 5; i++ {
+		r.Observe(10, uint64(0x1000+i*8))
+	}
+	for i := 0; i < 5; i++ {
+		r.Observe(20, uint64(0x9000+i*64))
+	}
+	e := r.LastConfident()
+	if e == nil || e.PC != 20 {
+		t.Errorf("LastConfident = %+v, want PC 20", e)
+	}
+}
+
+func TestRPTConfidenceDropsOnStrideChange(t *testing.T) {
+	r := NewRPT(32)
+	for i := 0; i < 5; i++ {
+		r.Observe(10, uint64(0x1000+i*8))
+	}
+	e := r.Observe(10, 0x9999)
+	e = r.Observe(10, 0x20000)
+	e = r.Observe(10, 0x333)
+	if e.Confident() {
+		t.Error("confidence survived a broken stride")
+	}
+}

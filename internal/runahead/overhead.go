@@ -1,0 +1,62 @@
+package runahead
+
+// HardwareBudget itemizes the storage DVR adds to the core, following the
+// accounting of §4.4. All quantities are in bits; Bytes() reports the
+// per-structure and total byte costs with the paper's rounding (bit-level
+// fields of under a byte, like the SBB, are absorbed into neighbours).
+type HardwareBudget struct {
+	StrideDetectorEntries int // 32
+	VRATEntries           int // 16 architectural registers
+	VRATLaneIDs           int // 16 register identifiers per entry
+	VRATIDBits            int // 9 bits: 128 vector + 256 int physical regs
+	ReconvStackEntries    int // 8
+	FrontEndBufferUops    int // 8 micro-ops
+}
+
+// DefaultBudget returns the paper's configuration.
+func DefaultBudget() HardwareBudget {
+	return HardwareBudget{
+		StrideDetectorEntries: 32,
+		VRATEntries:           16,
+		VRATLaneIDs:           16,
+		VRATIDBits:            9,
+		ReconvStackEntries:    8,
+		FrontEndBufferUops:    8,
+	}
+}
+
+// Overhead is the per-structure byte cost.
+type Overhead struct {
+	StrideDetector    int // 48b PC + 48b prev addr + 16b stride + 2b ctr + 1b innermost
+	VRAT              int
+	VIR               int // 128b mask + 16b issued + 16b executed + 64b uop/imm + (9+10+10)x16b operands
+	FrontEndBuffer    int
+	ReconvStack       int // (48b PC + 128b mask) per entry
+	FLR               int // 6 bytes
+	LCR               int // 2 bytes
+	LoopBoundDetector int // two 16x8b register-ID checkpoints + 2 registers
+	TaintTracker      int // 16 bits
+	NDM               int // IR (7 bits) + ILR (6 bytes)
+	Total             int
+}
+
+// Bytes computes the overhead. With DefaultBudget it totals 1139 bytes,
+// matching §4.4.
+func (b HardwareBudget) Bytes() Overhead {
+	var o Overhead
+	strideEntryBits := 48 + 48 + 16 + 2 + 1
+	o.StrideDetector = b.StrideDetectorEntries * strideEntryBits / 8 // 460
+	o.VRAT = b.VRATEntries * b.VRATLaneIDs * b.VRATIDBits / 8        // 288
+	virBits := 128 + 16 + 16 + 64 + 9*16 + 10*16 + 10*16
+	o.VIR = virBits / 8                                   // 86
+	o.FrontEndBuffer = b.FrontEndBufferUops * 8           // 64
+	o.ReconvStack = b.ReconvStackEntries * (48 + 128) / 8 // 176
+	o.FLR = 6
+	o.LCR = 2
+	o.LoopBoundDetector = 2*16*8/8 + 16 // two checkpoints + two registers = 48
+	o.TaintTracker = 16 / 8             // 2 (the 1-bit SBB rides along)
+	o.NDM = 1 + 6                       // IR 7 bits (1 byte) + ILR 6 bytes
+	o.Total = o.StrideDetector + o.VRAT + o.VIR + o.FrontEndBuffer +
+		o.ReconvStack + o.FLR + o.LCR + o.LoopBoundDetector + o.TaintTracker + o.NDM
+	return o
+}

@@ -1,0 +1,110 @@
+package runahead
+
+import (
+	"dvr/internal/cpu"
+	"dvr/internal/interp"
+	"dvr/internal/mem"
+)
+
+// PRE is Precise Runahead Execution (Naithani et al., HPCA '20): on a
+// full-ROB stall it pre-executes the chains of future instructions that
+// lead to loads, using recycled back-end resources, without flushing the
+// pipeline on exit. It is limited by the front-end width during the
+// runahead interval and cannot produce addresses that depend on data still
+// in flight, which is why it cannot prefetch past the first level of
+// indirection (§2.2).
+type PRE struct {
+	fe    cpu.Frontend
+	hier  *mem.Hierarchy
+	width int
+	// maxUops caps one episode (register/issue-queue recycling limits).
+	maxUops int
+
+	stats cpu.EngineStats
+}
+
+// NewPRE builds a PRE engine over the core's frontend and hierarchy.
+func NewPRE(fe cpu.Frontend, hier *mem.Hierarchy, width int) *PRE {
+	return &PRE{fe: fe, hier: hier, width: width, maxUops: 768}
+}
+
+// Name implements cpu.Engine.
+func (p *PRE) Name() string { return "pre" }
+
+// OnCommit implements cpu.Engine.
+func (p *PRE) OnCommit(di interp.DynInst, cycle uint64) {}
+
+// Advance implements cpu.Engine.
+func (p *PRE) Advance(now uint64) {}
+
+// CommitBlockedUntil implements cpu.Engine: PRE never stalls commit.
+func (p *PRE) CommitBlockedUntil() uint64 { return 0 }
+
+// Stats implements cpu.Engine.
+func (p *PRE) Stats() cpu.EngineStats { return p.stats }
+
+// OnROBStall implements cpu.Engine: the runahead episode. The runahead
+// interval is the stall window [from, to): instructions are pre-executed at
+// the front-end rate; loads whose addresses are ready inside the window
+// issue prefetches; instructions depending on data that cannot return
+// before the window closes are skipped.
+func (p *PRE) OnROBStall(from, to uint64) {
+	if to <= from {
+		return
+	}
+	p.stats.Episodes++
+	it := p.fe.Clone()
+
+	budget := int(to-from) * p.width
+	if budget > p.maxUops {
+		budget = p.maxUops
+	}
+
+	var ready [16]uint64
+	for i := range ready {
+		ready[i] = from
+	}
+	fetch := from
+	for i := 0; i < budget; i++ {
+		di, ok := it.Step()
+		if !ok {
+			break
+		}
+		// Front-end supply: width instructions per cycle.
+		if i > 0 && i%p.width == 0 {
+			fetch++
+		}
+		if fetch >= to {
+			break
+		}
+		t := fetch
+		for _, r := range di.Inst.SrcRegs(nil) {
+			if ready[r] > t {
+				t = ready[r]
+			}
+		}
+		in := di.Inst
+		switch {
+		case t >= to:
+			// Operands cannot be ready within the runahead interval; the
+			// chain below this point is dropped.
+			if in.Op.WritesDst() {
+				ready[in.Dst] = to
+			}
+		case in.Op.IsLoad():
+			res := p.hier.RunaheadAccess(di.Addr, t, mem.SrcRunahead)
+			if res.Level != mem.LvlL1 || res.Merged {
+				p.stats.Prefetches++
+			}
+			ready[in.Dst] = res.Done
+		case in.Op.IsStore():
+			// Stores are dropped in runahead mode.
+		default:
+			if in.Op.WritesDst() {
+				ready[in.Dst] = t + 1
+			}
+		}
+	}
+}
+
+var _ cpu.Engine = (*PRE)(nil)

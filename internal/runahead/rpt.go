@@ -1,0 +1,94 @@
+package runahead
+
+// RPTEntry is one entry of the Reference Prediction Table (stride
+// detector): per §4.4 it holds the load PC, the previous address, the
+// stride, a 2-bit saturating confidence counter and an innermost bit.
+type RPTEntry struct {
+	PC        int
+	Valid     bool
+	PrevAddr  uint64
+	Stride    int64
+	Conf      uint8 // 2-bit saturating
+	Innermost bool
+	lastUse   uint64
+}
+
+// Confident reports whether the entry has a stable non-zero stride.
+func (e *RPTEntry) Confident() bool { return e.Valid && e.Conf >= 2 && e.Stride != 0 }
+
+// RPT is the 32-entry stride detector, trained on the committed load
+// stream; it identifies striding loads and their strides, the trigger for
+// Discovery Mode and for Vector Runahead's speculative vectorization.
+type RPT struct {
+	entries []RPTEntry
+	clock   uint64
+}
+
+// NewRPT returns a stride detector with n entries (the paper uses 32).
+func NewRPT(n int) *RPT {
+	return &RPT{entries: make([]RPTEntry, n)}
+}
+
+// Observe trains the detector with a committed load (pc, addr). It returns
+// the entry for pc after training, which is Confident once the same stride
+// repeats.
+func (t *RPT) Observe(pc int, addr uint64) *RPTEntry {
+	t.clock++
+	var e *RPTEntry
+	victim := 0
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].PC == pc {
+			e = &t.entries[i]
+			break
+		}
+		if !t.entries[i].Valid {
+			victim = i
+		} else if t.entries[victim].Valid && t.entries[i].lastUse < t.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	if e == nil {
+		t.entries[victim] = RPTEntry{PC: pc, Valid: true, PrevAddr: addr, lastUse: t.clock}
+		return &t.entries[victim]
+	}
+	e.lastUse = t.clock
+	stride := int64(addr) - int64(e.PrevAddr)
+	e.PrevAddr = addr
+	switch {
+	case stride == 0:
+		// repeated address: no information
+	case stride == e.Stride:
+		if e.Conf < 3 {
+			e.Conf++
+		}
+	default:
+		if e.Conf > 0 {
+			e.Conf--
+		} else {
+			e.Stride = stride
+		}
+	}
+	return e
+}
+
+// Lookup returns the entry for pc, or nil.
+func (t *RPT) Lookup(pc int) *RPTEntry {
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].PC == pc {
+			return &t.entries[i]
+		}
+	}
+	return nil
+}
+
+// LastConfident returns the most recently used confident entry, or nil.
+func (t *RPT) LastConfident() *RPTEntry {
+	var best *RPTEntry
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Confident() && (best == nil || e.lastUse > best.lastUse) {
+			best = e
+		}
+	}
+	return best
+}

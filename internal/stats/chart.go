@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders labelled values as a horizontal ASCII bar chart, the
+// form the dvrbench figures use alongside their tables.
+type BarChart struct {
+	Title string
+	Width int // bar width in characters (default 40)
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBarChart returns a chart with the given title.
+func NewBarChart(title string) *BarChart { return &BarChart{Title: title, Width: 40} }
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) { c.rows = append(c.rows, barRow{label, value}) }
+
+// String renders the chart; bars are scaled to the maximum value.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, r := range c.rows {
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	for _, r := range c.rows {
+		n := int(r.value / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if r.value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.3f\n", labelW, r.label,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), r.value)
+	}
+	return b.String()
+}

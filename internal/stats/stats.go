@@ -1,0 +1,148 @@
+// Package stats provides the small numeric helpers the evaluation harness
+// uses: harmonic and geometric means, normalization, and fixed-width table
+// rendering for the paper-style result rows.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HarmonicMean returns the harmonic mean of xs (the paper's summary metric
+// for speedups). Zero or negative entries are ignored; it returns 0 for an
+// empty input.
+func HarmonicMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += 1 / x
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return float64(n) / sum
+}
+
+// GeoMean returns the geometric mean of the positive entries of xs.
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Table renders rows of labelled values as a fixed-width text table, the
+// output format of cmd/dvrbench.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v, float64 with %.3g
+// unless already strings.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, c := range r {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedKeys returns the keys of m in sorted order; a convenience for
+// deterministic iteration in reports.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("HM(1,1,1) = %f", got)
+	}
+	if got := HarmonicMean([]float64{2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("HM(2,2) = %f", got)
+	}
+	// HM of {1, 3} = 2/(1 + 1/3) = 1.5
+	if got := HarmonicMean([]float64{1, 3}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("HM(1,3) = %f", got)
+	}
+	if got := HarmonicMean(nil); got != 0 {
+		t.Errorf("HM(nil) = %f", got)
+	}
+	// Non-positive entries are ignored.
+	if got := HarmonicMean([]float64{2, 0, -1, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("HM with junk = %f", got)
+	}
+}
+
+// TestMeanInequality: HM <= GM <= AM for positive inputs.
+func TestMeanInequality(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		hm, gm, am := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		const eps = 1e-9
+		return hm <= gm*(1+eps) && gm <= am*(1+eps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GM(2,8) = %f", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GM(nil) = %f", got)
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %f", got)
+	}
+	if got := Max([]float64{1, 5, 3}); got != 5 {
+		t.Errorf("Max = %f", got)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty-input means must be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	out := tb.String()
+	for _, want := range []string{"== Demo ==", "name", "value", "alpha", "1.500", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("demo")
+	c.Add("a", 2)
+	c.Add("bb", 1)
+	c.Add("c", 0)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 40)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 20 {
+		t.Errorf("half bar = %d hashes", strings.Count(lines[2], "#"))
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Errorf("zero bar rendered hashes: %q", lines[3])
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := NewBarChart("")
+	if c.String() != "" {
+		t.Errorf("empty chart output: %q", c.String())
+	}
+}

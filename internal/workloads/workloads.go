@@ -1,0 +1,148 @@
+// Package workloads implements the paper's 13 benchmarks as micro-ISA
+// programs with their memory images: the five GAP graph kernels (bc, bfs,
+// cc, pr, sssp) and the eight HPC/database kernels (camel, graph500, hj2,
+// hj8, kangaroo, nas-cg, nas-is, randomaccess). Each kernel reproduces the
+// dynamic structure DVR keys off: striding loads, dependent indirect
+// chains, compare-plus-backward-branch loops, and (where the original has
+// them) data-dependent inner-loop trip counts and control-flow divergence.
+package workloads
+
+import (
+	"dvr/internal/graphgen"
+	"dvr/internal/interp"
+	"dvr/internal/isa"
+)
+
+// Register aliases used by the kernels.
+const (
+	R0 isa.Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+)
+
+// Workload is an instantiated benchmark: a program plus the memory image it
+// runs against. Because the main thread's stores mutate the image, build a
+// fresh Workload per simulation run.
+type Workload struct {
+	Name string
+	Prog *isa.Program
+	Mem  *interp.Memory
+	Skip uint64 // functional fast-forward before the timed region
+	ROI  uint64 // suggested timed instruction count
+	// Sym maps array names to their base addresses in the memory image,
+	// for inspection and verification.
+	Sym map[string]uint64
+}
+
+// Frontend returns the workload's instruction source, fast-forwarded past
+// the untimed warmup region. Call once per Workload instance.
+func (w *Workload) Frontend() *interp.Interp {
+	it := interp.New(w.Prog, w.Mem)
+	it.Run(w.Skip)
+	return it
+}
+
+// Spec is a buildable benchmark for the experiment harness.
+type Spec struct {
+	Name  string
+	Build func() *Workload
+	ROI   uint64
+}
+
+// arena hands out non-overlapping, page-aligned memory regions.
+type arena struct{ next uint64 }
+
+func newArena() *arena { return &arena{next: 1 << 20} }
+
+// alloc reserves n 64-bit words and returns the base address.
+func (a *arena) alloc(n int) uint64 {
+	addr := a.next
+	a.next += uint64(n) * 8
+	a.next = (a.next + 4095) &^ 4095
+	return addr
+}
+
+// storeGraph writes g's CSR arrays into memory and returns their bases.
+func storeGraph(m *interp.Memory, a *arena, g *graphgen.Graph) (offBase, edgeBase uint64) {
+	offBase = a.alloc(g.N + 1)
+	m.StoreSlice(offBase, g.Offsets)
+	edgeBase = a.alloc(len(g.Edges))
+	m.StoreSlice(edgeBase, g.Edges)
+	return offBase, edgeBase
+}
+
+// maxDegreeVertex returns the vertex with the highest out-degree: the BFS
+// and SSSP source, so traversals reach the bulk of the graph quickly.
+func maxDegreeVertex(g *graphgen.Graph) int {
+	best, bestDeg := 0, -1
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
+// fill writes n words of val starting at base.
+func fill(m *interp.Memory, base uint64, n int, val uint64) {
+	for i := 0; i < n; i++ {
+		m.Store64(base+uint64(i)*8, val)
+	}
+}
+
+// randWords fills n words with deterministic pseudo-random values, reduced
+// modulo mod when mod is nonzero.
+func randWords(m *interp.Memory, base uint64, n int, seed uint64, mod uint64) {
+	vals := make([]uint64, n)
+	s := seed
+	for i := range vals {
+		s = isa.Mix64(s + uint64(i))
+		v := s
+		if mod != 0 {
+			v %= mod
+		}
+		vals[i] = v
+	}
+	m.StoreSlice(base, vals)
+}
+
+// emitHash emits an inlined multi-instruction integer mix of r (two
+// xor-shift-multiply rounds), as a compiled hash function would appear in
+// the instruction stream. It preserves the dependence chain through r, so
+// DVR's taint tracking follows it; tmp is clobbered.
+func emitHash(b *isa.Builder, r, tmp isa.Reg) {
+	b.ShrI(tmp, r, 30)
+	b.Xor(r, r, tmp)
+	b.MulI(r, r, 0x2545f4914f6cdd1d)
+	b.ShrI(tmp, r, 27)
+	b.Xor(r, r, tmp)
+	b.MulI(r, r, 0x27220a95fe72bd39)
+}
+
+// emitWork emits n dependent single-cycle ALU instructions on a scratch
+// register: the address computation, bookkeeping and spill traffic that
+// surrounds the memory chain in the real compiled kernels. It keeps the
+// simulated per-iteration instruction counts realistic so the baseline
+// core's window covers a realistic number of loop iterations.
+func emitWork(b *isa.Builder, scratch isa.Reg, n int) {
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			b.AddI(scratch, scratch, 1)
+		} else {
+			b.OpI(isa.Xor, scratch, scratch, 0x5bd1)
+		}
+	}
+}
