@@ -15,20 +15,35 @@ import (
 
 func quickCfg() cpu.Config { return cpu.DefaultConfig() }
 
+// simMIPS reports simulated instructions per host-microsecond for the
+// benchmark body: call with the experiments.SimInstructions() sample taken
+// before the loop, after the loop completes. The counter covers every
+// simulation the benchmark triggered, so the metric is throughput of the
+// simulator itself, comparable across optimization work.
+func simMIPS(b *testing.B, startInsts uint64) {
+	insts := experiments.SimInstructions() - startInsts
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(insts)/s/1e6, "simMIPS")
+	}
+}
+
 // BenchmarkTable1Config reports the DVR hardware budget alongside the
 // simulation of a single baseline run (Table 1 sanity).
 func BenchmarkTable1Config(b *testing.B) {
 	suite := experiments.QuickSuite()
 	spec := suite.GAP[1] // bfs
+	start := experiments.SimInstructions()
 	for i := 0; i < b.N; i++ {
 		res := experiments.Run(spec, experiments.TechOoO, quickCfg())
 		b.ReportMetric(res.IPC(), "baseline-IPC")
 	}
+	simMIPS(b, start)
 }
 
 // BenchmarkTable2Inputs regenerates Table 2: the graph inputs with their
 // demand LLC MPKI over the GAP kernels.
 func BenchmarkTable2Inputs(b *testing.B) {
+	start := experiments.SimInstructions()
 	for i := 0; i < b.N; i++ {
 		rows, _ := experiments.Table2(quickCfg(), 40_000)
 		var mpki []float64
@@ -37,6 +52,7 @@ func BenchmarkTable2Inputs(b *testing.B) {
 		}
 		b.ReportMetric(stats.Mean(mpki), "mean-LLC-MPKI")
 	}
+	simMIPS(b, start)
 }
 
 // BenchmarkFig2ROBSweep regenerates Figure 2: VR's speedup across ROB
@@ -44,6 +60,7 @@ func BenchmarkTable2Inputs(b *testing.B) {
 // gain at ROB=512 (the paper's point: it decays, so this exceeds 1).
 func BenchmarkFig2ROBSweep(b *testing.B) {
 	suite := experiments.QuickSuite()
+	start := experiments.SimInstructions()
 	for i := 0; i < b.N; i++ {
 		_, vr, _ := experiments.Fig2(suite.GAP, quickCfg())
 		var at128, at512 []float64
@@ -53,6 +70,7 @@ func BenchmarkFig2ROBSweep(b *testing.B) {
 		}
 		b.ReportMetric(stats.HarmonicMean(at128)/stats.HarmonicMean(at512), "VR-gain-128/512")
 	}
+	simMIPS(b, start)
 }
 
 // BenchmarkFig7Performance regenerates Figure 7 and reports DVR's h-mean
@@ -60,6 +78,7 @@ func BenchmarkFig2ROBSweep(b *testing.B) {
 func BenchmarkFig7Performance(b *testing.B) {
 	suite := experiments.QuickSuite()
 	specs := suite.All()
+	start := experiments.SimInstructions()
 	for i := 0; i < b.N; i++ {
 		rows, _ := experiments.Fig7(specs, quickCfg())
 		var dvr, vr []float64
@@ -70,6 +89,7 @@ func BenchmarkFig7Performance(b *testing.B) {
 		b.ReportMetric(stats.HarmonicMean(dvr), "DVR-hmean-speedup")
 		b.ReportMetric(stats.HarmonicMean(vr), "VR-hmean-speedup")
 	}
+	simMIPS(b, start)
 }
 
 // BenchmarkFig8Breakdown regenerates Figure 8 and reports each cumulative
@@ -77,6 +97,7 @@ func BenchmarkFig7Performance(b *testing.B) {
 func BenchmarkFig8Breakdown(b *testing.B) {
 	suite := experiments.QuickSuite()
 	specs := suite.All()
+	start := experiments.SimInstructions()
 	for i := 0; i < b.N; i++ {
 		rows, _ := experiments.Fig8(specs, quickCfg())
 		per := map[experiments.Technique][]float64{}
@@ -90,6 +111,7 @@ func BenchmarkFig8Breakdown(b *testing.B) {
 		b.ReportMetric(stats.HarmonicMean(per[experiments.TechDVRDiscovery]), "discovery")
 		b.ReportMetric(stats.HarmonicMean(per[experiments.TechDVR]), "nested-full-dvr")
 	}
+	simMIPS(b, start)
 }
 
 // BenchmarkFig9MLP regenerates Figure 9 and reports mean MSHR occupancy
@@ -97,6 +119,7 @@ func BenchmarkFig8Breakdown(b *testing.B) {
 func BenchmarkFig9MLP(b *testing.B) {
 	suite := experiments.QuickSuite()
 	specs := suite.All()
+	start := experiments.SimInstructions()
 	for i := 0; i < b.N; i++ {
 		rows, _ := experiments.Fig9(specs, quickCfg())
 		var ooo, dvr []float64
@@ -107,6 +130,7 @@ func BenchmarkFig9MLP(b *testing.B) {
 		b.ReportMetric(stats.Mean(ooo), "OoO-MLP")
 		b.ReportMetric(stats.Mean(dvr), "DVR-MLP")
 	}
+	simMIPS(b, start)
 }
 
 // BenchmarkFig10Accuracy regenerates Figure 10 and reports mean normalized
@@ -115,6 +139,7 @@ func BenchmarkFig9MLP(b *testing.B) {
 func BenchmarkFig10Accuracy(b *testing.B) {
 	suite := experiments.QuickSuite()
 	specs := suite.All()
+	start := experiments.SimInstructions()
 	for i := 0; i < b.N; i++ {
 		rows, _ := experiments.Fig10(specs, quickCfg())
 		var vr, dvr []float64
@@ -125,6 +150,7 @@ func BenchmarkFig10Accuracy(b *testing.B) {
 		b.ReportMetric(stats.Mean(vr), "VR-DRAM-vs-OoO")
 		b.ReportMetric(stats.Mean(dvr), "DVR-DRAM-vs-OoO")
 	}
+	simMIPS(b, start)
 }
 
 // BenchmarkFig11Timeliness regenerates Figure 11 and reports the fraction
@@ -132,6 +158,7 @@ func BenchmarkFig10Accuracy(b *testing.B) {
 func BenchmarkFig11Timeliness(b *testing.B) {
 	suite := experiments.QuickSuite()
 	specs := suite.All()
+	start := experiments.SimInstructions()
 	for i := 0; i < b.N; i++ {
 		rows, _ := experiments.Fig11(specs, quickCfg())
 		var l1, off []float64
@@ -142,6 +169,7 @@ func BenchmarkFig11Timeliness(b *testing.B) {
 		b.ReportMetric(stats.Mean(l1), "found-in-L1")
 		b.ReportMetric(stats.Mean(off), "off-chip")
 	}
+	simMIPS(b, start)
 }
 
 // BenchmarkFig12ROBSweep regenerates Figure 12 and reports DVR's h-mean
@@ -149,6 +177,7 @@ func BenchmarkFig11Timeliness(b *testing.B) {
 // grows with ROB size, unlike VR's).
 func BenchmarkFig12ROBSweep(b *testing.B) {
 	suite := experiments.QuickSuite()
+	start := experiments.SimInstructions()
 	for i := 0; i < b.N; i++ {
 		rows, _ := experiments.Fig12(suite.GAP, quickCfg())
 		var at128, at512 []float64
@@ -159,4 +188,5 @@ func BenchmarkFig12ROBSweep(b *testing.B) {
 		b.ReportMetric(stats.HarmonicMean(at128), "DVR-hmean-128")
 		b.ReportMetric(stats.HarmonicMean(at512), "DVR-hmean-512")
 	}
+	simMIPS(b, start)
 }

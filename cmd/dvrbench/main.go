@@ -2,10 +2,16 @@
 //
 // Usage:
 //
-//	dvrbench table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|fig12|ablation|all [-quick]
+//	dvrbench table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|fig12|ablation|perf|all [-quick]
 //
 // With -quick, a scaled-down suite runs in seconds; without it, the full
 // Table 2 inputs and the paper's ROIs are used (minutes).
+//
+// The perf subcommand measures the simulator itself — simulated MIPS and
+// host allocations per simulated instruction for every benchmark×technique
+// cell — and writes the rows to BENCH_perf.json, the input of the
+// perf-regression guard. -cpuprofile/-memprofile write pprof profiles of
+// whatever experiment ran.
 package main
 
 import (
@@ -13,17 +19,49 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
 	"dvr/internal/graphgen"
+	"dvr/internal/stats"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run the scaled-down suite")
 	jsonOut := flag.Bool("json", false, "emit raw result rows as JSON instead of tables")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvrbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dvrbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvrbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dvrbench:", err)
+			}
+		}()
+	}
 	var args []string
 	for _, a := range flag.Args() {
 		// Accept -quick in any position.
@@ -92,6 +130,14 @@ func main() {
 			specs := append(s.GAP, suite().HPCDB...)
 			rows, render := experiments.Fig12(specs, cfg)
 			emit(rows, render)
+		case "perf":
+			rows, render := perfRows(suite(), cfg)
+			emit(rows, render)
+			if err := writePerfJSON("BENCH_perf.json", rows); err != nil {
+				fmt.Fprintln(os.Stderr, "dvrbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote BENCH_perf.json")
 		case "ablation":
 			specs := suite().All()
 			if *quick {
@@ -133,4 +179,64 @@ func gapSuite(quick bool) experiments.Suite {
 		return experiments.QuickSuite()
 	}
 	return experiments.GAPOnly(graphgen.Table2Inputs()[0])
+}
+
+// perfRow is one benchmark×technique measurement of the simulator itself.
+type perfRow struct {
+	Bench         string  `json:"bench"`
+	Technique     string  `json:"technique"`
+	Instructions  uint64  `json:"instructions"`
+	HostMS        float64 `json:"host_ms"`
+	SimMIPS       float64 `json:"sim_mips"`
+	AllocsPerInst float64 `json:"allocs_per_inst"`
+}
+
+// perfRows runs every benchmark under every Figure 7 technique, one cell
+// at a time (no concurrency, so host timings are clean), and reports
+// simulator throughput and allocation rate per cell.
+func perfRows(s experiments.Suite, cfg cpu.Config) ([]perfRow, func() string) {
+	specs := s.All()
+	// Warm the memoized workload images so the first measured cell does
+	// not pay graph construction.
+	for _, sp := range specs {
+		sp.Build()
+	}
+	techs := append([]experiments.Technique{experiments.TechOoO}, experiments.AllTechniques...)
+	var rows []perfRow
+	for _, sp := range specs {
+		for _, tech := range techs {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			res := experiments.Run(sp, tech, cfg)
+			runtime.ReadMemStats(&m1)
+			rows = append(rows, perfRow{
+				Bench:         sp.Name,
+				Technique:     string(tech),
+				Instructions:  res.Instructions,
+				HostMS:        float64(res.HostNS) / 1e6,
+				SimMIPS:       res.SimMIPS(),
+				AllocsPerInst: float64(m1.Mallocs-m0.Mallocs) / float64(res.Instructions),
+			})
+		}
+	}
+	render := func() string {
+		t := stats.NewTable("Simulator throughput (per benchmark × technique)",
+			"bench", "tech", "insts", "host-ms", "simMIPS", "allocs/inst")
+		for _, r := range rows {
+			t.AddRow(r.Bench, r.Technique, fmt.Sprintf("%d", r.Instructions),
+				r.HostMS, r.SimMIPS, fmt.Sprintf("%.4f", r.AllocsPerInst))
+		}
+		return t.String()
+	}
+	return rows, render
+}
+
+// writePerfJSON writes the perf rows as indented JSON, the machine-readable
+// artifact the perf-regression guard compares against.
+func writePerfJSON(path string, rows []perfRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dvr/internal/cpu"
@@ -33,8 +35,37 @@ func main() {
 		bwCycles  = flag.Uint64("bw", 5, "DRAM cycles per 64 B line (5 = 51.2 GB/s at 4 GHz)")
 		lanes     = flag.Int("lanes", 128, "DVR vectorization degree (dvr only; max 256)")
 		list      = flag.Bool("list", false, "list benchmarks and techniques")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvrsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dvrsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvrsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dvrsim:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("benchmarks: bc bfs cc pr sssp (with -input KR|LJN|ORK|TW|UR)")
@@ -68,6 +99,7 @@ func main() {
 	fmt.Printf("instructions %d\n", res.Instructions)
 	fmt.Printf("cycles       %d\n", res.Cycles)
 	fmt.Printf("IPC          %.4f\n", res.IPC())
+	fmt.Printf("host time    %.1f ms (%.2f simMIPS)\n", float64(res.HostNS)/1e6, res.SimMIPS())
 	fmt.Printf("MLP          %.2f MSHRs/cycle\n", res.MLP())
 	fmt.Printf("ROB stall    %.1f%%\n", 100*res.ROBStallFrac())
 	fmt.Printf("commit hold  %d cycles (delayed termination)\n", res.CommitHoldCycles)

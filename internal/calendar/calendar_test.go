@@ -1,0 +1,72 @@
+package calendar
+
+import "testing"
+
+// mapCalendar is the reference implementation the ring replaced: a plain
+// map from epoch to reservation count.
+type mapCalendar struct {
+	used   map[uint64]uint16
+	booked uint64
+}
+
+func (m *mapCalendar) reserve(epoch uint64, capacity uint16) uint64 {
+	for {
+		if m.used[epoch] < capacity {
+			m.used[epoch]++
+			m.booked++
+			return epoch
+		}
+		epoch++
+	}
+}
+
+// lcg is a tiny deterministic generator so the test needs no imports.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r) >> 11
+}
+
+func TestMatchesMapSemantics(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity uint16
+		span     uint64 // epoch spread of the request stream
+	}{
+		{"dense", 8, 64},
+		{"in-window", 4, window / 2},
+		{"straggler", 2, 4 * window}, // exercises the overflow map
+		{"capacity-1", 1, window},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ring := New()
+			ref := &mapCalendar{used: make(map[uint64]uint16)}
+			r := lcg(42)
+			base := uint64(0)
+			for i := 0; i < 20000; i++ {
+				// A slowly advancing base with jitter both forward and
+				// backward models the out-of-order timestamps the
+				// schedulers see.
+				base += r.next() % 3
+				e := base + r.next()%tc.span
+				got := ring.Reserve(e, tc.capacity)
+				want := ref.reserve(e, tc.capacity)
+				if got != want {
+					t.Fatalf("request %d at epoch %d: ring=%d map=%d", i, e, got, want)
+				}
+			}
+			if ring.Booked() != ref.booked {
+				t.Fatalf("booked: ring=%d map=%d", ring.Booked(), ref.booked)
+			}
+		})
+	}
+}
+
+func BenchmarkReserve(b *testing.B) {
+	c := New()
+	for i := 0; i < b.N; i++ {
+		c.Reserve(uint64(i)/4, 8)
+	}
+}

@@ -9,6 +9,7 @@ package cpu
 
 import (
 	"dvr/internal/bpred"
+	"dvr/internal/calendar"
 	"dvr/internal/mem"
 )
 
@@ -119,45 +120,34 @@ func (w *widthLimiter) next(at uint64) uint64 {
 // A calendar (rather than a next-free cursor) is required because the
 // simulator processes instructions in program order while their issue
 // timestamps are out of order: an operation issued far in the future must
-// not block one issued earlier in time but processed later.
+// not block one issued earlier in time but processed later. The calendar
+// is a ring buffer (internal/calendar) rather than a map: every simulated
+// instruction books a functional-unit slot.
 type fuPool struct {
-	units     int
+	units     uint16
 	latency   uint64
 	pipelined bool
-	used      map[uint64]uint8
+	cal       *calendar.Calendar
 }
 
 func newFUPool(n int, latency uint64, pipelined bool) *fuPool {
 	if latency == 0 {
 		latency = 1
 	}
-	return &fuPool{units: n, latency: latency, pipelined: pipelined, used: make(map[uint64]uint8)}
+	return &fuPool{units: uint16(n), latency: latency, pipelined: pipelined, cal: calendar.New()}
 }
 
 // issue schedules an operation no earlier than `at` and returns the actual
 // issue cycle.
 func (f *fuPool) issue(at uint64) uint64 {
 	if f.pipelined {
-		for {
-			if int(f.used[at]) < f.units {
-				f.used[at]++
-				return at
-			}
-			at++
-		}
+		return f.cal.Reserve(at, f.units)
 	}
 	// Unpipelined: one operation per unit per latency window.
-	e := at / f.latency
-	for {
-		if int(f.used[e]) < f.units {
-			f.used[e]++
-			start := e * f.latency
-			if at > start {
-				start = at
-			}
-			return start
-		}
-		e++
-		at = e * f.latency
+	e := f.cal.Reserve(at/f.latency, f.units)
+	start := e * f.latency
+	if at > start {
+		start = at
 	}
+	return start
 }

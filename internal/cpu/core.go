@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"time"
+
 	"dvr/internal/bpred"
 	"dvr/internal/interp"
 	"dvr/internal/isa"
@@ -53,6 +55,11 @@ type Result struct {
 	Instructions uint64
 	Cycles       uint64
 
+	// HostNS is the host wall-clock time the simulation took, for the
+	// simulated-MIPS throughput metric. It is the only nondeterministic
+	// field of a Result; comparisons between runs should zero it first.
+	HostNS int64 `json:",omitempty"`
+
 	Loads    uint64
 	Stores   uint64
 	Branches uint64
@@ -73,6 +80,15 @@ func (r Result) IPC() float64 {
 		return 0
 	}
 	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// SimMIPS returns the simulation throughput in millions of simulated
+// instructions per host second (0 when no wall time was recorded).
+func (r Result) SimMIPS() float64 {
+	if r.HostNS <= 0 {
+		return 0
+	}
+	return float64(r.Instructions) * 1e3 / float64(r.HostNS)
 }
 
 // MLP returns the average number of MSHRs in use per cycle (Figure 9).
@@ -151,8 +167,10 @@ func (c *Core) Trace(n uint64, fn func(seq uint64, pc int, disp, ready, issue, d
 // Run simulates up to maxInsts dynamic instructions (or until the program
 // halts) and returns the collected statistics.
 func (c *Core) Run(maxInsts uint64) Result {
+	hostStart := time.Now()
 	var (
 		res         Result
+		srcBuf      [4]isa.Reg // stack buffer for SrcRegs (keeps the loop allocation-free)
 		regReady    [16]uint64 // completion cycle of last writer
 		commitRing  = make([]uint64, c.cfg.ROBSize)
 		iq          = newIssueQueue(c.cfg.IQSize)
@@ -224,7 +242,7 @@ func (c *Core) Run(maxInsts uint64) Result {
 
 		// ---- Issue ----
 		ready := disp + 1
-		for _, r := range in.SrcRegs(nil) {
+		for _, r := range in.SrcRegs(srcBuf[:0]) {
 			if regReady[r] > ready {
 				ready = regReady[r]
 			}
@@ -308,6 +326,7 @@ func (c *Core) Run(maxInsts uint64) Result {
 	}
 
 	res.Cycles = lastCommit
+	res.HostNS = time.Since(hostStart).Nanoseconds()
 	c.hier.FinishStats(lastCommit)
 	res.Mem = c.hier.Stats
 	res.BranchLookups = c.bp.Lookups

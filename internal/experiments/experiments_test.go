@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"dvr/internal/cpu"
 	"dvr/internal/graphgen"
+	"dvr/internal/stats"
 	"dvr/internal/workloads"
 )
 
@@ -60,8 +62,14 @@ func TestSpeedup(t *testing.T) {
 	if got := Speedup(a, b); got != 2 {
 		t.Errorf("speedup = %f", got)
 	}
-	if got := Speedup(cpu.Result{}, b); got != 0 {
-		t.Errorf("zero-baseline speedup = %f", got)
+	// A zero-IPC baseline marks a degenerate run: the sentinel is NaN (not
+	// a silent 0) and it must propagate through the h-mean summary rather
+	// than skew it.
+	if got := Speedup(cpu.Result{}, b); !math.IsNaN(got) {
+		t.Errorf("zero-baseline speedup = %f, want NaN", got)
+	}
+	if got := stats.HarmonicMean([]float64{2, Speedup(cpu.Result{}, b), 2}); !math.IsNaN(got) {
+		t.Errorf("h-mean with degenerate entry = %f, want NaN", got)
 	}
 }
 

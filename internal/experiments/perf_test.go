@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"dvr/internal/cpu"
+)
+
+// TestHotPathAllocations is the allocation-regression guard for the
+// simulator's hot path: a run must cost (nearly) zero heap allocations per
+// simulated instruction. The OoO baseline budget covers only one-time core
+// construction (caches, calendars, predictor); the DVR budget additionally
+// allows the per-episode vector state (laneVec arrays, discovery tables),
+// which is amortized over the thousands of instructions each episode
+// covers. A failure here means something on the per-instruction path
+// started allocating — see DESIGN.md §Simulator performance.
+func TestHotPathAllocations(t *testing.T) {
+	sp := quickSpec()
+	sp.ROI = 50_000
+	base := sp.Build()
+	cfg := cpu.DefaultConfig()
+
+	for _, tc := range []struct {
+		tech       Technique
+		maxPerInst float64
+	}{
+		{TechOoO, 0.02},
+		{TechDVR, 0.20},
+	} {
+		var insts uint64
+		allocs := testing.AllocsPerRun(3, func() {
+			res := runWorkload(base.Fork(), sp, tc.tech, cfg)
+			insts = res.Instructions
+		})
+		if insts == 0 {
+			t.Fatalf("%s: no instructions simulated", tc.tech)
+		}
+		perInst := allocs / float64(insts)
+		t.Logf("%s: %.0f allocs / %d insts = %.4f allocs/inst", tc.tech, allocs, insts, perInst)
+		if perInst > tc.maxPerInst {
+			t.Errorf("%s: %.4f allocs per simulated instruction, budget %.2f",
+				tc.tech, perInst, tc.maxPerInst)
+		}
+	}
+}
+
+// TestRunAllDeterministicAcrossParallelism checks that the parallel runner
+// is a pure scheduler: the same cells produce bit-identical results whether
+// simulations run one at a time or concurrently. This is what makes shared
+// copy-on-write workload bases safe (no run can observe another's stores)
+// and keeps figures reproducible across machines. HostNS is the one
+// intentionally nondeterministic field, so it is zeroed before comparing.
+func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
+	sp := quickSpec()
+	cfg := cpu.DefaultConfig()
+	cells := []Cell{
+		{Spec: sp, Tech: TechOoO, Cfg: cfg},
+		{Spec: sp, Tech: TechVR, Cfg: cfg},
+		{Spec: sp, Tech: TechDVR, Cfg: cfg},
+		{Spec: sp, Tech: TechOracle, Cfg: cfg},
+		{Spec: sp, Tech: TechDVR, Cfg: cfg.WithROB(128)},
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	seq := RunAll(cells)
+	procs := prev
+	if procs < 4 {
+		procs = 4
+	}
+	runtime.GOMAXPROCS(procs)
+	par := RunAll(cells)
+	runtime.GOMAXPROCS(prev)
+
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		a.HostNS, b.HostNS = 0, 0
+		if a != b {
+			t.Errorf("cell %d (%s/%s): results differ between GOMAXPROCS=1 and %d:\nseq: %+v\npar: %+v",
+				i, cells[i].Spec.Name, cells[i].Tech, procs, a, b)
+		}
+	}
+}

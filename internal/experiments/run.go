@@ -5,6 +5,8 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"dvr/internal/cpu"
 	"dvr/internal/prefetch"
@@ -34,9 +36,24 @@ var AllTechniques = []Technique{TechPRE, TechIMP, TechVR, TechDVR, TechOracle}
 // ahead of the main thread.
 const OracleLookahead = 512
 
+// simInsts counts simulated (timed) instructions across every run, so the
+// benchmark harness can report throughput in simulated MIPS.
+var simInsts atomic.Uint64
+
+// SimInstructions returns the total number of timed instructions simulated
+// through this package since process start. Sample it before and after a
+// workload to compute simulated MIPS.
+func SimInstructions() uint64 { return simInsts.Load() }
+
 // Run simulates one benchmark under one technique and returns the result.
 func Run(spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
-	w := spec.Build()
+	return runWorkload(spec.Build(), spec, tech, cfg)
+}
+
+// runWorkload simulates an already-built workload instance. The instance
+// is mutated (the main thread commits stores into its image); callers that
+// share a built base across runs must pass a Fork.
+func runWorkload(w *workloads.Workload, spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
 	fe := w.Frontend()
 	core := cpu.NewCore(cfg, fe)
 	h := core.Hierarchy()
@@ -67,13 +84,17 @@ func Run(spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
 	res := core.Run(roi)
 	res.Name = spec.Name
 	res.Technique = string(tech)
+	simInsts.Add(res.Instructions)
 	return res
 }
 
 // Speedup returns b's performance normalized to baseline a (IPC ratio).
+// A zero-IPC baseline marks a degenerate run; the ratio is NaN so it
+// surfaces as an obvious sentinel in tables instead of silently skewing
+// harmonic means (stats.HarmonicMean propagates it).
 func Speedup(baseline, b cpu.Result) float64 {
 	if baseline.IPC() == 0 {
-		return 0
+		return math.NaN()
 	}
 	return b.IPC() / baseline.IPC()
 }

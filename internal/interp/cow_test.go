@@ -1,0 +1,121 @@
+package interp
+
+import (
+	"testing"
+
+	"dvr/internal/isa"
+)
+
+func TestForkReadsThroughAndCopiesOnWrite(t *testing.T) {
+	base := NewMemory()
+	base.Store64(0x1000, 7)
+	base.Store64(0x200000, 9)
+
+	f := base.Fork()
+	if got := f.Load64(0x1000); got != 7 {
+		t.Fatalf("fork read-through = %d, want 7", got)
+	}
+	f.Store64(0x1000, 42)
+	if got := f.Load64(0x1000); got != 42 {
+		t.Errorf("fork sees own store = %d, want 42", got)
+	}
+	if got := base.Load64(0x1000); got != 7 {
+		t.Errorf("fork store leaked into base: %d, want 7", got)
+	}
+	// A write to an unrelated page must not copy the page at 0x200000.
+	if got := f.Load64(0x200000); got != 9 {
+		t.Errorf("untouched page through fork = %d, want 9", got)
+	}
+	// Writes to the same page as an inherited word keep the other words.
+	f.Store64(0x1008, 1)
+	if got := f.Load64(0x1000); got != 42 {
+		t.Errorf("copied page lost fork's own word: %d", got)
+	}
+}
+
+func TestForkSeesLaterBaseStoresUntilCopied(t *testing.T) {
+	base := NewMemory()
+	base.Store64(0x3000, 1)
+	f := base.Fork()
+	if got := f.Load64(0x3000); got != 1 {
+		t.Fatalf("initial read-through = %d", got)
+	}
+	// Until the fork writes the page, the base image stays live through it
+	// (the runahead subthread reads the image the main thread commits into).
+	base.Store64(0x3000, 2)
+	if got := f.Load64(0x3000); got != 2 {
+		t.Errorf("fork should see live base store: got %d, want 2", got)
+	}
+	f.Store64(0x3008, 5)
+	base.Store64(0x3000, 3)
+	if got := f.Load64(0x3000); got != 2 {
+		t.Errorf("after copy-on-write the fork must be isolated: got %d, want 2", got)
+	}
+}
+
+func TestForkOfFork(t *testing.T) {
+	base := NewMemory()
+	base.Store64(0x5000, 11)
+	f1 := base.Fork()
+	f1.Store64(0x5008, 12)
+	f2 := f1.Fork()
+	if got := f2.Load64(0x5000); got != 11 {
+		t.Errorf("grandchild read of base word = %d, want 11", got)
+	}
+	if got := f2.Load64(0x5008); got != 12 {
+		t.Errorf("grandchild read of parent word = %d, want 12", got)
+	}
+	f2.Store64(0x5000, 13)
+	if base.Load64(0x5000) != 11 || f1.Load64(0x5000) != 11 {
+		t.Error("grandchild store leaked upward")
+	}
+}
+
+func TestTLBInvalidationOnPageCreation(t *testing.T) {
+	m := NewMemory()
+	// A load miss on an absent page must not cache the miss: creating the
+	// page afterwards has to become visible.
+	if got := m.Load64(0x7000); got != 0 {
+		t.Fatalf("absent page = %d", got)
+	}
+	m.Store64(0x7000, 1)
+	if got := m.Load64(0x7000); got != 1 {
+		t.Errorf("page created after a miss is invisible: %d", got)
+	}
+}
+
+func TestTLBConflictingPages(t *testing.T) {
+	m := NewMemory()
+	// Two pages that collide in the direct-mapped TLB (same index bits).
+	a := uint64(0x0000_0000)
+	b := a + uint64(tlbSize)<<pageShift
+	m.Store64(a, 1)
+	m.Store64(b, 2)
+	for i := 0; i < 4; i++ {
+		if m.Load64(a) != 1 || m.Load64(b) != 2 {
+			t.Fatalf("TLB conflict corruption at round %d", i)
+		}
+	}
+}
+
+// TestCloneSeesOwnStores checks the architectural fidelity gained by the
+// copy-on-write clone: a speculative store feeds the clone's own later
+// loads (a dependent chain through memory) without touching the parent.
+func TestCloneSeesOwnStores(t *testing.T) {
+	b := isa.NewBuilder("t")
+	b.Li(1, 1<<20)
+	b.Li(2, 77)
+	b.Store(1, 0, 2) // mem[1<<20] = 77
+	b.Load(3, 1, 0)  // r3 = mem[1<<20]
+	b.Halt()
+	it := New(b.MustBuild(), NewMemory())
+	it.Mem.Store64(1<<20, 5)
+	cl := it.Clone()
+	cl.Run(0)
+	if got := cl.St.Regs[3]; got != 77 {
+		t.Errorf("clone load after own store = %d, want 77", got)
+	}
+	if got := it.Mem.Load64(1 << 20); got != 5 {
+		t.Errorf("clone store visible to parent: %d, want 5", got)
+	}
+}

@@ -34,8 +34,9 @@ type Interp struct {
 	St   State
 	Seq  uint64
 	// SuppressStores, when set, makes stores compute their address but not
-	// modify memory. Runahead execution is transient and must not corrupt
-	// the architectural memory image.
+	// modify memory. Clones no longer need it (they write a copy-on-write
+	// fork of the image instead), but it remains available for engines that
+	// want stores discarded entirely.
 	SuppressStores bool
 }
 
@@ -44,12 +45,15 @@ func New(p *isa.Program, m *Memory) *Interp {
 	return &Interp{Prog: p, Mem: m}
 }
 
-// Clone returns a copy of the interpreter sharing the same program and
-// memory but with an independent register state. The clone suppresses
-// stores: it exists to pre-execute the future stream speculatively.
+// Clone returns a copy of the interpreter sharing the same program but
+// with an independent register state and a copy-on-write fork of the
+// memory image. The clone exists to pre-execute the future stream
+// speculatively: its stores land in private page copies (visible to its
+// own later loads, as they would be architecturally) and never reach the
+// parent's memory.
 func (it *Interp) Clone() *Interp {
 	c := *it
-	c.SuppressStores = true
+	c.Mem = it.Mem.Fork()
 	return &c
 }
 

@@ -84,11 +84,18 @@ type cacheLine struct {
 	prefetch bool   // line was installed by a prefetch and not yet demanded
 }
 
-// cache is one set-associative LRU cache level.
+// cache is one set-associative LRU cache level. Tags live in a flat
+// parallel array so the hot probe loop touches 8 bytes per way instead of
+// a full cacheLine struct; the tag array stores line+1 with 0 meaning an
+// empty way (line addresses are <2^58, so +1 cannot wrap). Only install
+// and invalidate change residency, and both keep tags and meta in sync;
+// callers may mutate the dirty/prefetch bits of a returned way freely.
 type cache struct {
 	cfg      CacheConfig
-	sets     [][]cacheLine
+	assoc    uint64
 	setMask  uint64
+	tags     []uint64    // tags[set*assoc+way] = line+1, 0 if empty
+	meta     []cacheLine // parallel per-way state
 	useClock uint64
 }
 
@@ -102,25 +109,35 @@ func newCache(cfg CacheConfig) *cache {
 	for nSets&(nSets-1) != 0 {
 		nSets &^= nSets & -nSets
 	}
-	sets := make([][]cacheLine, nSets)
-	backing := make([]cacheLine, nSets*cfg.Assoc)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	n := nSets * cfg.Assoc
+	return &cache{
+		cfg:     cfg,
+		assoc:   uint64(cfg.Assoc),
+		setMask: uint64(nSets - 1),
+		tags:    make([]uint64, n),
+		meta:    make([]cacheLine, n),
 	}
-	return &cache{cfg: cfg, sets: sets, setMask: uint64(nSets - 1)}
 }
 
-func (c *cache) set(line uint64) []cacheLine { return c.sets[line&c.setMask] }
+// way returns the resident way holding line, or nil, without touching LRU
+// state.
+func (c *cache) way(line uint64) *cacheLine {
+	base := (line & c.setMask) * c.assoc
+	t := line + 1
+	for w := base; w < base+c.assoc; w++ {
+		if c.tags[w] == t {
+			return &c.meta[w]
+		}
+	}
+	return nil
+}
 
 // lookup probes for line; on hit it refreshes LRU state and returns the way.
 func (c *cache) lookup(line uint64) *cacheLine {
 	c.useClock++
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
-			set[i].lastUse = c.useClock
-			return &set[i]
-		}
+	if m := c.way(line); m != nil {
+		m.lastUse = c.useClock
+		return m
 	}
 	return nil
 }
@@ -130,19 +147,20 @@ func (c *cache) lookup(line uint64) *cacheLine {
 // can account dirty writebacks and wasted prefetches.
 func (c *cache) install(line uint64, src Source) cacheLine {
 	c.useClock++
-	set := c.set(line)
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
+	base := (line & c.setMask) * c.assoc
+	victim := base
+	for w := base; w < base+c.assoc; w++ {
+		if c.tags[w] == 0 {
+			victim = w
 			break
 		}
-		if set[i].lastUse < set[victim].lastUse {
-			victim = i
+		if c.meta[w].lastUse < c.meta[victim].lastUse {
+			victim = w
 		}
 	}
-	old := set[victim]
-	set[victim] = cacheLine{
+	old := c.meta[victim]
+	c.tags[victim] = line + 1
+	c.meta[victim] = cacheLine{
 		tag:      line,
 		valid:    true,
 		lastUse:  c.useClock,
@@ -154,10 +172,12 @@ func (c *cache) install(line uint64, src Source) cacheLine {
 
 // invalidate drops line if present and returns whether it was present.
 func (c *cache) invalidate(line uint64) bool {
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
-			set[i].valid = false
+	base := (line & c.setMask) * c.assoc
+	t := line + 1
+	for w := base; w < base+c.assoc; w++ {
+		if c.tags[w] == t {
+			c.tags[w] = 0
+			c.meta[w].valid = false
 			return true
 		}
 	}
@@ -166,11 +186,5 @@ func (c *cache) invalidate(line uint64) bool {
 
 // contains reports whether line is resident without perturbing LRU.
 func (c *cache) contains(line uint64) bool {
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
-			return true
-		}
-	}
-	return false
+	return c.way(line) != nil
 }

@@ -1,16 +1,20 @@
 package mem
 
+import "dvr/internal/calendar"
+
 // dramSched models DRAM bandwidth with a request-based contention model:
 // time is divided into fixed epochs and each epoch can transfer a bounded
 // number of cache lines (epochCycles / cyclesPerLine). Unlike a single
 // next-free cursor, the calendar accepts requests in any timestamp order —
 // the simulator processes instructions in program order, so a dependent
 // load far in the future must not steal bandwidth from an independent load
-// issued earlier in time but processed later.
+// issued earlier in time but processed later. The calendar is a ring
+// buffer (internal/calendar) rather than a map: bandwidth scheduling is on
+// the per-instruction hot path.
 type dramSched struct {
 	epochCycles   uint64
 	linesPerEpoch uint16
-	used          map[uint64]uint16
+	cal           *calendar.Calendar
 }
 
 // newDRAMSched sizes epochs at 8 line-transfer slots each.
@@ -21,33 +25,20 @@ func newDRAMSched(cyclesPerLine uint64) *dramSched {
 	return &dramSched{
 		epochCycles:   8 * cyclesPerLine,
 		linesPerEpoch: 8,
-		used:          make(map[uint64]uint16),
+		cal:           calendar.New(),
 	}
 }
 
 // schedule claims a line-transfer slot at or after cycle t and returns the
 // service start cycle.
 func (d *dramSched) schedule(t uint64) uint64 {
-	e := t / d.epochCycles
-	for {
-		if d.used[e] < d.linesPerEpoch {
-			d.used[e]++
-			start := e * d.epochCycles
-			if t > start {
-				start = t
-			}
-			return start
-		}
-		e++
-		t = e * d.epochCycles
+	e := d.cal.Reserve(t/d.epochCycles, d.linesPerEpoch)
+	start := e * d.epochCycles
+	if t > start {
+		start = t
 	}
+	return start
 }
 
 // scheduled returns the total number of line transfers booked so far.
-func (d *dramSched) scheduled() uint64 {
-	var n uint64
-	for _, c := range d.used {
-		n += uint64(c)
-	}
-	return n
-}
+func (d *dramSched) scheduled() uint64 { return d.cal.Booked() }

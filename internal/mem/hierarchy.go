@@ -214,7 +214,7 @@ func (h *Hierarchy) access(addr uint64, now uint64, write bool, src Source) Resu
 					h.clearPrefTag(h.l2, line)
 					h.clearPrefTag(h.l3, line)
 					e.src = SrcDemand
-					h.mshr.pending[line] = e
+					h.mshr.set(line, e)
 				}
 			}
 			if write {
@@ -332,24 +332,20 @@ func (h *Hierarchy) evict(victim cacheLine, fromL3 bool) {
 // markDirty sets the dirty bit on every resident copy of line, so the
 // eventual L3 eviction accounts a writeback.
 func (h *Hierarchy) markDirty(line uint64) {
-	for _, c := range []*cache{h.l1d, h.l2, h.l3} {
-		set := c.set(line)
-		for i := range set {
-			if set[i].valid && set[i].tag == line {
-				set[i].dirty = true
-				break
-			}
-		}
+	if m := h.l1d.way(line); m != nil {
+		m.dirty = true
+	}
+	if m := h.l2.way(line); m != nil {
+		m.dirty = true
+	}
+	if m := h.l3.way(line); m != nil {
+		m.dirty = true
 	}
 }
 
 func (h *Hierarchy) clearPrefTag(c *cache, line uint64) {
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
-			set[i].prefetch = false
-			return
-		}
+	if m := c.way(line); m != nil {
+		m.prefetch = false
 	}
 }
 

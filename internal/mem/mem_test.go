@@ -198,12 +198,13 @@ func TestDRAMCalendarRespectsRate(t *testing.T) {
 		for _, tm := range times {
 			d.schedule(uint64(tm))
 		}
-		for _, c := range d.used {
-			if c > d.linesPerEpoch {
-				return false
+		over := false
+		d.cal.Each(func(epoch uint64, count uint16) {
+			if count > d.linesPerEpoch {
+				over = true
 			}
-		}
-		return d.scheduled() == uint64(len(times))
+		})
+		return !over && d.scheduled() == uint64(len(times))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,19 +1,31 @@
 package mem
 
-import "sort"
+import "slices"
 
 // mshrFile models the L1-D miss status holding registers: a bounded set of
 // outstanding line misses. Misses to a line already outstanding merge into
 // the existing entry (no new MSHR). When all MSHRs are busy, a new miss
 // must wait until the earliest outstanding fill returns; prefetch sources
 // may instead be dropped by the caller.
+//
+// The file is a flat slice scanned linearly: at realistic capacities
+// (tens of entries) that beats a map on the per-access hot path and, with
+// the reusable scratch slice in freeAt, the whole structure allocates
+// nothing per call after construction.
 type mshrFile struct {
 	cap     int
-	pending map[uint64]mshrEntry // line -> entry
+	entries []mshrSlot
 
 	// occupancy integration for MLP statistics: sum over entries of their
 	// in-flight duration, accumulated at retirement.
 	busyCycles uint64
+
+	scratch []uint64 // reused by freeAt
+}
+
+type mshrSlot struct {
+	line uint64
+	e    mshrEntry
 }
 
 type mshrEntry struct {
@@ -23,23 +35,49 @@ type mshrEntry struct {
 }
 
 func newMSHRFile(capacity int) *mshrFile {
-	return &mshrFile{cap: capacity, pending: make(map[uint64]mshrEntry)}
+	// The Oracle source may overshoot the capacity (it is explicitly not
+	// MSHR-constrained), so the backing array is a starting size, not a
+	// bound.
+	return &mshrFile{
+		cap:     capacity,
+		entries: make([]mshrSlot, 0, capacity+8),
+		scratch: make([]uint64, 0, capacity+8),
+	}
 }
 
 // retire drops entries whose fills have arrived by cycle now.
 func (m *mshrFile) retire(now uint64) {
-	for line, e := range m.pending {
-		if e.done <= now {
+	for i := 0; i < len(m.entries); {
+		if e := m.entries[i].e; e.done <= now {
 			m.busyCycles += e.done - e.start
-			delete(m.pending, line)
+			last := len(m.entries) - 1
+			m.entries[i] = m.entries[last]
+			m.entries = m.entries[:last]
+		} else {
+			i++
 		}
 	}
 }
 
 // lookup returns the outstanding entry for line, if any.
 func (m *mshrFile) lookup(line uint64) (mshrEntry, bool) {
-	e, ok := m.pending[line]
-	return e, ok
+	for i := range m.entries {
+		if m.entries[i].line == line {
+			return m.entries[i].e, true
+		}
+	}
+	return mshrEntry{}, false
+}
+
+// set overwrites (or records) the outstanding entry for line.
+func (m *mshrFile) set(line uint64, e mshrEntry) {
+	for i := range m.entries {
+		if m.entries[i].line == line {
+			m.entries[i].e = e
+			return
+		}
+	}
+	m.entries = append(m.entries, mshrSlot{line: line, e: e})
 }
 
 // full reports whether fewer than `reserve`+1 MSHRs are free at cycle now.
@@ -47,22 +85,23 @@ func (m *mshrFile) lookup(line uint64) (mshrEntry, bool) {
 // demand misses.
 func (m *mshrFile) full(now uint64, reserve int) bool {
 	m.retire(now)
-	return len(m.pending) >= m.cap-reserve
+	return len(m.entries) >= m.cap-reserve
 }
 
 // freeAt returns the first cycle >= now at which occupancy drops below
 // cap-reserve.
 func (m *mshrFile) freeAt(now uint64, reserve int) uint64 {
 	m.retire(now)
-	need := len(m.pending) - (m.cap - reserve) + 1
+	need := len(m.entries) - (m.cap - reserve) + 1
 	if need <= 0 {
 		return now
 	}
-	dones := make([]uint64, 0, len(m.pending))
-	for _, e := range m.pending {
-		dones = append(dones, e.done)
+	dones := m.scratch[:0]
+	for i := range m.entries {
+		dones = append(dones, m.entries[i].e.done)
 	}
-	sort.Slice(dones, func(i, j int) bool { return dones[i] < dones[j] })
+	m.scratch = dones
+	slices.Sort(dones)
 	if need > len(dones) {
 		need = len(dones)
 	}
@@ -74,11 +113,11 @@ func (m *mshrFile) freeAt(now uint64, reserve int) uint64 {
 
 // allocate records a new outstanding miss for line completing at done.
 func (m *mshrFile) allocate(line uint64, start, done uint64, src Source) {
-	m.pending[line] = mshrEntry{done: done, start: start, src: src}
+	m.set(line, mshrEntry{done: done, start: start, src: src})
 }
 
 // inUse returns the number of currently outstanding entries.
 func (m *mshrFile) inUse(now uint64) int {
 	m.retire(now)
-	return len(m.pending)
+	return len(m.entries)
 }

@@ -8,6 +8,7 @@ type stridePrefetcher struct {
 	streams []pfStream
 	degree  int
 	clock   uint64
+	buf     []uint64 // reused by observe; valid until the next call
 }
 
 type pfStream struct {
@@ -20,11 +21,16 @@ type pfStream struct {
 }
 
 func newStridePrefetcher(streams, degree int) *stridePrefetcher {
-	return &stridePrefetcher{streams: make([]pfStream, streams), degree: degree}
+	return &stridePrefetcher{
+		streams: make([]pfStream, streams),
+		degree:  degree,
+		buf:     make([]uint64, 0, degree),
+	}
 }
 
 // observe trains the prefetcher on a demand load (pc, addr) and returns the
-// addresses to prefetch, if any.
+// addresses to prefetch, if any. The returned slice is reused by the next
+// call; callers must consume it immediately.
 func (p *stridePrefetcher) observe(pc, addr uint64) []uint64 {
 	p.clock++
 	var s *pfStream
@@ -64,7 +70,7 @@ func (p *stridePrefetcher) observe(pc, addr uint64) []uint64 {
 	if s.conf < 2 {
 		return nil
 	}
-	out := make([]uint64, 0, p.degree)
+	out := p.buf[:0]
 	for d := 1; d <= p.degree; d++ {
 		next := int64(addr) + stride*int64(d)
 		if next < 0 {

@@ -115,8 +115,9 @@ func (d *discovery) observe(di interp.DynInst, rpt *RPT, regs [isa.NumRegs]uint6
 	}
 
 	// Taint propagation (§4.1.2).
+	var srcBuf [4]isa.Reg
 	anySrcTainted := false
-	for _, r := range in.SrcRegs(nil) {
+	for _, r := range in.SrcRegs(srcBuf[:0]) {
 		if d.tainted(r) {
 			anySrcTainted = true
 			break

@@ -3,6 +3,7 @@ package runahead
 import (
 	"dvr/internal/cpu"
 	"dvr/internal/interp"
+	"dvr/internal/isa"
 	"dvr/internal/mem"
 )
 
@@ -78,7 +79,8 @@ func (p *PRE) OnROBStall(from, to uint64) {
 			break
 		}
 		t := fetch
-		for _, r := range di.Inst.SrcRegs(nil) {
+		var srcBuf [4]isa.Reg
+		for _, r := range di.Inst.SrcRegs(srcBuf[:0]) {
 			if ready[r] > t {
 				t = ready[r]
 			}

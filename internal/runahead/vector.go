@@ -217,12 +217,14 @@ func (v *vecRun) readyAt(r isa.Reg, lane int) uint64 {
 // groupReady returns the cycle at which all of uop group g's active lanes
 // have their source operands ready.
 func (v *vecRun) groupReady(in isa.Inst, g int) uint64 {
+	var srcBuf [4]isa.Reg
+	srcs := in.SrcRegs(srcBuf[:0])
 	var t uint64
 	for lane := g * VectorWidth; lane < (g+1)*VectorWidth && lane < v.st.lanes; lane++ {
 		if !v.st.active.Get(lane) {
 			continue
 		}
-		for _, r := range in.SrcRegs(nil) {
+		for _, r := range srcs {
 			if rt := v.readyAt(r, lane); rt > t {
 				t = rt
 			}
@@ -253,8 +255,10 @@ func (v *vecRun) step(pc int, in isa.Inst, addrOverride *laneVec) (nextPC int, t
 	nextPC = pc + 1
 	st := &v.st
 
+	var srcBuf [4]isa.Reg
+	srcs := in.SrcRegs(srcBuf[:0])
 	anyVec := false
-	for _, r := range in.SrcRegs(nil) {
+	for _, r := range srcs {
 		if st.isVec(r) {
 			anyVec = true
 			break
@@ -286,7 +290,7 @@ func (v *vecRun) step(pc int, in isa.Inst, addrOverride *laneVec) (nextPC int, t
 
 	// Scalar issue time (used by scalar ops and control flow).
 	scalarReady := v.cursor
-	for _, r := range in.SrcRegs(nil) {
+	for _, r := range srcs {
 		if !st.isVec(r) && v.regReady[r] > scalarReady {
 			scalarReady = v.regReady[r]
 		}

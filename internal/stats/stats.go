@@ -12,11 +12,16 @@ import (
 
 // HarmonicMean returns the harmonic mean of xs (the paper's summary metric
 // for speedups). Zero or negative entries are ignored; it returns 0 for an
-// empty input.
+// empty input. A NaN entry (the sentinel for a degenerate run, see
+// experiments.Speedup) propagates: the mean is NaN rather than a silently
+// skewed number.
 func HarmonicMean(xs []float64) float64 {
 	var sum float64
 	var n int
 	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 		if x > 0 {
 			sum += 1 / x
 			n++

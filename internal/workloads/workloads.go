@@ -55,6 +55,17 @@ func (w *Workload) Frontend() *interp.Interp {
 	return it
 }
 
+// Fork returns a copy of the workload over a copy-on-write fork of its
+// memory image. Simulations mutate the image they run against, so sharing
+// one built Workload across runs requires a Fork per run; the pristine
+// base is built once and never simulated directly. Forks of one base may
+// run concurrently.
+func (w *Workload) Fork() *Workload {
+	c := *w
+	c.Mem = w.Mem.Fork()
+	return &c
+}
+
 // Spec is a buildable benchmark for the experiment harness.
 type Spec struct {
 	Name  string
