@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,12 +27,16 @@ import (
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
 	"dvr/internal/graphgen"
+	"dvr/internal/service/api"
+	"dvr/internal/service/client"
 	"dvr/internal/stats"
+	"dvr/internal/workloads"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run the scaled-down suite")
 	jsonOut := flag.Bool("json", false, "emit raw result rows as JSON instead of tables")
+	server := flag.String("server", "", "run matrix experiments (fig7, fig8) against this dvrd server instead of in-process")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -111,9 +116,33 @@ func main() {
 			ooo, vr, render := experiments.Fig2(s.GAP, cfg)
 			emit(map[string]interface{}{"ooo": ooo, "vr": vr}, render)
 		case "fig7":
+			if *server != "" {
+				specs := suite().All()
+				techs := append([]experiments.Technique{experiments.TechOoO}, experiments.AllTechniques...)
+				m, err := serverMatrix(*server, specs, techs, cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dvrbench:", err)
+					os.Exit(1)
+				}
+				rows, render := experiments.Fig7FromMatrix(specs, m)
+				emit(rows, render)
+				break
+			}
 			rows, render := experiments.Fig7(suite().All(), cfg)
 			emit(rows, render)
 		case "fig8":
+			if *server != "" {
+				specs := suite().All()
+				techs := append([]experiments.Technique{experiments.TechOoO}, experiments.Fig8Variants...)
+				m, err := serverMatrix(*server, specs, techs, cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dvrbench:", err)
+					os.Exit(1)
+				}
+				rows, render := experiments.Fig8FromMatrix(specs, m)
+				emit(rows, render)
+				break
+			}
 			rows, render := experiments.Fig8(suite().All(), cfg)
 			emit(rows, render)
 		case "fig9":
@@ -157,7 +186,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dvrbench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		fmt.Printf("[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr // keep -json stdout parseable
+		}
+		fmt.Fprintf(out, "[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	for _, a := range args {
@@ -169,6 +202,50 @@ func main() {
 		}
 		run(a)
 	}
+}
+
+// serverMatrix runs a benchmark × technique matrix against a dvrd server
+// via one POST /v1/batch and reshapes the response into the map the
+// figure renderers consume. Every spec must carry a declarative Ref (the
+// built-in suites all do). The cache-hit line it prints is what the CI
+// smoke job greps to assert the second batch was served from cache.
+func serverMatrix(base string, specs []workloads.Spec, techs []experiments.Technique, cfg cpu.Config) (map[string]map[experiments.Technique]cpu.Result, error) {
+	refs := make([]workloads.Ref, len(specs))
+	for i, sp := range specs {
+		if sp.Ref.Kernel == "" {
+			return nil, fmt.Errorf("benchmark %q has no declarative ref; cannot run via server", sp.Name)
+		}
+		ref := sp.Ref
+		ref.ROI = sp.ROI
+		refs[i] = ref
+	}
+	techNames := make([]string, len(techs))
+	for i, t := range techs {
+		techNames[i] = string(t)
+	}
+	cli := client.New(base)
+	resp, err := cli.Batch(context.Background(), api.BatchRequest{
+		Workloads:  refs,
+		Techniques: techNames,
+		Config:     &cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Cells) != len(specs)*len(techs) {
+		return nil, fmt.Errorf("server returned %d cells, want %d", len(resp.Cells), len(specs)*len(techs))
+	}
+	// To stderr so -json output stays parseable.
+	fmt.Fprintf(os.Stderr, "[server: %d/%d cells from cache]\n", resp.CacheHits, len(resp.Cells))
+	m := make(map[string]map[experiments.Technique]cpu.Result, len(specs))
+	for wi, sp := range specs {
+		row := make(map[experiments.Technique]cpu.Result, len(techs))
+		for ti, tech := range techs {
+			row[tech] = resp.Cells[wi*len(techs)+ti].Result
+		}
+		m[sp.Name] = row
+	}
+	return m, nil
 }
 
 // gapSuite returns the GAP kernels for the ROB sweeps: over the KR input

@@ -1,0 +1,79 @@
+// Command dvrd serves simulations over HTTP/JSON: declarative jobs
+// (kernel + graph parameters + technique + config) enter at POST /v1/sim
+// and /v1/batch, run on a bounded worker pool with per-request deadlines,
+// and land in a content-addressed result cache so repeated figure and
+// sweep work becomes cache hits. See the README's "Running the dvrd
+// service" section for endpoints and curl examples.
+//
+// Usage:
+//
+//	dvrd [-addr :8377] [-workers N] [-queue N] [-cache N] [-cache-dir DIR] [-timeout 5m]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-
+// flight requests and async jobs drain, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dvr/internal/service"
+	"dvr/internal/workloads"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8377", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 256, "queued simulations before requests block")
+		cacheN   = flag.Int("cache", 4096, "in-memory result-cache entries")
+		cacheDir = flag.String("cache-dir", "", "spill cached results to this directory (optional)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
+		drain    = flag.Duration("drain", 2*time.Minute, "graceful-shutdown deadline")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		CacheDir:       *cacheDir,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("dvrd: listening on %s (%d kernels registered)\n", *addr, len(workloads.Kernels()))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("dvrd: %s, draining\n", sig)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "dvrd:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dvrd: http shutdown:", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dvrd: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dvrd: clean shutdown")
+}

@@ -79,7 +79,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dvrsim:", err)
 		os.Exit(1)
 	}
-	spec.ROI = *roi
+	spec = spec.WithROI(*roi)
 
 	cfg := cpu.DefaultConfig().WithROB(*rob)
 	cfg.Mem.MSHRs = *mshrs

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"time"
 
 	"dvr/internal/bpred"
@@ -47,8 +48,17 @@ type Engine interface {
 	Stats() EngineStats
 }
 
+// ResultSchemaVersion identifies the JSON encoding of Result. Bump it when
+// a field is added, removed or changes meaning, so cached and archived
+// results are never confused across encodings.
+const ResultSchemaVersion = 1
+
 // Result is the outcome of one simulation run.
 type Result struct {
+	// SchemaVersion stamps the JSON encoding (ResultSchemaVersion). Run
+	// sets it; decoders can reject versions they don't understand.
+	SchemaVersion int `json:"schema_version"`
+
 	Name      string
 	Technique string
 
@@ -72,6 +82,17 @@ type Result struct {
 
 	Mem    mem.Stats
 	Engine EngineStats
+}
+
+// Canonical returns the deterministic form of the result: HostNS — the
+// documented nondeterministic field — zeroed and SchemaVersion stamped.
+// Cache keys, cached values and cross-run comparisons all use the
+// canonical form; two runs of the same job are byte-identical after
+// Canonical (and only after it).
+func (r Result) Canonical() Result {
+	r.HostNS = 0
+	r.SchemaVersion = ResultSchemaVersion
+	return r
 }
 
 // IPC returns instructions per cycle.
@@ -167,7 +188,26 @@ func (c *Core) Trace(n uint64, fn func(seq uint64, pc int, disp, ready, issue, d
 // Run simulates up to maxInsts dynamic instructions (or until the program
 // halts) and returns the collected statistics.
 func (c *Core) Run(maxInsts uint64) Result {
+	res, _ := c.RunContext(context.Background(), maxInsts)
+	return res
+}
+
+// cancelCheckInterval is how many instructions the simulation loop commits
+// between context polls: rare enough that the poll is invisible in the hot
+// path, frequent enough (tens of microseconds of host time) that deadline
+// cancellation is prompt.
+const cancelCheckInterval = 1024
+
+// RunContext is Run with cooperative cancellation: the cycle loop polls
+// ctx every cancelCheckInterval instructions and stops early when the
+// context is done. On cancellation it returns the statistics accumulated
+// so far along with ctx.Err(); a completed run returns a nil error. This
+// is what lets the dvrd service enforce per-request deadlines on in-flight
+// simulations instead of leaking a worker per abandoned request.
+func (c *Core) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
 	hostStart := time.Now()
+	cancelCh := ctx.Done()
+	var runErr error
 	var (
 		res         Result
 		srcBuf      [4]isa.Reg // stack buffer for SrcRegs (keeps the loop allocation-free)
@@ -191,6 +231,16 @@ func (c *Core) Run(maxInsts uint64) Result {
 	)
 
 	for seq := uint64(0); seq < maxInsts; seq++ {
+		if cancelCh != nil && seq%cancelCheckInterval == 0 {
+			select {
+			case <-cancelCh:
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				break
+			}
+		}
 		di, ok := c.fe.Step()
 		if !ok {
 			break
@@ -325,6 +375,7 @@ func (c *Core) Run(maxInsts uint64) Result {
 		}
 	}
 
+	res.SchemaVersion = ResultSchemaVersion
 	res.Cycles = lastCommit
 	res.HostNS = time.Since(hostStart).Nanoseconds()
 	c.hier.FinishStats(lastCommit)
@@ -337,5 +388,5 @@ func (c *Core) Run(maxInsts uint64) Result {
 	} else {
 		res.Technique = "ooo"
 	}
-	return res
+	return res, runErr
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"slices"
 	"sync"
@@ -92,19 +93,34 @@ func GAPOnly(in graphgen.Input) Suite {
 // built images are memoized per process.
 func QuickSuite() Suite {
 	quickSuiteOnce.Do(func() {
-		in := graphgen.Input{Name: "KR-S", Build: func() *graphgen.Graph { return graphgen.Kronecker(13, 8, 7) }}
+		in := graphgen.Params{Gen: graphgen.GenKronecker, Scale: 13, EdgeFactor: 8, Seed: 7, Name: "KR-S"}.Input()
 		var s Suite
 		for _, spec := range workloads.GAPSpecs(in) {
-			spec.ROI = 60_000
-			s.GAP = append(s.GAP, memoSpec(spec))
+			s.GAP = append(s.GAP, memoSpec(spec.WithROI(60_000)))
 		}
 		for _, spec := range workloads.HPCDBSpecs() {
-			spec.ROI = 60_000
-			s.HPCDB = append(s.HPCDB, memoSpec(spec))
+			s.HPCDB = append(s.HPCDB, memoSpec(spec.WithROI(60_000)))
 		}
 		quickSuiteVal = s
 	})
 	return quickSuiteVal.clone()
+}
+
+// Refs returns the declarative refs of every benchmark in the suite, in
+// All() order. It errors if any spec lacks one (a custom closure spec),
+// since such a suite cannot be shipped to a dvrd server.
+func (s Suite) Refs() ([]workloads.Ref, error) {
+	specs := s.All()
+	refs := make([]workloads.Ref, 0, len(specs))
+	for _, sp := range specs {
+		if sp.Ref.Kernel == "" {
+			return nil, fmt.Errorf("experiments: benchmark %q has no declarative ref", sp.Name)
+		}
+		ref := sp.Ref
+		ref.ROI = sp.ROI
+		refs = append(refs, ref)
+	}
+	return refs, nil
 }
 
 // Cell identifies one (benchmark, technique, config) simulation.

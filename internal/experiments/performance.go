@@ -19,7 +19,14 @@ type Fig7Row struct {
 // (up to 6.4x) and often approaches the Oracle.
 func Fig7(specs []workloads.Spec, cfg cpu.Config) (rows []Fig7Row, render func() string) {
 	techs := append([]Technique{TechOoO}, AllTechniques...)
-	m := Matrix(specs, techs, cfg)
+	return Fig7FromMatrix(specs, Matrix(specs, techs, cfg))
+}
+
+// Fig7FromMatrix renders Figure 7 from an already-computed result matrix —
+// the path dvrbench's client mode uses, where the matrix came back from a
+// dvrd server instead of in-process simulation. The matrix must cover
+// TechOoO (the normalization baseline) and AllTechniques per benchmark.
+func Fig7FromMatrix(specs []workloads.Spec, m map[string]map[Technique]cpu.Result) (rows []Fig7Row, render func() string) {
 	for _, sp := range specs {
 		row := Fig7Row{Bench: sp.Name, Speedups: make(map[Technique]float64)}
 		base := m[sp.Name][TechOoO]
@@ -67,7 +74,12 @@ var Fig8Variants = []Technique{TechVR, TechDVROffload, TechDVRDiscovery, TechDVR
 // Fig8 reproduces Figure 8: the contribution of each DVR mechanism.
 func Fig8(specs []workloads.Spec, cfg cpu.Config) (rows []Fig7Row, render func() string) {
 	techs := append([]Technique{TechOoO}, Fig8Variants...)
-	m := Matrix(specs, techs, cfg)
+	return Fig8FromMatrix(specs, Matrix(specs, techs, cfg))
+}
+
+// Fig8FromMatrix renders Figure 8 from an already-computed result matrix
+// (see Fig7FromMatrix).
+func Fig8FromMatrix(specs []workloads.Spec, m map[string]map[Technique]cpu.Result) (rows []Fig7Row, render func() string) {
 	for _, sp := range specs {
 		row := Fig7Row{Bench: sp.Name, Speedups: make(map[Technique]float64)}
 		base := m[sp.Name][TechOoO]

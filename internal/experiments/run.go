@@ -4,6 +4,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -45,15 +47,56 @@ var simInsts atomic.Uint64
 // workload to compute simulated MIPS.
 func SimInstructions() uint64 { return simInsts.Load() }
 
-// Run simulates one benchmark under one technique and returns the result.
-func Run(spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
-	return runWorkload(spec.Build(), spec, tech, cfg)
+// ErrUnknownTechnique is wrapped by RunE when the technique name is not
+// one of the evaluated mechanisms; the dvrd service maps it to HTTP 400.
+var ErrUnknownTechnique = errors.New("experiments: unknown technique")
+
+// ParseTechnique validates a technique name off the wire.
+func ParseTechnique(s string) (Technique, error) {
+	switch t := Technique(s); t {
+	case TechOoO, TechPRE, TechIMP, TechVR, TechDVR, TechOracle, TechDVROffload, TechDVRDiscovery:
+		return t, nil
+	default:
+		return "", fmt.Errorf("%w %q", ErrUnknownTechnique, s)
+	}
 }
 
-// runWorkload simulates an already-built workload instance. The instance
+// Run simulates one benchmark under one technique and returns the result.
+// It panics on an unknown technique (a programming error in-process); use
+// RunE where the technique arrives from outside the program.
+func Run(spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
+	res, err := RunE(context.Background(), spec, tech, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE simulates one benchmark under one technique, returning an error
+// instead of panicking on an unknown technique and stopping early (with
+// ctx.Err()) when ctx is cancelled — the two failure modes a simulation
+// service must survive per request.
+func RunE(ctx context.Context, spec workloads.Spec, tech Technique, cfg cpu.Config) (cpu.Result, error) {
+	if _, err := ParseTechnique(string(tech)); err != nil {
+		return cpu.Result{}, err
+	}
+	return runWorkloadE(ctx, spec.Build(), spec, tech, cfg)
+}
+
+// runWorkload is runWorkloadE for in-process callers with trusted inputs:
+// unknown techniques panic, and there is no cancellation.
+func runWorkload(w *workloads.Workload, spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
+	res, err := runWorkloadE(context.Background(), w, spec, tech, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// runWorkloadE simulates an already-built workload instance. The instance
 // is mutated (the main thread commits stores into its image); callers that
 // share a built base across runs must pass a Fork.
-func runWorkload(w *workloads.Workload, spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
+func runWorkloadE(ctx context.Context, w *workloads.Workload, spec workloads.Spec, tech Technique, cfg cpu.Config) (cpu.Result, error) {
 	fe := w.Frontend()
 	core := cpu.NewCore(cfg, fe)
 	h := core.Hierarchy()
@@ -75,17 +118,17 @@ func runWorkload(w *workloads.Workload, spec workloads.Spec, tech Technique, cfg
 	case TechOracle:
 		core.Attach(prefetch.NewOracle(fe, h, OracleLookahead))
 	default:
-		panic(fmt.Sprintf("experiments: unknown technique %q", tech))
+		return cpu.Result{}, fmt.Errorf("%w %q", ErrUnknownTechnique, tech)
 	}
 	roi := spec.ROI
 	if roi == 0 {
 		roi = 300_000
 	}
-	res := core.Run(roi)
+	res, err := core.RunContext(ctx, roi)
 	res.Name = spec.Name
 	res.Technique = string(tech)
 	simInsts.Add(res.Instructions)
-	return res
+	return res, err
 }
 
 // Speedup returns b's performance normalized to baseline a (IPC ratio).

@@ -57,7 +57,7 @@ func Table2(cfg cpu.Config, roi uint64) (rows []Table2Row, render func() string)
 		var cells []Cell
 		for _, sp := range specs {
 			if roi != 0 {
-				sp.ROI = roi
+				sp = sp.WithROI(roi)
 			}
 			cells = append(cells, Cell{Spec: sp, Tech: TechOoO, Cfg: cfg})
 		}

@@ -2,9 +2,18 @@
 // DESIGN.md): Kronecker/R-MAT (KR), uniform random (UR), and power-law
 // generators standing in for the LiveJournal, Orkut and Twitter crawls.
 // Graphs are produced in CSR form, the layout the GAP kernels consume.
+//
+// Inputs come in two forms: Params, a declarative, serializable description
+// (generator name plus its numeric parameters) that can cross a process
+// boundary and be hashed into a cache key, and Input, the closure form the
+// in-process harnesses consume. Every Params produces an Input; a custom
+// Input (hand-built Graph) simply has no Params.
 package graphgen
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Graph is a directed graph in CSR (compressed sparse row) form.
 type Graph struct {
@@ -141,29 +150,127 @@ func PowerLaw(n, m int, alpha float64, seed uint64) *Graph {
 	return fromEdgeList(n, src, dst)
 }
 
-// Input is one row of Table 2: a named graph with its generator.
-type Input struct {
-	Name  string
-	Build func() *Graph
+// Generator names accepted by Params.Gen.
+const (
+	GenKronecker = "kronecker"
+	GenUniform   = "uniform"
+	GenPowerLaw  = "powerlaw"
+)
+
+// Params is a declarative graph description: which generator to run and
+// with what numbers. It is pure data — JSON-encodable, comparable by value,
+// hashable into a cache key — and fully determines the generated graph
+// (all generators are seeded and deterministic).
+type Params struct {
+	Gen        string  `json:"gen"`                   // kronecker | uniform | powerlaw
+	Scale      int     `json:"scale,omitempty"`       // kronecker: 2^Scale vertices
+	EdgeFactor int     `json:"edge_factor,omitempty"` // kronecker: edges per vertex
+	N          int     `json:"n,omitempty"`           // uniform/powerlaw: vertices
+	M          int     `json:"m,omitempty"`           // uniform/powerlaw: edges
+	Alpha      float64 `json:"alpha,omitempty"`       // powerlaw: degree exponent (>1)
+	Seed       uint64  `json:"seed"`
+	Name       string  `json:"name,omitempty"` // display name; defaults to Gen
 }
 
-// Table2Inputs returns the scaled-down equivalents of the paper's graph
-// inputs: Kron (KR), LiveJournal (LJN), Orkut (ORK), Twitter (TW) and
-// Urand (UR). Densities and skews follow Table 2's node/edge ratios.
-func Table2Inputs() []Input {
-	return []Input{
-		{Name: "KR", Build: func() *Graph { return Kronecker(16, 16, 1) }},
-		{Name: "LJN", Build: func() *Graph { return PowerLaw(60_000, 900_000, 2.3, 2) }},
-		{Name: "ORK", Build: func() *Graph { return PowerLaw(40_000, 1_600_000, 2.6, 3) }},
-		{Name: "TW", Build: func() *Graph { return PowerLaw(70_000, 1_700_000, 2.0, 4) }},
-		{Name: "UR", Build: func() *Graph { return Uniform(65_536, 1_048_576, 5) }},
+// Zero reports whether p is the zero value (an Input built from a custom
+// closure rather than a declarative description).
+func (p Params) Zero() bool { return p.Gen == "" }
+
+// Label returns the display name used in benchmark spec names.
+func (p Params) Label() string {
+	if p.Name != "" {
+		return p.Name
 	}
+	return p.Gen
+}
+
+// Validate checks that the parameters describe a generatable graph without
+// generating it.
+func (p Params) Validate() error {
+	switch p.Gen {
+	case GenKronecker:
+		if p.Scale <= 0 || p.Scale > 24 || p.EdgeFactor <= 0 {
+			return fmt.Errorf("graphgen: kronecker needs 0 < scale <= 24 and edge_factor > 0 (got scale=%d edge_factor=%d)", p.Scale, p.EdgeFactor)
+		}
+	case GenUniform:
+		if p.N <= 0 || p.M <= 0 {
+			return fmt.Errorf("graphgen: uniform needs n > 0 and m > 0 (got n=%d m=%d)", p.N, p.M)
+		}
+	case GenPowerLaw:
+		if p.N <= 0 || p.M <= 0 || p.Alpha <= 1 {
+			return fmt.Errorf("graphgen: powerlaw needs n > 0, m > 0 and alpha > 1 (got n=%d m=%d alpha=%g)", p.N, p.M, p.Alpha)
+		}
+	default:
+		return fmt.Errorf("graphgen: unknown generator %q", p.Gen)
+	}
+	return nil
+}
+
+// Generate validates and builds the described graph.
+func (p Params) Generate() (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch p.Gen {
+	case GenKronecker:
+		return Kronecker(p.Scale, p.EdgeFactor, p.Seed), nil
+	case GenUniform:
+		return Uniform(p.N, p.M, p.Seed), nil
+	default:
+		return PowerLaw(p.N, p.M, p.Alpha, p.Seed), nil
+	}
+}
+
+// Input returns the closure form of p for the in-process harnesses. The
+// closure panics on invalid parameters; validate first when the parameters
+// came off the wire.
+func (p Params) Input() Input {
+	return Input{Name: p.Label(), Params: p, Build: func() *Graph {
+		g, err := p.Generate()
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}}
+}
+
+// Input is one row of Table 2: a named graph with its generator. Params is
+// the declarative description when the input has one (zero for custom
+// closures); Build is always usable.
+type Input struct {
+	Name   string
+	Params Params
+	Build  func() *Graph
+}
+
+// Table2Params returns the declarative descriptions of the scaled-down
+// equivalents of the paper's graph inputs: Kron (KR), LiveJournal (LJN),
+// Orkut (ORK), Twitter (TW) and Urand (UR). Densities and skews follow
+// Table 2's node/edge ratios.
+func Table2Params() []Params {
+	return []Params{
+		{Gen: GenKronecker, Scale: 16, EdgeFactor: 16, Seed: 1, Name: "KR"},
+		{Gen: GenPowerLaw, N: 60_000, M: 900_000, Alpha: 2.3, Seed: 2, Name: "LJN"},
+		{Gen: GenPowerLaw, N: 40_000, M: 1_600_000, Alpha: 2.6, Seed: 3, Name: "ORK"},
+		{Gen: GenPowerLaw, N: 70_000, M: 1_700_000, Alpha: 2.0, Seed: 4, Name: "TW"},
+		{Gen: GenUniform, N: 65_536, M: 1_048_576, Seed: 5, Name: "UR"},
+	}
+}
+
+// Table2Inputs returns Table2Params in closure form.
+func Table2Inputs() []Input {
+	params := Table2Params()
+	inputs := make([]Input, len(params))
+	for i, p := range params {
+		inputs[i] = p.Input()
+	}
+	return inputs
 }
 
 // SmallInputs returns quick variants for tests and the quickstart example.
 func SmallInputs() []Input {
 	return []Input{
-		{Name: "KR-S", Build: func() *Graph { return Kronecker(12, 8, 11) }},
-		{Name: "UR-S", Build: func() *Graph { return Uniform(4096, 32768, 12) }},
+		Params{Gen: GenKronecker, Scale: 12, EdgeFactor: 8, Seed: 11, Name: "KR-S"}.Input(),
+		Params{Gen: GenUniform, N: 4096, M: 32768, Seed: 12, Name: "UR-S"}.Input(),
 	}
 }

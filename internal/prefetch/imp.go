@@ -22,11 +22,24 @@ type IMP struct {
 	fmem *interp.Memory
 	rpt  *runahead.RPT
 
-	lastVal map[int]uint64 // striding-load PC -> last loaded value
+	// lastVal and pats are iterated on the training and trigger paths, and
+	// iteration order is architecturally visible (it decides which candidate
+	// patterns win table slots and in what order prefetches contend for
+	// MSHRs). Both therefore keep deterministic insertion order — a slice
+	// for the handful of striding PCs, a map plus an ordered key list for
+	// the pattern table — so identical runs produce identical results in
+	// any process (the property the dvrd result cache is keyed on).
+	lastVal []impLastVal // striding-load PC -> last loaded value
 	pats    map[impKey]*impPattern
+	order   []impKey // pats keys, insertion-ordered
 	degree  int
 
 	stats cpu.EngineStats
+}
+
+type impLastVal struct {
+	pc  int
+	val uint64
 }
 
 type impKey struct {
@@ -53,10 +66,9 @@ func NewIMP(hier *mem.Hierarchy, fmem *interp.Memory) *IMP {
 	p := &IMP{
 		hier:    hier,
 		fmem:    fmem,
-		rpt:     runahead.NewRPT(32),
-		lastVal: make(map[int]uint64),
-		pats:    make(map[impKey]*impPattern),
-		degree:  8,
+		rpt:    runahead.NewRPT(32),
+		pats:   make(map[impKey]*impPattern),
+		degree: 8,
 	}
 	hier.Observe(p.observe)
 	return p
@@ -87,24 +99,25 @@ func (p *IMP) OnCommit(di interp.DynInst, cycle uint64) {}
 func (p *IMP) observe(pc int, addr uint64, cycle uint64) {
 	e := p.rpt.Observe(pc, addr)
 	if e.Confident() {
-		p.lastVal[pc] = p.fmem.Load64(addr)
+		p.setLastVal(pc, p.fmem.Load64(addr))
 		p.trigger(pc, addr, e, cycle)
 		return
 	}
 
 	// Candidate indirect load: correlate its address against recent
 	// striding-load values.
-	for spc, v := range p.lastVal {
-		if spc == pc {
+	for _, lv := range p.lastVal {
+		if lv.pc == pc {
 			continue
 		}
 		for _, c := range impCoeffs {
-			base := addr - v*uint64(c)
-			k := impKey{stridePC: spc, indirPC: pc, coeff: c}
+			base := addr - lv.val*uint64(c)
+			k := impKey{stridePC: lv.pc, indirPC: pc, coeff: c}
 			pat, ok := p.pats[k]
 			if !ok {
 				if len(p.pats) < 256 {
 					p.pats[k] = &impPattern{base: base, conf: 1}
+					p.order = append(p.order, k)
 				}
 				continue
 			}
@@ -120,17 +133,37 @@ func (p *IMP) observe(pc int, addr uint64, cycle uint64) {
 				pat.conf--
 				if pat.conf <= 0 {
 					delete(p.pats, k)
+					for i, ok := range p.order {
+						if ok == k {
+							p.order = append(p.order[:i], p.order[i+1:]...)
+							break
+						}
+					}
 				}
 			}
 		}
 	}
 }
 
+// setLastVal records the latest value loaded by a striding PC, keeping
+// first-observation order (the table is a handful of entries — one per
+// striding load PC in the program — so a linear scan beats map hashing).
+func (p *IMP) setLastVal(pc int, val uint64) {
+	for i := range p.lastVal {
+		if p.lastVal[i].pc == pc {
+			p.lastVal[i].val = val
+			return
+		}
+	}
+	p.lastVal = append(p.lastVal, impLastVal{pc: pc, val: val})
+}
+
 // trigger fires the confirmed patterns anchored at a striding load: the
 // index values at addr+stride .. addr+degree*stride (being brought in by
 // the stride prefetcher) are translated and their targets prefetched.
 func (p *IMP) trigger(pc int, addr uint64, e *runahead.RPTEntry, cycle uint64) {
-	for k, pat := range p.pats {
+	for _, k := range p.order {
+		pat := p.pats[k]
 		if !pat.confirmed || k.stridePC != pc {
 			continue
 		}

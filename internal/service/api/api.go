@@ -1,0 +1,154 @@
+// Package api defines the versioned wire types of the dvrd simulation
+// service: pure-data request/response structs shared by the server
+// (internal/service), the client library (internal/service/client) and the
+// CLI harnesses. Nothing here has behaviour beyond trivial validation; a
+// request is fully described by serializable values (workloads.Ref,
+// cpu.Config, technique name), which is what makes jobs cacheable by
+// content address and transportable across processes.
+package api
+
+import (
+	"fmt"
+
+	"dvr/internal/cpu"
+	"dvr/internal/workloads"
+)
+
+// Version is the wire API version; it prefixes every route (/v1/...).
+const Version = "v1"
+
+// EngineVersion identifies the simulation semantics of this build: it is
+// hashed into every cache key so results computed by an older engine are
+// never served for a newer one (see DESIGN.md, "dvrd cache key"). Bump it
+// whenever a change anywhere in the simulator (cpu, mem, bpred, runahead,
+// prefetch, workloads, graphgen) alters any Result field for any job.
+const EngineVersion = "dvr-engine/2"
+
+// SimRequest asks for one simulation cell: one workload under one
+// technique and configuration. POST /v1/sim.
+type SimRequest struct {
+	Workload  workloads.Ref `json:"workload"`
+	Technique string        `json:"technique"`
+	// Config is the core configuration; nil means cpu.DefaultConfig().
+	Config *cpu.Config `json:"config,omitempty"`
+	// TimeoutMS bounds the request; 0 means the server default. A request
+	// that exceeds its deadline is cancelled in-flight and answered 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate rejects structurally empty requests before they reach the
+// registry (which produces the detailed errors).
+func (r SimRequest) Validate() error {
+	if r.Workload.Kernel == "" {
+		return fmt.Errorf("api: workload.kernel is required")
+	}
+	if r.Technique == "" {
+		return fmt.Errorf("api: technique is required")
+	}
+	return nil
+}
+
+// SimResponse is the outcome of one cell. Result is canonical
+// (cpu.Result.Canonical): deterministic and byte-stable for one Key, so
+// cached and freshly-simulated responses are indistinguishable except for
+// the Cached flag.
+type SimResponse struct {
+	// Key is the content address of the job: the SHA-256 cache key over
+	// (engine version, workload ref, technique, config).
+	Key    string     `json:"key"`
+	Cached bool       `json:"cached"`
+	Result cpu.Result `json:"result"`
+}
+
+// BatchRequest asks for a cell matrix: every workload under every
+// technique, one shared configuration. POST /v1/batch.
+type BatchRequest struct {
+	Workloads  []workloads.Ref `json:"workloads"`
+	Techniques []string        `json:"techniques"`
+	Config     *cpu.Config     `json:"config,omitempty"`
+	// Async makes the server answer immediately with a job id to poll at
+	// GET /v1/jobs/{id} instead of blocking until the matrix completes.
+	Async bool `json:"async,omitempty"`
+	// TimeoutMS bounds the whole batch; 0 means the server default for
+	// synchronous batches and no deadline for async ones.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate rejects structurally empty batches.
+func (r BatchRequest) Validate() error {
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("api: workloads is required")
+	}
+	if len(r.Techniques) == 0 {
+		return fmt.Errorf("api: techniques is required")
+	}
+	for _, w := range r.Workloads {
+		if w.Kernel == "" {
+			return fmt.Errorf("api: workload.kernel is required")
+		}
+	}
+	for _, t := range r.Techniques {
+		if t == "" {
+			return fmt.Errorf("api: technique names must be non-empty")
+		}
+	}
+	return nil
+}
+
+// BatchResponse carries the completed matrix (synchronous batches and
+// finished jobs) or the job id to poll (async batches).
+type BatchResponse struct {
+	JobID string `json:"job_id,omitempty"`
+	// Cells is row-major: workloads[0] under every technique, then
+	// workloads[1], ... len = len(Workloads) * len(Techniques).
+	Cells []SimResponse `json:"cells,omitempty"`
+	// CacheHits counts cells answered from the result cache.
+	CacheHits int `json:"cache_hits"`
+}
+
+// Job states reported by JobStatus.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobError   = "error"
+)
+
+// JobStatus describes an async batch job. GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Done  int    `json:"done"`  // cells completed so far
+	Total int    `json:"total"` // cells in the job
+	Error string `json:"error,omitempty"`
+	// Batch holds the results once State is "done".
+	Batch *BatchResponse `json:"batch,omitempty"`
+}
+
+// Error is the JSON body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Metrics is the GET /metrics snapshot.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Workers     int `json:"workers"`
+	BusyWorkers int `json:"busy_workers"`
+	QueueDepth  int `json:"queue_depth"`
+
+	CacheEntries       int     `json:"cache_entries"`
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
+	SingleFlightShared uint64  `json:"single_flight_shared"`
+
+	JobsActive int `json:"jobs_active"`
+	JobsDone   int `json:"jobs_done"`
+
+	// SimInstructions is the cumulative timed-instruction count simulated
+	// by this process (experiments.SimInstructions); SimMIPS divides the
+	// portion simulated since server start by the uptime.
+	SimInstructions uint64  `json:"sim_instructions"`
+	SimMIPS         float64 `json:"sim_mips"`
+}

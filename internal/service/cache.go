@@ -1,0 +1,182 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dvr/internal/cpu"
+	"dvr/internal/service/api"
+	"dvr/internal/workloads"
+)
+
+// CacheKey returns the content address of one simulation cell: the SHA-256
+// of the canonical JSON of (engine version, workload ref, technique, full
+// core config). Everything that can change the canonical Result is in the
+// key; nothing else is (see DESIGN.md, "dvrd cache key"). Two requests
+// with the same key are the same job, whichever client sent them.
+func CacheKey(ref workloads.Ref, tech string, cfg cpu.Config) string {
+	payload := struct {
+		Engine    string        `json:"engine"`
+		Workload  workloads.Ref `json:"workload"`
+		Technique string        `json:"technique"`
+		Config    cpu.Config    `json:"config"`
+	}{api.EngineVersion, ref, tech, cfg}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// All fields are plain data; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// resultCache is a bounded in-memory LRU of canonical Results with an
+// optional disk spill: entries evicted from (or missing in) memory are
+// read back from <dir>/<key>.json when a directory is configured, so a
+// restarted server keeps its history. Disk I/O is best-effort — a
+// corrupted or unwritable spill degrades to a miss, never an error.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+	dir   string
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	res cpu.Result
+}
+
+func newResultCache(capacity int, dir string) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if dir != "" {
+		// Best-effort: a failed mkdir disables the spill, not the server.
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			dir = ""
+		}
+	}
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+		dir:   dir,
+	}
+}
+
+// Get returns the cached canonical result for key, consulting memory then
+// the disk spill. A disk hit is re-admitted to memory.
+func (c *resultCache) Get(key string) (cpu.Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return res, true
+	}
+	c.mu.Unlock()
+	if res, ok := c.readSpill(key); ok {
+		c.admit(key, res)
+		c.hits.Add(1)
+		return res, true
+	}
+	c.misses.Add(1)
+	return cpu.Result{}, false
+}
+
+// Peek is Get without touching the hit/miss counters — for internal
+// re-checks (e.g. under a single-flight) that would otherwise double-count
+// a request already accounted by its first Get.
+func (c *resultCache) Peek(key string) (cpu.Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+	if res, ok := c.readSpill(key); ok {
+		c.admit(key, res)
+		return res, true
+	}
+	return cpu.Result{}, false
+}
+
+// Put stores a canonical result under key, in memory and (best-effort) on
+// disk.
+func (c *resultCache) Put(key string, res cpu.Result) {
+	c.admit(key, res)
+	c.writeSpill(key, res)
+}
+
+func (c *resultCache) admit(key string, res cpu.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *resultCache) spillPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+func (c *resultCache) readSpill(key string) (cpu.Result, bool) {
+	if c.dir == "" {
+		return cpu.Result{}, false
+	}
+	data, err := os.ReadFile(c.spillPath(key))
+	if err != nil {
+		return cpu.Result{}, false
+	}
+	var res cpu.Result
+	if err := json.Unmarshal(data, &res); err != nil || res.SchemaVersion != cpu.ResultSchemaVersion {
+		return cpu.Result{}, false
+	}
+	return res, true
+}
+
+func (c *resultCache) writeSpill(key string, res cpu.Result) {
+	if c.dir == "" {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	// Write-then-rename so a crashed write never leaves a truncated entry
+	// to be misread as a miss-with-garbage later.
+	tmp := c.spillPath(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, c.spillPath(key))
+}

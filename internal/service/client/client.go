@@ -1,0 +1,106 @@
+// Package client is the Go client of the dvrd simulation service: thin,
+// typed wrappers over the wire API in internal/service/api. The figure
+// harnesses use it (dvrbench -server) to run benchmark matrices against a
+// shared server and its result cache instead of simulating in-process.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dvr/internal/service/api"
+)
+
+// Client talks to one dvrd server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8377").
+// The zero http.Client timeout is deliberate: simulation requests carry
+// their own deadlines (timeout_ms), which the server enforces.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// Sim runs one cell.
+func (c *Client) Sim(ctx context.Context, req api.SimRequest) (api.SimResponse, error) {
+	var resp api.SimResponse
+	err := c.do(ctx, http.MethodPost, "/"+api.Version+"/sim", req, &resp)
+	return resp, err
+}
+
+// Batch runs a cell matrix (or starts a job when req.Async).
+func (c *Client) Batch(ctx context.Context, req api.BatchRequest) (api.BatchResponse, error) {
+	var resp api.BatchResponse
+	err := c.do(ctx, http.MethodPost, "/"+api.Version+"/batch", req, &resp)
+	return resp, err
+}
+
+// Job polls an async batch job.
+func (c *Client) Job(ctx context.Context, id string) (api.JobStatus, error) {
+	var resp api.JobStatus
+	err := c.do(ctx, http.MethodGet, "/"+api.Version+"/jobs/"+id, nil, &resp)
+	return resp, err
+}
+
+// Metrics fetches the server counters.
+func (c *Client) Metrics(ctx context.Context) (api.Metrics, error) {
+	var resp api.Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &resp)
+	return resp, err
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr api.Error
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (%s)", method, path, apiErr.Error, resp.Status)
+		}
+		return fmt.Errorf("client: %s %s: %s", method, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"dvr/internal/service/api"
+)
+
+// job is one async batch in flight or finished.
+type job struct {
+	id    string
+	total int
+
+	mu    sync.Mutex
+	done  int
+	state string
+	err   error
+	batch *api.BatchResponse
+}
+
+// cellDone records one completed cell.
+func (j *job) cellDone() {
+	j.mu.Lock()
+	j.done++
+	j.mu.Unlock()
+}
+
+// finish records the job outcome.
+func (j *job) finish(batch *api.BatchResponse, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state = api.JobError
+		j.err = err
+		return
+	}
+	j.state = api.JobDone
+	j.batch = batch
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := api.JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == api.JobDone {
+		st.Batch = j.batch
+	}
+	return st
+}
+
+// jobStore tracks async batch jobs. The WaitGroup covers every job
+// goroutine, which is what graceful shutdown drains: Server.Shutdown waits
+// for it, so a SIGTERM never abandons a job a client was polling.
+type jobStore struct {
+	mu   sync.Mutex
+	seq  uint64
+	jobs map[string]*job
+	wg   sync.WaitGroup
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job)}
+}
+
+// create registers a new running job of total cells.
+func (s *jobStore) create(total int) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{id: fmt.Sprintf("job-%d", s.seq), total: total, state: api.JobRunning}
+	s.jobs[j.id] = j
+	return j
+}
+
+// get looks a job up by id.
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// counts returns (active, finished) job counts.
+func (s *jobStore) counts() (active, finished int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == api.JobRunning {
+			active++
+		} else {
+			finished++
+		}
+		j.mu.Unlock()
+	}
+	return active, finished
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is a bounded worker pool: a fixed number of goroutines draining a
+// bounded task queue. It is what keeps a burst of requests from spawning a
+// simulation per connection — queue depth and worker occupancy are the
+// service's backpressure signals (exposed at /metrics).
+type pool struct {
+	mu       sync.RWMutex // guards tasks against send-after-close
+	isClosed bool
+	tasks    chan func()
+
+	wg   sync.WaitGroup
+	busy atomic.Int64
+}
+
+func newPool(workers, queue int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				p.busy.Add(1)
+				task()
+				p.busy.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Do enqueues fn and waits for it to finish, giving up early when ctx is
+// done (the task may still run; fn is responsible for observing ctx and
+// returning promptly). The deadline-exceeded path therefore frees both the
+// caller and, via fn's own ctx check, the worker.
+func (p *pool) Do(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	task := func() {
+		defer close(done)
+		fn()
+	}
+	p.mu.RLock()
+	if p.isClosed {
+		p.mu.RUnlock()
+		return errShuttingDown
+	}
+	select {
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return ctx.Err()
+	case p.tasks <- task:
+		p.mu.RUnlock()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth returns the number of tasks waiting for a worker.
+func (p *pool) QueueDepth() int { return len(p.tasks) }
+
+// Busy returns the number of workers currently running a task.
+func (p *pool) Busy() int { return int(p.busy.Load()) }
+
+// Close stops accepting tasks, drains the queue and waits for the workers
+// to finish. Safe to call more than once.
+func (p *pool) Close() {
+	p.mu.Lock()
+	if !p.isClosed {
+		p.isClosed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

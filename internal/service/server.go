@@ -1,0 +1,465 @@
+// Package service implements dvrd, the cached, concurrent simulation
+// service: an HTTP/JSON server that accepts declarative simulation jobs
+// (workloads.Ref + technique + cpu.Config), runs them on a bounded worker
+// pool with per-request deadlines that cancel in-flight simulations, and
+// deduplicates identical jobs twice over — a content-addressed result
+// cache for repeated jobs, single-flight collapsing for concurrent ones.
+// The wire types live in internal/service/api; a Go client in
+// internal/service/client.
+package service
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dvr/internal/cpu"
+	"dvr/internal/experiments"
+	"dvr/internal/service/api"
+	"dvr/internal/workloads"
+)
+
+var errShuttingDown = errors.New("service: shutting down")
+
+// Config sizes the server.
+type Config struct {
+	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds tasks waiting for a worker; 0 means 256.
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache; 0 means 4096.
+	CacheEntries int
+	// CacheDir, when set, spills cached results to disk as
+	// <dir>/<key>.json and reads them back on memory misses.
+	CacheDir string
+	// DefaultTimeout bounds requests that do not set timeout_ms; 0 means
+	// 5 minutes.
+	DefaultTimeout time.Duration
+	// BaseEntries bounds the memoized built workload images; 0 means 32.
+	BaseEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.BaseEntries <= 0 {
+		c.BaseEntries = 32
+	}
+	return c
+}
+
+// Server is the dvrd service. Construct with New, mount Handler, and call
+// Shutdown to drain.
+type Server struct {
+	cfg    Config
+	cache  *resultCache
+	flight *flightGroup
+	pool   *pool
+	jobs   *jobStore
+	bases  *baseCache
+
+	start      time.Time
+	startInsts uint64
+}
+
+// New builds a server. It starts the worker pool immediately.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:        cfg,
+		cache:      newResultCache(cfg.CacheEntries, cfg.CacheDir),
+		flight:     newFlightGroup(),
+		pool:       newPool(cfg.Workers, cfg.QueueDepth),
+		jobs:       newJobStore(),
+		bases:      newBaseCache(cfg.BaseEntries),
+		start:      time.Now(),
+		startInsts: experiments.SimInstructions(),
+	}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /"+api.Version+"/sim", s.handleSim)
+	mux.HandleFunc("POST /"+api.Version+"/batch", s.handleBatch)
+	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown drains the server: it waits for every async job to finish,
+// then stops the worker pool (draining any queued tasks). In-flight HTTP
+// requests are the http.Server's to drain; call its Shutdown first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobs.wg.Wait()
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusError pairs an error with the HTTP status it maps to.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &statusError{http.StatusBadRequest, err} }
+
+// httpStatus maps an error to its response code: 400 for malformed jobs,
+// 504 for deadline-exceeded, 503 while shutting down, 500 otherwise.
+func httpStatus(err error) int {
+	var se *statusError
+	switch {
+	case errors.As(err, &se):
+		return se.code
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the code is moot but 499-ish.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), api.Error{Error: err.Error()})
+}
+
+// config resolves the request's config override against the default.
+func (s *Server) config(override *cpu.Config) cpu.Config {
+	if override != nil {
+		return *override
+	}
+	return cpu.DefaultConfig()
+}
+
+// timeout resolves a request's timeout_ms against the server default.
+func (s *Server) timeout(ms int64) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return s.cfg.DefaultTimeout
+}
+
+// ---- cell execution ----
+
+// runCell answers one (workload, technique, config) cell: from the result
+// cache when possible, otherwise via single-flight on the cell's content
+// address and a worker-pool simulation. The result stored and returned is
+// canonical (deterministic), so repeated requests are byte-identical.
+func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cfg cpu.Config) (api.SimResponse, error) {
+	if _, err := experiments.ParseTechnique(tech); err != nil {
+		return api.SimResponse{}, badRequest(err)
+	}
+	spec, err := workloads.Resolve(ref)
+	if err != nil {
+		return api.SimResponse{}, badRequest(err)
+	}
+	// Resolve normalized the ROI (0 -> kernel default); key the normalized
+	// form so explicit-default and defaulted requests share a cache line.
+	key := CacheKey(spec.Ref, tech, cfg)
+	if res, ok := s.cache.Get(key); ok {
+		return api.SimResponse{Key: key, Cached: true, Result: res}, nil
+	}
+	res, shared, err := s.flight.Do(ctx, key, func() (cpu.Result, error) {
+		// Re-check under the flight: a just-landed leader may have filled
+		// the cache between our miss and here. Peek, not Get — this
+		// request's miss is already counted.
+		if res, ok := s.cache.Peek(key); ok {
+			return res, nil
+		}
+		runSpec := s.bases.memoize(spec)
+		var (
+			out    cpu.Result
+			runErr error
+		)
+		if err := s.pool.Do(ctx, func() {
+			out, runErr = experiments.RunE(ctx, runSpec, experiments.Technique(tech), cfg)
+		}); err != nil {
+			return cpu.Result{}, err
+		}
+		if runErr != nil {
+			return cpu.Result{}, runErr
+		}
+		canon := out.Canonical()
+		s.cache.Put(key, canon)
+		return canon, nil
+	})
+	if err != nil {
+		return api.SimResponse{}, err
+	}
+	// A follower's result came from the in-flight leader, not the cache;
+	// report it uncached (metrics count it under single_flight_shared).
+	_ = shared
+	return api.SimResponse{Key: key, Cached: false, Result: res}, nil
+}
+
+// runBatch answers a full cell matrix, row-major over workloads then
+// techniques. Cells run concurrently (the pool bounds actual simulation
+// parallelism); the first failure cancels the rest.
+func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*api.BatchResponse, error) {
+	cfg := s.config(req.Config)
+	// Validate the whole matrix up front so a malformed cell is a clean
+	// 400 before any simulation starts.
+	for _, t := range req.Techniques {
+		if _, err := experiments.ParseTechnique(t); err != nil {
+			return nil, badRequest(err)
+		}
+	}
+	for _, ref := range req.Workloads {
+		if _, err := workloads.Resolve(ref); err != nil {
+			return nil, badRequest(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cells := make([]api.SimResponse, len(req.Workloads)*len(req.Techniques))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for wi, ref := range req.Workloads {
+		for ti, tech := range req.Techniques {
+			idx := wi*len(req.Techniques) + ti
+			ref, tech := ref, tech
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := s.runCell(ctx, ref, tech, cfg)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				cells[idx] = resp
+				if j != nil {
+					j.cellDone()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := &api.BatchResponse{Cells: cells}
+	for _, c := range cells {
+		if c.Cached {
+			out.CacheHits++
+		}
+	}
+	return out, nil
+}
+
+// ---- handlers ----
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req api.SimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest(fmt.Errorf("service: bad request body: %w", err)))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	resp, err := s.runCell(ctx, req.Workload, req.Technique, s.config(req.Config))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest(fmt.Errorf("service: bad request body: %w", err)))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	if req.Async {
+		j := s.jobs.create(len(req.Workloads) * len(req.Techniques))
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if req.TimeoutMS > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
+		}
+		s.jobs.wg.Add(1)
+		go func() {
+			defer s.jobs.wg.Done()
+			defer cancel()
+			batch, err := s.runBatch(ctx, req, j)
+			j.finish(batch, err)
+		}()
+		writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	defer cancel()
+	batch, err := s.runBatch(ctx, req, nil)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, *batch)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, api.Error{Error: fmt.Sprintf("service: unknown job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// Metrics snapshots the service counters.
+func (s *Server) Metrics() api.Metrics {
+	uptime := time.Since(s.start).Seconds()
+	hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	insts := experiments.SimInstructions()
+	mips := 0.0
+	if uptime > 0 {
+		mips = float64(insts-s.startInsts) / uptime / 1e6
+	}
+	active, finished := s.jobs.counts()
+	return api.Metrics{
+		UptimeSeconds:      uptime,
+		Workers:            s.cfg.Workers,
+		BusyWorkers:        s.pool.Busy(),
+		QueueDepth:         s.pool.QueueDepth(),
+		CacheEntries:       s.cache.Len(),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheHitRate:       hitRate,
+		SingleFlightShared: s.flight.Shared(),
+		JobsActive:         active,
+		JobsDone:           finished,
+		SimInstructions:    insts,
+		SimMIPS:            mips,
+	}
+}
+
+// ---- built-workload memoization ----
+
+// baseCache memoizes built workload images by their ref identity (kernel +
+// graph; the image does not depend on the ROI), bounded by an LRU. Every
+// simulation runs on a copy-on-write Fork of the shared base — the same
+// sharing discipline as experiments.RunAll — so a batch over one graph
+// builds it once, not once per cell. Evicting a base while forks of it are
+// running is safe: the forks hold their own references.
+type baseCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List
+	items map[string]*list.Element
+}
+
+type baseEntry struct {
+	key  string
+	once sync.Once
+	w    *workloads.Workload
+}
+
+func newBaseCache(capacity int) *baseCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &baseCache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// memoize wraps spec.Build to build the base image at most once per cache
+// residency and hand out forks.
+func (b *baseCache) memoize(spec workloads.Spec) workloads.Spec {
+	ref := spec.Ref
+	ref.ROI = 0
+	keyBytes, err := json.Marshal(ref)
+	if err != nil {
+		return spec
+	}
+	entry := b.entry(string(keyBytes))
+	build := spec.Build
+	spec.Build = func() *workloads.Workload {
+		entry.once.Do(func() { entry.w = build() })
+		return entry.w.Fork()
+	}
+	return spec
+}
+
+func (b *baseCache) entry(key string) *baseEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.items[key]; ok {
+		b.order.MoveToFront(el)
+		return el.Value.(*baseEntry)
+	}
+	e := &baseEntry{key: key}
+	b.items[key] = b.order.PushFront(e)
+	for b.order.Len() > b.cap {
+		el := b.order.Back()
+		b.order.Remove(el)
+		delete(b.items, el.Value.(*baseEntry).key)
+	}
+	return e
+}

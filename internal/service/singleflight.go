@@ -1,0 +1,62 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"dvr/internal/cpu"
+)
+
+// flightGroup collapses concurrent identical jobs: while a simulation for
+// a key is in flight, later arrivals for the same key wait for its result
+// instead of simulating again. The leader's context drives the
+// computation; a follower whose own context expires first stops waiting
+// (and gets its context error) without disturbing the flight.
+type flightGroup struct {
+	mu     sync.Mutex
+	flying map[string]*flight
+	shared atomic.Uint64 // results delivered to followers
+}
+
+type flight struct {
+	done chan struct{}
+	res  cpu.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flying: make(map[string]*flight)}
+}
+
+// Do runs fn for key unless a flight for key is already in progress, in
+// which case it waits for that flight. It returns fn's (or the flight's)
+// result and whether this caller was a follower. A leader whose fn fails
+// delivers the error to every follower; they are expected to retry (the
+// cache absorbs the common case where the leader succeeded).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (cpu.Result, error)) (res cpu.Result, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flying[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			g.shared.Add(1)
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return cpu.Result{}, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flying[key] = f
+	g.mu.Unlock()
+
+	f.res, f.err = fn()
+	g.mu.Lock()
+	delete(g.flying, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}
+
+// Shared returns how many results were delivered to followers.
+func (g *flightGroup) Shared() uint64 { return g.shared.Load() }

@@ -9,6 +9,17 @@ import (
 // defaultGAPROI is the timed instruction budget for the GAP kernels.
 const defaultGAPROI = 300_000
 
+// gapKernels maps registry names to the GAP builders.
+var gapKernels = map[string]func(*graphgen.Graph) *Workload{
+	"bc": BC, "bfs": BFS, "cc": CC, "pr": PR, "sssp": SSSP,
+}
+
+func init() {
+	for name, build := range gapKernels {
+		Register(Kernel{Name: name, NeedsGraph: true, Build: build, DefaultROI: defaultGAPROI})
+	}
+}
+
 // BFS is Algorithm 1 of the paper: top-down breadth-first search over a
 // worklist. The outer striding load reads the frontier (wl[i]); the inner
 // striding load walks the edge array; the dependent indirect load checks
@@ -339,15 +350,22 @@ func SSSP(g *graphgen.Graph) *Workload {
 		Sym: map[string]uint64{"offsets": off, "edges": edges, "weights": edges + uint64(weightsOff), "dist": dist, "start": uint64(start)}}
 }
 
-// GAPSpecs returns the five GAP kernels over one graph input.
+// GAPSpecs returns the five GAP kernels over one graph input. When the
+// input carries declarative Params, each spec also carries the equivalent
+// Ref, so the suite is wire-transportable.
 func GAPSpecs(input graphgen.Input) []Spec {
 	g := input.Build()
 	mk := func(name string, build func(*graphgen.Graph) *Workload) Spec {
-		return Spec{
+		sp := Spec{
 			Name:  name + "_" + input.Name,
 			Build: func() *Workload { return build(g) },
 			ROI:   defaultGAPROI,
 		}
+		if !input.Params.Zero() {
+			p := input.Params
+			sp.Ref = Ref{Kernel: name, Graph: &p, ROI: defaultGAPROI}
+		}
+		return sp
 	}
 	return []Spec{
 		mk("bc", BC),

@@ -9,6 +9,32 @@ import (
 // defaultHPCROI is the timed instruction budget for the HPC/DB kernels.
 const defaultHPCROI = 300_000
 
+// hpcdbKernels maps registry names to the HPC/DB builders, in suite order.
+var hpcdbKernels = []struct {
+	name  string
+	build func() *Workload
+}{
+	{"camel", Camel},
+	{"graph500", Graph500},
+	{"hj2", HJ2},
+	{"hj8", HJ8},
+	{"kangaroo", Kangaroo},
+	{"nas-cg", NASCG},
+	{"nas-is", NASIS},
+	{"randomaccess", RandomAccess},
+}
+
+func init() {
+	for _, k := range hpcdbKernels {
+		build := k.build
+		Register(Kernel{
+			Name:       k.name,
+			Build:      func(*graphgen.Graph) *Workload { return build() },
+			DefaultROI: defaultHPCROI,
+		})
+	}
+}
+
 // Camel is the Figure 1 kernel: C[hash(B[hash(A[i])])]++ — a two-level
 // indirect chain through hash functions, the motivating pattern of Vector
 // Runahead.
@@ -330,19 +356,17 @@ func RandomAccess() *Workload {
 		Sym: map[string]uint64{"ran": ran, "t": t, "n": n, "tbl": tbl}}
 }
 
-// HPCDBSpecs returns the eight hpc-db benchmarks.
+// HPCDBSpecs returns the eight hpc-db benchmarks, each carrying its
+// declarative Ref.
 func HPCDBSpecs() []Spec {
-	mk := func(name string, build func() *Workload) Spec {
-		return Spec{Name: name, Build: build, ROI: defaultHPCROI}
+	specs := make([]Spec, 0, len(hpcdbKernels))
+	for _, k := range hpcdbKernels {
+		specs = append(specs, Spec{
+			Name:  k.name,
+			Build: k.build,
+			ROI:   defaultHPCROI,
+			Ref:   Ref{Kernel: k.name, ROI: defaultHPCROI},
+		})
 	}
-	return []Spec{
-		mk("camel", Camel),
-		mk("graph500", Graph500),
-		mk("hj2", HJ2),
-		mk("hj8", HJ8),
-		mk("kangaroo", Kangaroo),
-		mk("nas-cg", NASCG),
-		mk("nas-is", NASIS),
-		mk("randomaccess", RandomAccess),
-	}
+	return specs
 }

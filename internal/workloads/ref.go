@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dvr/internal/graphgen"
+)
+
+// Ref is the declarative, serializable form of a benchmark: a kernel name
+// from the registry, the graph parameters when the kernel consumes one, and
+// the timed instruction budget. Unlike Spec's Build closure, a Ref can
+// cross a process boundary (the dvrd wire API carries it) and be hashed
+// into a content-addressed cache key. Resolve turns it back into a
+// runnable Spec.
+type Ref struct {
+	Kernel string           `json:"kernel"`
+	Graph  *graphgen.Params `json:"graph,omitempty"`
+	ROI    uint64           `json:"roi,omitempty"` // 0 = kernel default
+}
+
+// SpecName returns the benchmark name Resolve will give the spec: the bare
+// kernel name, suffixed with the graph label for graph kernels (matching
+// GAPSpecs' naming, so server-side and in-process results line up).
+func (r Ref) SpecName() string {
+	if r.Graph != nil {
+		return r.Kernel + "_" + r.Graph.Label()
+	}
+	return r.Kernel
+}
+
+// Kernel is a registered benchmark builder. Graph kernels (NeedsGraph)
+// receive the instantiated input graph; the others receive nil.
+type Kernel struct {
+	Name       string
+	NeedsGraph bool
+	Build      func(g *graphgen.Graph) *Workload
+	DefaultROI uint64
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Kernel
+}{m: make(map[string]Kernel)}
+
+// Register adds a kernel to the registry. Registering an empty name, a nil
+// builder, or a name twice is a programming error and panics. The built-in
+// kernels register themselves; callers may add their own (see
+// examples/customkernel) to make custom benchmarks Ref-addressable.
+func Register(k Kernel) {
+	if k.Name == "" || k.Build == nil {
+		panic("workloads: Register needs a name and a builder")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[k.Name]; dup {
+		panic(fmt.Sprintf("workloads: kernel %q registered twice", k.Name))
+	}
+	registry.m[k.Name] = k
+}
+
+// Kernels returns the registered kernel names, sorted.
+func Kernels() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolve validates a Ref against the registry and returns a runnable
+// Spec. The returned Build closure generates the graph (when any) and the
+// workload image on each call; callers that run one Ref many times should
+// memoize the base and Fork it, as the experiment catalog and the dvrd
+// server do.
+func Resolve(r Ref) (Spec, error) {
+	registry.RLock()
+	k, ok := registry.m[r.Kernel]
+	registry.RUnlock()
+	if !ok {
+		return Spec{}, fmt.Errorf("workloads: unknown kernel %q (known: %v)", r.Kernel, Kernels())
+	}
+	if k.NeedsGraph {
+		if r.Graph == nil {
+			return Spec{}, fmt.Errorf("workloads: kernel %q needs graph parameters", r.Kernel)
+		}
+		if err := r.Graph.Validate(); err != nil {
+			return Spec{}, err
+		}
+	} else if r.Graph != nil {
+		return Spec{}, fmt.Errorf("workloads: kernel %q does not take a graph", r.Kernel)
+	}
+	roi := r.ROI
+	if roi == 0 {
+		roi = k.DefaultROI
+	}
+	spec := Spec{
+		Name: r.SpecName(),
+		ROI:  roi,
+		Ref:  r,
+		Build: func() *Workload {
+			var g *graphgen.Graph
+			if k.NeedsGraph {
+				var err error
+				g, err = r.Graph.Generate()
+				if err != nil {
+					// Validated above; a failure here is a registry bug.
+					panic(err)
+				}
+			}
+			return k.Build(g)
+		},
+	}
+	spec.Ref.ROI = roi
+	return spec, nil
+}

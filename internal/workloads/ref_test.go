@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"dvr/internal/graphgen"
+)
+
+func TestResolveUnknownKernel(t *testing.T) {
+	if _, err := Resolve(Ref{Kernel: "no-such-kernel"}); err == nil {
+		t.Fatal("expected error for unknown kernel")
+	}
+}
+
+func TestResolveGraphRequirements(t *testing.T) {
+	if _, err := Resolve(Ref{Kernel: "bfs"}); err == nil {
+		t.Error("graph kernel without graph params should fail to resolve")
+	}
+	p := graphgen.Params{Gen: graphgen.GenKronecker, Scale: 8, EdgeFactor: 4, Seed: 1, Name: "T"}
+	if _, err := Resolve(Ref{Kernel: "camel", Graph: &p}); err == nil {
+		t.Error("non-graph kernel with graph params should fail to resolve")
+	}
+	if _, err := Resolve(Ref{Kernel: "bfs", Graph: &graphgen.Params{Gen: "bogus"}}); err == nil {
+		t.Error("invalid graph params should fail to resolve")
+	}
+}
+
+func TestResolveNamesAndDefaults(t *testing.T) {
+	p := graphgen.Params{Gen: graphgen.GenKronecker, Scale: 8, EdgeFactor: 4, Seed: 1, Name: "T"}
+	spec, err := Resolve(Ref{Kernel: "bfs", Graph: &p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "bfs_T" {
+		t.Errorf("spec name = %q, want bfs_T (matching GAPSpecs naming)", spec.Name)
+	}
+	if spec.ROI == 0 || spec.Ref.ROI != spec.ROI {
+		t.Errorf("default ROI not normalized: spec.ROI=%d ref.ROI=%d", spec.ROI, spec.Ref.ROI)
+	}
+	w := spec.Build()
+	if w.Name != "bfs" {
+		t.Errorf("built workload = %q, want bfs", w.Name)
+	}
+
+	hp, err := Resolve(Ref{Kernel: "nas-is"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Name != "nas-is" || hp.ROI == 0 {
+		t.Errorf("hpcdb resolve: name=%q roi=%d", hp.Name, hp.ROI)
+	}
+}
+
+func TestRefJSONRoundTrip(t *testing.T) {
+	p := graphgen.Params{Gen: graphgen.GenPowerLaw, N: 1000, M: 8000, Alpha: 2.3, Seed: 9, Name: "RT"}
+	in := Ref{Kernel: "pr", Graph: &p, ROI: 12_345}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Ref
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the ref:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestSuiteSpecsCarryRefs(t *testing.T) {
+	in := graphgen.Params{Gen: graphgen.GenKronecker, Scale: 8, EdgeFactor: 4, Seed: 3, Name: "RS"}.Input()
+	for _, sp := range GAPSpecs(in) {
+		if sp.Ref.Kernel == "" || sp.Ref.Graph == nil {
+			t.Errorf("%s: GAP spec over declarative input missing ref", sp.Name)
+		}
+		if sp.Ref.SpecName() != sp.Name {
+			t.Errorf("ref spec name %q != spec name %q", sp.Ref.SpecName(), sp.Name)
+		}
+	}
+	for _, sp := range HPCDBSpecs() {
+		if sp.Ref.Kernel != sp.Name {
+			t.Errorf("%s: hpcdb spec missing ref", sp.Name)
+		}
+	}
+}
+
+func TestWithROIKeepsRefFaithful(t *testing.T) {
+	sp := HPCDBSpecs()[0].WithROI(777)
+	if sp.ROI != 777 || sp.Ref.ROI != 777 {
+		t.Errorf("WithROI: spec.ROI=%d ref.ROI=%d, want both 777", sp.ROI, sp.Ref.ROI)
+	}
+}

@@ -66,11 +66,26 @@ func (w *Workload) Fork() *Workload {
 	return &c
 }
 
-// Spec is a buildable benchmark for the experiment harness.
+// Spec is a buildable benchmark for the experiment harness. Build is the
+// in-process form; Ref, when set (the built-in suites set it), is the
+// equivalent declarative form that can be serialized, shipped to a dvrd
+// server and hashed into a cache key. A Spec with a zero Ref (custom
+// closure) still runs locally but cannot cross a process boundary.
 type Spec struct {
 	Name  string
 	Build func() *Workload
 	ROI   uint64
+	Ref   Ref
+}
+
+// WithROI returns the spec with its timed budget (and its Ref's, so the
+// declarative form stays faithful) replaced.
+func (s Spec) WithROI(roi uint64) Spec {
+	s.ROI = roi
+	if s.Ref.Kernel != "" {
+		s.Ref.ROI = roi
+	}
+	return s
 }
 
 // arena hands out non-overlapping, page-aligned memory regions.
