@@ -235,6 +235,14 @@ func serverMatrix(base string, specs []workloads.Spec, techs []experiments.Techn
 	if len(resp.Cells) != len(specs)*len(techs) {
 		return nil, fmt.Errorf("server returned %d cells, want %d", len(resp.Cells), len(specs)*len(techs))
 	}
+	// A cell-level failure (a recovered worker panic, reported in place so
+	// the rest of the batch completed) still fails the figure: a matrix
+	// with a hole cannot be rendered.
+	for i, c := range resp.Cells {
+		if c.Error != nil {
+			return nil, fmt.Errorf("server cell %d failed (%s): %s", i, c.Error.Code, c.Error.Error)
+		}
+	}
 	// To stderr so -json output stays parseable.
 	fmt.Fprintf(os.Stderr, "[server: %d/%d cells from cache]\n", resp.CacheHits, len(resp.Cells))
 	m := make(map[string]map[experiments.Technique]cpu.Result, len(specs))

@@ -49,6 +49,12 @@ func main() {
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	if *cacheDir != "" {
+		h := srv.SpillHealth()
+		fmt.Printf("dvrd: spill scan: %d entries, %d healthy, %d quarantined\n",
+			h.Scanned, h.Healthy, h.Quarantined)
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("dvrd: listening on %s (%d kernels registered)\n", *addr, len(workloads.Kernels()))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -131,7 +132,34 @@ type Cell struct {
 }
 
 // RunAll executes the cells concurrently (one simulation per core) and
-// returns results in input order.
+// returns results in input order. It panics on any failure — the
+// trusted-input convenience for the in-process figure harnesses; paths
+// that serve untrusted jobs (the dvrd service and anything like it) use
+// RunAllE, which returns errors instead.
+func RunAll(cells []Cell) []cpu.Result {
+	results, err := RunAllE(context.Background(), cells)
+	if err != nil {
+		panic(err)
+	}
+	return results
+}
+
+// buildWorkload runs spec.Build with panics converted to errors: a graph
+// generator or kernel builder that panics (a registry bug, a hostile
+// custom kernel) fails the cells that need it instead of unwinding the
+// whole runner.
+func buildWorkload(spec workloads.Spec) (w *workloads.Workload, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: building %s: %v", spec.Name, r)
+		}
+	}()
+	return spec.Build(), nil
+}
+
+// RunAllE is the error-returning core of RunAll: the first failure (an
+// unknown technique, a workload that fails to build, ctx expiry) cancels
+// the remaining cells and is returned; nothing panics.
 //
 // Cells that name the same benchmark share one built workload: the image
 // is built once (workload construction rivals simulation cost on quick
@@ -139,11 +167,14 @@ type Cell struct {
 // is observationally identical to a fresh build. Spec names are assumed to
 // identify the built workload, which holds for every suite in this
 // package (names encode kernel and input).
-func RunAll(cells []Cell) []cpu.Result {
+func RunAllE(ctx context.Context, cells []Cell) ([]cpu.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	results := make([]cpu.Result, len(cells))
 	type lazyBase struct {
 		once sync.Once
 		w    *workloads.Workload
+		err  error
 	}
 	bases := make(map[string]*lazyBase, len(cells))
 	for _, c := range cells {
@@ -151,10 +182,13 @@ func RunAll(cells []Cell) []cpu.Result {
 			bases[c.Spec.Name] = &lazyBase{}
 		}
 	}
-	runCell := func(c Cell) cpu.Result {
+	runCell := func(c Cell) (cpu.Result, error) {
 		b := bases[c.Spec.Name]
-		b.once.Do(func() { b.w = c.Spec.Build() })
-		return runWorkload(b.w.Fork(), c.Spec, c.Tech, c.Cfg)
+		b.once.Do(func() { b.w, b.err = buildWorkload(c.Spec) })
+		if b.err != nil {
+			return cpu.Result{}, b.err
+		}
+		return runWorkloadE(ctx, b.w.Fork(), c.Spec, c.Tech, c.Cfg)
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(cells) {
@@ -163,14 +197,26 @@ func RunAll(cells []Cell) []cpu.Result {
 	if workers < 1 {
 		workers = 1
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = runCell(cells[i])
+				res, err := runCell(cells[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					continue
+				}
+				results[i] = res
 			}
 		}()
 	}
@@ -179,19 +225,37 @@ func RunAll(cells []Cell) []cpu.Result {
 	}
 	close(next)
 	wg.Wait()
-	return results
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 // Matrix runs every benchmark under every technique with one config and
-// returns results[benchmark][technique].
+// returns results[benchmark][technique]. Like RunAll it panics on
+// failure; MatrixE is the error-returning form.
 func Matrix(specs []workloads.Spec, techs []Technique, cfg cpu.Config) map[string]map[Technique]cpu.Result {
+	m, err := MatrixE(context.Background(), specs, techs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// MatrixE runs every benchmark under every technique with one config and
+// returns results[benchmark][technique], propagating the first failure
+// instead of panicking.
+func MatrixE(ctx context.Context, specs []workloads.Spec, techs []Technique, cfg cpu.Config) (map[string]map[Technique]cpu.Result, error) {
 	var cells []Cell
 	for _, sp := range specs {
 		for _, tech := range techs {
 			cells = append(cells, Cell{Spec: sp, Tech: tech, Cfg: cfg})
 		}
 	}
-	res := RunAll(cells)
+	res, err := RunAllE(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]map[Technique]cpu.Result, len(specs))
 	i := 0
 	for _, sp := range specs {
@@ -202,5 +266,5 @@ func Matrix(specs []workloads.Spec, techs []Technique, cfg cpu.Config) map[strin
 		}
 		out[sp.Name] = row
 	}
-	return out
+	return out, nil
 }

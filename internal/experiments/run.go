@@ -63,7 +63,10 @@ func ParseTechnique(s string) (Technique, error) {
 
 // Run simulates one benchmark under one technique and returns the result.
 // It panics on an unknown technique (a programming error in-process); use
-// RunE where the technique arrives from outside the program.
+// RunE where the technique arrives from outside the program. Every path
+// that serves external jobs (the dvrd service, RunAllE/MatrixE) goes
+// through RunE, so a panic here is the exception the service's recover
+// path catches, never the norm.
 func Run(spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
 	res, err := RunE(context.Background(), spec, tech, cfg)
 	if err != nil {

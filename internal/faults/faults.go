@@ -1,0 +1,87 @@
+// Package faults is the fault-injection seam of the dvrd service: a small
+// set of hook points (a filesystem interface for the cache spill, a
+// pre-simulation hook for scripted worker panics and slowdowns) that
+// default to no-ops in production and are swapped for scripted fault
+// schedules by the chaos test suite. The paper's mechanism survives bad
+// speculation by validating and falling back (PAPER.md §4); the serving
+// layer earns the same property by being exercised under these injected
+// failures — see internal/service's chaos tests.
+package faults
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem surface the service's disk paths go through. The
+// production implementation (OS) delegates to the os package; FaultyFS
+// wraps any FS with scripted failures and corruption. Keeping the surface
+// this narrow — exactly the calls the cache spill makes — is what keeps
+// the injection honest: there is no side door to the disk.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// CreateTemp creates a uniquely-named file in dir (pattern as in
+	// os.CreateTemp) and returns its path; the caller writes it with
+	// WriteFile and publishes it with Rename.
+	CreateTemp(dir, pattern string) (string, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) CreateTemp(dir, pattern string) (string, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return "", err
+	}
+	name := f.Name()
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Injector bundles every hook point. A nil *Injector (the production
+// default) and a zero Injector both behave as "no faults": the accessors
+// below are nil-safe, so the service never branches on whether injection
+// is configured.
+type Injector struct {
+	// FS overrides the filesystem used for cache-spill I/O; nil means OS().
+	FS FS
+	// BeforeSim runs at the start of every pooled simulation with the
+	// job's cache key. A schedule may sleep here (slow-simulation faults)
+	// or panic (scripted worker crashes); the pool's recover path must
+	// contain either.
+	BeforeSim func(key string)
+}
+
+// Filesystem returns the FS to use for spill I/O; the real one unless
+// overridden.
+func (in *Injector) Filesystem() FS {
+	if in == nil || in.FS == nil {
+		return OS()
+	}
+	return in.FS
+}
+
+// Sim invokes the pre-simulation hook, if any. It may panic by design.
+func (in *Injector) Sim(key string) {
+	if in != nil && in.BeforeSim != nil {
+		in.BeforeSim(key)
+	}
+}

@@ -58,6 +58,11 @@ type SimResponse struct {
 	Key    string     `json:"key"`
 	Cached bool       `json:"cached"`
 	Result cpu.Result `json:"result"`
+	// Error is set on batch cells whose simulation failed in isolation (a
+	// recovered worker panic): the rest of the batch still completes and
+	// this cell carries the typed failure instead of a result. Single-cell
+	// /v1/sim failures use the HTTP error body, not this field.
+	Error *Error `json:"error,omitempty"`
 }
 
 // BatchRequest asks for a cell matrix: every workload under every
@@ -104,6 +109,8 @@ type BatchResponse struct {
 	Cells []SimResponse `json:"cells,omitempty"`
 	// CacheHits counts cells answered from the result cache.
 	CacheHits int `json:"cache_hits"`
+	// Failed counts cells that carry an Error instead of a Result.
+	Failed int `json:"failed,omitempty"`
 }
 
 // Job states reported by JobStatus.
@@ -124,10 +131,28 @@ type JobStatus struct {
 	Batch *BatchResponse `json:"batch,omitempty"`
 }
 
-// Error is the JSON body of every non-2xx response.
+// Error is the JSON body of every non-2xx response (and of failed batch
+// cells). Code classifies the failure for programmatic handling; see
+// DESIGN.md's "failure model" section for the full table.
 type Error struct {
+	// Code is one of: bad_request, timeout, canceled, overloaded,
+	// shutting_down, internal, not_found.
+	Code  string `json:"code,omitempty"`
 	Error string `json:"error"`
 }
+
+// Error codes carried by Error.Code. Overloaded and ShuttingDown are
+// retryable (the response carries a Retry-After header and jobs are
+// idempotent by cache key); the others are not.
+const (
+	CodeBadRequest   = "bad_request"
+	CodeTimeout      = "timeout"
+	CodeCanceled     = "canceled"
+	CodeOverloaded   = "overloaded"
+	CodeShuttingDown = "shutting_down"
+	CodeInternal     = "internal"
+	CodeNotFound     = "not_found"
+)
 
 // Metrics is the GET /metrics snapshot.
 type Metrics struct {
@@ -145,6 +170,16 @@ type Metrics struct {
 
 	JobsActive int `json:"jobs_active"`
 	JobsDone   int `json:"jobs_done"`
+
+	// PanicsRecovered counts worker panics recovered into per-job errors;
+	// ShedTotal counts requests rejected 429 on a full queue;
+	// SingleFlightRetries counts followers that re-ran a job after their
+	// leader failed; SpillQuarantined counts corrupt disk-spill entries
+	// moved to the quarantine directory (startup scan + runtime reads).
+	PanicsRecovered     uint64 `json:"panics_recovered"`
+	ShedTotal           uint64 `json:"shed_total"`
+	SingleFlightRetries uint64 `json:"single_flight_retries"`
+	SpillQuarantined    uint64 `json:"spill_quarantined"`
 
 	// SimInstructions is the cumulative timed-instruction count simulated
 	// by this process (experiments.SimInstructions); SimMIPS divides the

@@ -1,16 +1,20 @@
 package service
 
 import (
+	"bytes"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"os"
+	"errors"
+	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"dvr/internal/cpu"
+	"dvr/internal/faults"
 	"dvr/internal/service/api"
 	"dvr/internal/workloads"
 )
@@ -36,20 +40,86 @@ func CacheKey(ref workloads.Ref, tech string, cfg cpu.Config) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// Spill integrity: every spill file carries a digest footer —
+//
+//	<canonical result JSON>\n# sha256:<hex of the JSON bytes>\n
+//
+// verified on every read. A file whose footer is missing or whose digest
+// does not match is quarantined (moved to <dir>/quarantine/, never served,
+// never re-read) and counted at /metrics as spill_quarantined; the job
+// simply re-simulates. Write-path corruption (torn writes, bit rot, a
+// hostile or failing disk) therefore degrades to a cache miss, never to a
+// wrong figure.
+const spillFooterPrefix = "# sha256:"
+
+// errSpillCorrupt marks a spill entry that failed integrity verification
+// (as opposed to one from an older result schema, which is a plain miss).
+var errSpillCorrupt = errors.New("service: corrupt spill entry")
+
+func encodeSpill(res cpu.Result) ([]byte, error) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	buf := make([]byte, 0, len(data)+len(spillFooterPrefix)+2*len(sum)+2)
+	buf = append(buf, data...)
+	buf = append(buf, '\n')
+	buf = append(buf, spillFooterPrefix...)
+	buf = append(buf, hex.EncodeToString(sum[:])...)
+	buf = append(buf, '\n')
+	return buf, nil
+}
+
+func decodeSpill(data []byte) (cpu.Result, error) {
+	i := bytes.LastIndex(data, []byte("\n"+spillFooterPrefix))
+	if i < 0 {
+		return cpu.Result{}, fmt.Errorf("%w: missing digest footer", errSpillCorrupt)
+	}
+	payload := data[:i]
+	footer := strings.TrimSuffix(string(data[i+1+len(spillFooterPrefix):]), "\n")
+	sum := sha256.Sum256(payload)
+	if footer != hex.EncodeToString(sum[:]) {
+		return cpu.Result{}, fmt.Errorf("%w: digest mismatch", errSpillCorrupt)
+	}
+	var res cpu.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return cpu.Result{}, fmt.Errorf("%w: %v", errSpillCorrupt, err)
+	}
+	if res.SchemaVersion != cpu.ResultSchemaVersion {
+		// Intact but from another engine build; the key should have
+		// prevented this, treat it as a miss rather than corruption.
+		return cpu.Result{}, errors.New("service: spill schema mismatch")
+	}
+	return res, nil
+}
+
+// SpillHealth summarizes the startup scan of a spill directory.
+type SpillHealth struct {
+	Scanned     int // spill entries examined
+	Healthy     int // entries whose digest verified
+	Quarantined int // corrupt entries moved to quarantine/
+}
+
 // resultCache is a bounded in-memory LRU of canonical Results with an
 // optional disk spill: entries evicted from (or missing in) memory are
 // read back from <dir>/<key>.json when a directory is configured, so a
 // restarted server keeps its history. Disk I/O is best-effort — a
-// corrupted or unwritable spill degrades to a miss, never an error.
+// corrupted or unwritable spill degrades to a miss, never an error — and
+// goes through a faults.FS so the chaos suite can script disk failures.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used; values are *cacheEntry
 	items map[string]*list.Element
 	dir   string
+	fs    faults.FS
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	corrupt atomic.Uint64 // spill entries quarantined (startup scan + reads)
+
+	health SpillHealth
 }
 
 type cacheEntry struct {
@@ -57,22 +127,30 @@ type cacheEntry struct {
 	res cpu.Result
 }
 
-func newResultCache(capacity int, dir string) *resultCache {
+func newResultCache(capacity int, dir string, fsys faults.FS) *resultCache {
 	if capacity < 1 {
 		capacity = 1
 	}
+	if fsys == nil {
+		fsys = faults.OS()
+	}
 	if dir != "" {
 		// Best-effort: a failed mkdir disables the spill, not the server.
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			dir = ""
 		}
 	}
-	return &resultCache{
+	c := &resultCache{
 		cap:   capacity,
 		order: list.New(),
 		items: make(map[string]*list.Element),
 		dir:   dir,
+		fs:    fsys,
 	}
+	if dir != "" {
+		c.health = c.scanSpill()
+	}
+	return c
 }
 
 // Get returns the cached canonical result for key, consulting memory then
@@ -145,6 +223,13 @@ func (c *resultCache) Len() int {
 	return c.order.Len()
 }
 
+// Quarantined returns how many spill entries failed integrity checks and
+// were quarantined, including the startup scan.
+func (c *resultCache) Quarantined() uint64 { return c.corrupt.Load() }
+
+// Health returns the startup spill-scan summary.
+func (c *resultCache) Health() SpillHealth { return c.health }
+
 func (c *resultCache) spillPath(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
@@ -153,30 +238,86 @@ func (c *resultCache) readSpill(key string) (cpu.Result, bool) {
 	if c.dir == "" {
 		return cpu.Result{}, false
 	}
-	data, err := os.ReadFile(c.spillPath(key))
+	data, err := c.fs.ReadFile(c.spillPath(key))
 	if err != nil {
 		return cpu.Result{}, false
 	}
-	var res cpu.Result
-	if err := json.Unmarshal(data, &res); err != nil || res.SchemaVersion != cpu.ResultSchemaVersion {
+	res, err := decodeSpill(data)
+	if err != nil {
+		if errors.Is(err, errSpillCorrupt) {
+			c.quarantine(key)
+		}
 		return cpu.Result{}, false
 	}
 	return res, true
+}
+
+// quarantine moves a corrupt spill entry to <dir>/quarantine/ so it is
+// never served and never re-read; if the move itself fails the entry is
+// deleted outright. Either way the slot re-simulates on the next miss.
+func (c *resultCache) quarantine(key string) {
+	qdir := filepath.Join(c.dir, "quarantine")
+	_ = c.fs.MkdirAll(qdir, 0o755)
+	if err := c.fs.Rename(c.spillPath(key), filepath.Join(qdir, key+".json")); err != nil {
+		_ = c.fs.Remove(c.spillPath(key))
+	}
+	c.corrupt.Add(1)
 }
 
 func (c *resultCache) writeSpill(key string, res cpu.Result) {
 	if c.dir == "" {
 		return
 	}
-	data, err := json.Marshal(res)
+	data, err := encodeSpill(res)
 	if err != nil {
 		return
 	}
-	// Write-then-rename so a crashed write never leaves a truncated entry
-	// to be misread as a miss-with-garbage later.
-	tmp := c.spillPath(key) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// CreateTemp-then-rename: unique tmp names keep two processes sharing
+	// one spill dir from clobbering each other's half-written <key>.tmp,
+	// and the rename keeps a crashed write from ever being visible under
+	// the final name.
+	tmp, err := c.fs.CreateTemp(c.dir, key+".*.tmp")
+	if err != nil {
 		return
 	}
-	_ = os.Rename(tmp, c.spillPath(key))
+	if err := c.fs.WriteFile(tmp, data, 0o644); err != nil {
+		_ = c.fs.Remove(tmp)
+		return
+	}
+	if err := c.fs.Rename(tmp, c.spillPath(key)); err != nil {
+		_ = c.fs.Remove(tmp)
+	}
+}
+
+// scanSpill verifies every spill entry at startup, quarantining the
+// corrupt ones, and returns the tally. The scan makes spill health
+// visible at boot (dvrd logs it) instead of surfacing one quarantine at a
+// time as reads happen to land on bad entries.
+func (c *resultCache) scanSpill() SpillHealth {
+	var h SpillHealth
+	entries, err := c.fs.ReadDir(c.dir)
+	if err != nil {
+		return h
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		h.Scanned++
+		key := strings.TrimSuffix(name, ".json")
+		data, err := c.fs.ReadFile(c.spillPath(key))
+		if err != nil {
+			continue
+		}
+		if _, err := decodeSpill(data); err != nil {
+			if errors.Is(err, errSpillCorrupt) {
+				c.quarantine(key)
+				h.Quarantined++
+			}
+			continue
+		}
+		h.Healthy++
+	}
+	return h
 }

@@ -1,33 +1,129 @@
 // Package client is the Go client of the dvrd simulation service: thin,
-// typed wrappers over the wire API in internal/service/api. The figure
-// harnesses use it (dvrbench -server) to run benchmark matrices against a
-// shared server and its result cache instead of simulating in-process.
+// typed wrappers over the wire API in internal/service/api, plus the
+// retry discipline the failure model calls for (DESIGN.md, "failure
+// model"): capped exponential backoff with jitter, a wall-clock retry
+// budget, and Retry-After honored on 429/503. Retrying a simulation is
+// always safe — jobs are idempotent by content-addressed cache key — so
+// transient overload and restarts are absorbed here instead of surfacing
+// to every figure harness. The harnesses use it (dvrbench -server) to run
+// benchmark matrices against a shared server and its result cache instead
+// of simulating in-process.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"dvr/internal/service/api"
 )
 
+// APIError is a non-2xx response, carrying the server's typed error body.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // api.Error.Code ("overloaded", "internal", ...)
+	Message string // api.Error.Error
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	RetryAfter time.Duration
+
+	method, path string
+}
+
+func (e *APIError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = http.StatusText(e.Status)
+	}
+	return fmt.Sprintf("client: %s %s: %s (status %d, code %s)", e.method, e.path, msg, e.Status, e.Code)
+}
+
+// Temporary reports whether the failure is worth retrying: the server
+// shed the request (429) or is restarting/draining (503). Timeouts (504)
+// are not retried — the job's own deadline expired and a retry would
+// spend it again — and 4xx/5xx others are deterministic.
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// RetryPolicy shapes the client's retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (first attempt
+	// included); 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (doubled per attempt).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep.
+	MaxDelay time.Duration
+	// Budget caps the total time spent sleeping between retries of one
+	// call; once spent, the last error is returned. This is the retry
+	// budget: a hard bound on how long overload can stretch a request.
+	Budget time.Duration
+}
+
+// DefaultRetryPolicy absorbs brief overload (a few shed requests during a
+// queue spike) without turning a down server into a minutes-long hang.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Budget: 15 * time.Second}
+}
+
+// delay computes the sleep before retry number attempt (0-based): capped
+// exponential backoff with equal jitter, raised to the server's
+// Retry-After hint when that is longer. Jitter is what keeps a fleet of
+// shed clients from re-converging on the same instant.
+func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay << attempt
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	if d > 0 {
+		d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithRetryPolicy replaces the default retry policy.
+func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.policy = p } }
+
+// WithHTTPClient replaces the underlying http.Client.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
 // Client talks to one dvrd server.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	policy  RetryPolicy
+	retries atomic.Uint64
 }
 
 // New returns a client for the server at base (e.g. "http://127.0.0.1:8377").
 // The zero http.Client timeout is deliberate: simulation requests carry
 // their own deadlines (timeout_ms), which the server enforces.
-func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}, policy: DefaultRetryPolicy()}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
+
+// Retries returns how many retry attempts this client has made (all calls).
+func (c *Client) Retries() uint64 { return c.retries.Load() }
 
 // Sim runs one cell.
 func (c *Client) Sim(ctx context.Context, req api.SimRequest) (api.SimResponse, error) {
@@ -57,7 +153,8 @@ func (c *Client) Metrics(ctx context.Context) (api.Metrics, error) {
 	return resp, err
 }
 
-// Healthz checks liveness.
+// Healthz checks liveness. It does not retry: a health probe's job is to
+// report the current truth, not to wait for a better one.
 func (c *Client) Healthz(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
@@ -74,20 +171,55 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return nil
 }
 
+// do runs one API call through the retry loop: transport errors and
+// Temporary API errors (429/503) are retried under the policy's attempt
+// and budget caps; everything else returns immediately. Safe because
+// every job is idempotent by cache key — a retried request that already
+// ran on the server is a cache hit, not a second simulation.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
+	}
+	var slept time.Duration
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, data, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) || attempt+1 >= max(c.policy.MaxAttempts, 1) {
+			return err
+		}
+		d := c.policy.delay(attempt, retryAfterOf(err))
+		if c.policy.Budget > 0 && slept+d > c.policy.Budget {
+			return err
+		}
+		slept += d
+		c.retries.Add(1)
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// once performs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, method, path string, data []byte, out any) error {
+	var rd io.Reader
+	if data != nil {
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -96,11 +228,42 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var apiErr api.Error
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("client: %s %s: %s (%s)", method, path, apiErr.Error, resp.Status)
+		apiErr := &APIError{Status: resp.StatusCode, method: method, path: path}
+		var body api.Error
+		if json.NewDecoder(resp.Body).Decode(&body) == nil {
+			apiErr.Code = body.Code
+			apiErr.Message = body.Error
 		}
-		return fmt.Errorf("client: %s %s: %s", method, path, resp.Status)
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+			apiErr.RetryAfter = time.Duration(s) * time.Second
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// retryable classifies an error from once: Temporary API errors and
+// transport-level failures (connection refused during a restart, reset
+// mid-flight) retry; context expiry and deterministic API errors do not.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Temporary()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+func retryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
 }

@@ -2,21 +2,42 @@ package service
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
 
+// PanicError is a panic recovered inside a pool worker, converted into an
+// error for the one job that caused it. The daemon survives: the worker
+// goroutine keeps draining the queue, the batch reports a per-cell
+// failure, and /metrics counts it under panics_recovered. Stack is the
+// panicking goroutine's trace, captured at recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("service: panic in simulation worker: %v\n%s", e.Value, e.Stack)
+}
+
 // pool is a bounded worker pool: a fixed number of goroutines draining a
 // bounded task queue. It is what keeps a burst of requests from spawning a
 // simulation per connection — queue depth and worker occupancy are the
-// service's backpressure signals (exposed at /metrics).
+// service's backpressure signals (exposed at /metrics). A panic inside a
+// task is recovered at the submission wrapper and returned to the
+// submitter as *PanicError; a full queue on the non-blocking path sheds
+// the request (HTTP 429) instead of stalling the connection.
 type pool struct {
 	mu       sync.RWMutex // guards tasks against send-after-close
 	isClosed bool
 	tasks    chan func()
 
-	wg   sync.WaitGroup
-	busy atomic.Int64
+	wg     sync.WaitGroup
+	busy   atomic.Int64
+	panics atomic.Uint64 // tasks that panicked and were recovered
+	shed   atomic.Uint64 // submissions rejected because the queue was full
 }
 
 func newPool(workers, queue int) *pool {
@@ -44,11 +65,31 @@ func newPool(workers, queue int) *pool {
 // Do enqueues fn and waits for it to finish, giving up early when ctx is
 // done (the task may still run; fn is responsible for observing ctx and
 // returning promptly). The deadline-exceeded path therefore frees both the
-// caller and, via fn's own ctx check, the worker.
+// caller and, via fn's own ctx check, the worker. If fn panics, Do returns
+// the recovered *PanicError. Do blocks when the queue is full — use TryDo
+// where a stalled connection is worse than a 429.
 func (p *pool) Do(ctx context.Context, fn func()) error {
+	return p.submit(ctx, fn, true)
+}
+
+// TryDo is Do with non-blocking admission: a full queue returns
+// errOverloaded immediately (the server maps it to 429 + Retry-After)
+// instead of parking the caller behind every queued job.
+func (p *pool) TryDo(ctx context.Context, fn func()) error {
+	return p.submit(ctx, fn, false)
+}
+
+func (p *pool) submit(ctx context.Context, fn func(), block bool) error {
 	done := make(chan struct{})
+	var panicErr error
 	task := func() {
 		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				p.panics.Add(1)
+				panicErr = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
 		fn()
 	}
 	p.mu.RLock()
@@ -56,16 +97,29 @@ func (p *pool) Do(ctx context.Context, fn func()) error {
 		p.mu.RUnlock()
 		return errShuttingDown
 	}
-	select {
-	case <-ctx.Done():
-		p.mu.RUnlock()
-		return ctx.Err()
-	case p.tasks <- task:
-		p.mu.RUnlock()
+	if block {
+		select {
+		case <-ctx.Done():
+			p.mu.RUnlock()
+			return ctx.Err()
+		case p.tasks <- task:
+			p.mu.RUnlock()
+		}
+	} else {
+		select {
+		case p.tasks <- task:
+			p.mu.RUnlock()
+		default:
+			p.mu.RUnlock()
+			p.shed.Add(1)
+			return errOverloaded
+		}
 	}
 	select {
 	case <-done:
-		return nil
+		// done closing happens after the recover wrapper ran, so the
+		// panicErr write is visible here.
+		return panicErr
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -76,6 +130,16 @@ func (p *pool) QueueDepth() int { return len(p.tasks) }
 
 // Busy returns the number of workers currently running a task.
 func (p *pool) Busy() int { return int(p.busy.Load()) }
+
+// Saturated reports whether the task queue is full — the admission signal
+// the batch handler checks before fanning a matrix out.
+func (p *pool) Saturated() bool { return len(p.tasks) == cap(p.tasks) }
+
+// Panics returns how many worker panics were recovered.
+func (p *pool) Panics() uint64 { return p.panics.Load() }
+
+// Shed returns how many submissions were load-shed on a full queue.
+func (p *pool) Shed() uint64 { return p.shed.Load() }
 
 // Close stops accepting tasks, drains the queue and waits for the workers
 // to finish. Safe to call more than once.

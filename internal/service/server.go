@@ -16,16 +16,32 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
+	"dvr/internal/faults"
 	"dvr/internal/service/api"
 	"dvr/internal/workloads"
 )
 
-var errShuttingDown = errors.New("service: shutting down")
+var (
+	errShuttingDown = errors.New("service: shutting down")
+	// errOverloaded is the load-shed signal: the worker queue is full, so
+	// the request is rejected 429 + Retry-After instead of stalling the
+	// connection behind every queued job. Jobs are idempotent by cache
+	// key, so clients retry safely (internal/service/client does).
+	errOverloaded = errors.New("service: overloaded: simulation queue is full")
+)
+
+// retryAfterSeconds is the hint sent with 429/503 responses. Simulations
+// are short relative to human patience but long relative to a network
+// round trip; one second keeps honest clients from busy-spinning without
+// parking them needlessly.
+const retryAfterSeconds = 1
 
 // Config sizes the server.
 type Config struct {
@@ -43,6 +59,8 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// BaseEntries bounds the memoized built workload images; 0 means 32.
 	BaseEntries int
+	// Faults injects scripted failures (chaos tests); nil means none.
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +94,7 @@ type Server struct {
 
 	start      time.Time
 	startInsts uint64
+	sfRetries  atomic.Uint64 // single-flight followers that re-ran after a leader error
 }
 
 // New builds a server. It starts the worker pool immediately.
@@ -83,7 +102,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
 		cfg:        cfg,
-		cache:      newResultCache(cfg.CacheEntries, cfg.CacheDir),
+		cache:      newResultCache(cfg.CacheEntries, cfg.CacheDir, cfg.Faults.Filesystem()),
 		flight:     newFlightGroup(),
 		pool:       newPool(cfg.Workers, cfg.QueueDepth),
 		jobs:       newJobStore(),
@@ -92,6 +111,10 @@ func New(cfg Config) *Server {
 		startInsts: experiments.SimInstructions(),
 	}
 }
+
+// SpillHealth reports the startup scan of the spill directory (zero when
+// no -cache-dir is configured).
+func (s *Server) SpillHealth() SpillHealth { return s.cache.Health() }
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -134,7 +157,8 @@ func (e *statusError) Unwrap() error { return e.err }
 func badRequest(err error) error { return &statusError{http.StatusBadRequest, err} }
 
 // httpStatus maps an error to its response code: 400 for malformed jobs,
-// 504 for deadline-exceeded, 503 while shutting down, 500 otherwise.
+// 504 for deadline-exceeded, 429 on a shed request, 503 while shutting
+// down, 500 otherwise (including recovered worker panics).
 func httpStatus(err error) int {
 	var se *statusError
 	switch {
@@ -145,10 +169,37 @@ func httpStatus(err error) int {
 	case errors.Is(err, context.Canceled):
 		// The client went away; the code is moot but 499-ish.
 		return http.StatusGatewayTimeout
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, errShuttingDown):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// errorCode classifies an error for api.Error.Code — the machine-readable
+// half of the failure model (DESIGN.md, "failure model").
+func errorCode(err error) string {
+	var (
+		se *statusError
+		pe *PanicError
+	)
+	switch {
+	case errors.As(err, &pe):
+		return api.CodeInternal
+	case errors.As(err, &se) && se.code == http.StatusBadRequest:
+		return api.CodeBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return api.CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return api.CodeCanceled
+	case errors.Is(err, errOverloaded):
+		return api.CodeOverloaded
+	case errors.Is(err, errShuttingDown):
+		return api.CodeShuttingDown
+	default:
+		return api.CodeInternal
 	}
 }
 
@@ -161,7 +212,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, httpStatus(err), api.Error{Error: err.Error()})
+	code := httpStatus(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		// Both conditions are transient; tell well-behaved clients when to
+		// come back instead of letting them busy-spin.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	writeJSON(w, code, api.Error{Code: errorCode(err), Error: err.Error()})
 }
 
 // config resolves the request's config override against the default.
@@ -182,11 +239,23 @@ func (s *Server) timeout(ms int64) time.Duration {
 
 // ---- cell execution ----
 
+// admission selects how a cell enters the worker pool: interactive
+// /v1/sim requests shed on a full queue (429 + Retry-After) so the
+// connection never stalls; batch cells queue and wait — the batch was
+// admitted as one request at the handler, and shedding its individual
+// cells would tear half-finished matrices apart.
+type admission int
+
+const (
+	admitShed admission = iota
+	admitQueue
+)
+
 // runCell answers one (workload, technique, config) cell: from the result
 // cache when possible, otherwise via single-flight on the cell's content
 // address and a worker-pool simulation. The result stored and returned is
 // canonical (deterministic), so repeated requests are byte-identical.
-func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cfg cpu.Config) (api.SimResponse, error) {
+func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cfg cpu.Config, adm admission) (api.SimResponse, error) {
 	if _, err := experiments.ParseTechnique(tech); err != nil {
 		return api.SimResponse{}, badRequest(err)
 	}
@@ -200,7 +269,7 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 	if res, ok := s.cache.Get(key); ok {
 		return api.SimResponse{Key: key, Cached: true, Result: res}, nil
 	}
-	res, shared, err := s.flight.Do(ctx, key, func() (cpu.Result, error) {
+	simulate := func() (cpu.Result, error) {
 		// Re-check under the flight: a just-landed leader may have filled
 		// the cache between our miss and here. Peek, not Get — this
 		// request's miss is already counted.
@@ -212,9 +281,20 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 			out    cpu.Result
 			runErr error
 		)
-		if err := s.pool.Do(ctx, func() {
+		task := func() {
+			// The fault hook runs inside the worker so scripted panics
+			// and slowdowns exercise the same recover/occupancy paths a
+			// real simulator bug would.
+			s.cfg.Faults.Sim(key)
 			out, runErr = experiments.RunE(ctx, runSpec, experiments.Technique(tech), cfg)
-		}); err != nil {
+		}
+		var err error
+		if adm == admitShed {
+			err = s.pool.TryDo(ctx, task)
+		} else {
+			err = s.pool.Do(ctx, task)
+		}
+		if err != nil {
 			return cpu.Result{}, err
 		}
 		if runErr != nil {
@@ -223,7 +303,16 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 		canon := out.Canonical()
 		s.cache.Put(key, canon)
 		return canon, nil
-	})
+	}
+	res, shared, err := s.flight.Do(ctx, key, simulate)
+	if err != nil && shared && ctx.Err() == nil {
+		// The leader failed for reasons of its own (panic, shed, its
+		// context); this follower's request is still live, so retry once
+		// as a potential new leader. The cache absorbs the case where the
+		// leader actually succeeded before dying.
+		s.sfRetries.Add(1)
+		res, _, err = s.flight.Do(ctx, key, simulate)
+	}
 	if err != nil {
 		return api.SimResponse{}, err
 	}
@@ -235,7 +324,9 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 
 // runBatch answers a full cell matrix, row-major over workloads then
 // techniques. Cells run concurrently (the pool bounds actual simulation
-// parallelism); the first failure cancels the rest.
+// parallelism). A recovered worker panic fails only its own cell — the
+// cell carries a typed api.Error and the rest of the matrix completes —
+// while systemic failures (deadline, shutdown) cancel the batch.
 func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*api.BatchResponse, error) {
 	cfg := s.config(req.Config)
 	// Validate the whole matrix up front so a malformed cell is a clean
@@ -265,8 +356,21 @@ func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*a
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				resp, err := s.runCell(ctx, ref, tech, cfg)
+				resp, err := s.runCell(ctx, ref, tech, cfg, admitQueue)
 				if err != nil {
+					var pe *PanicError
+					if errors.As(err, &pe) {
+						// Isolated crash of this one cell: report it in
+						// place and let the rest of the batch finish.
+						cells[idx] = api.SimResponse{
+							Key:   CacheKey(ref, tech, cfg),
+							Error: &api.Error{Code: api.CodeInternal, Error: err.Error()},
+						}
+						if j != nil {
+							j.cellDone()
+						}
+						return
+					}
 					errOnce.Do(func() {
 						firstErr = err
 						cancel()
@@ -289,6 +393,9 @@ func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*a
 		if c.Cached {
 			out.CacheHits++
 		}
+		if c.Error != nil {
+			out.Failed++
+		}
 	}
 	return out, nil
 }
@@ -307,7 +414,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
-	resp, err := s.runCell(ctx, req.Workload, req.Technique, s.config(req.Config))
+	resp, err := s.runCell(ctx, req.Workload, req.Technique, s.config(req.Config), admitShed)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -323,6 +430,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := req.Validate(); err != nil {
 		writeError(w, badRequest(err))
+		return
+	}
+	// Coarse admission: with the queue already full, a synchronous batch
+	// would park its every cell behind it — shed the whole request up
+	// front instead of stalling the connection. (Async batches return 202
+	// immediately; their cells queue in the background by design.)
+	if !req.Async && s.pool.Saturated() {
+		s.pool.shed.Add(1)
+		writeError(w, errOverloaded)
 		return
 	}
 	if req.Async {
@@ -355,7 +471,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, api.Error{Error: fmt.Sprintf("service: unknown job %q", r.PathValue("id"))})
+		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound, Error: fmt.Sprintf("service: unknown job %q", r.PathValue("id"))})
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -398,6 +514,11 @@ func (s *Server) Metrics() api.Metrics {
 		JobsDone:           finished,
 		SimInstructions:    insts,
 		SimMIPS:            mips,
+
+		PanicsRecovered:     s.pool.Panics(),
+		ShedTotal:           s.pool.Shed(),
+		SingleFlightRetries: s.sfRetries.Load(),
+		SpillQuarantined:    s.cache.Quarantined(),
 	}
 }
 

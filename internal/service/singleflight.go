@@ -32,8 +32,10 @@ func newFlightGroup() *flightGroup {
 // Do runs fn for key unless a flight for key is already in progress, in
 // which case it waits for that flight. It returns fn's (or the flight's)
 // result and whether this caller was a follower. A leader whose fn fails
-// delivers the error to every follower; they are expected to retry (the
-// cache absorbs the common case where the leader succeeded).
+// delivers the error to every follower; followers whose own context is
+// still live retry once as a potential new leader (Server.runCell does
+// this, counted at /metrics as single_flight_retries; the cache absorbs
+// the common case where the leader succeeded).
 func (g *flightGroup) Do(ctx context.Context, key string, fn func() (cpu.Result, error)) (res cpu.Result, shared bool, err error) {
 	g.mu.Lock()
 	if f, ok := g.flying[key]; ok {
