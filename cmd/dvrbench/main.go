@@ -24,8 +24,10 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"dvr/internal/checkpoint"
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
+	"dvr/internal/faults"
 	"dvr/internal/graphgen"
 	"dvr/internal/service/api"
 	"dvr/internal/service/client"
@@ -37,6 +39,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run the scaled-down suite")
 	jsonOut := flag.Bool("json", false, "emit raw result rows as JSON instead of tables")
 	server := flag.String("server", "", "run matrix experiments (fig7, fig8) against this dvrd server instead of in-process")
+	ckptDir := flag.String("checkpoint-dir", "", "journal matrix cells (fig7, fig8) to this directory so a killed run resumes instead of restarting")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -116,10 +119,10 @@ func main() {
 			ooo, vr, render := experiments.Fig2(s.GAP, cfg)
 			emit(map[string]interface{}{"ooo": ooo, "vr": vr}, render)
 		case "fig7":
-			if *server != "" {
+			techs := append([]experiments.Technique{experiments.TechOoO}, experiments.AllTechniques...)
+			if *server != "" || *ckptDir != "" {
 				specs := suite().All()
-				techs := append([]experiments.Technique{experiments.TechOoO}, experiments.AllTechniques...)
-				m, err := serverMatrix(*server, specs, techs, cfg)
+				m, err := matrixVia(*server, *ckptDir, specs, techs, cfg)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "dvrbench:", err)
 					os.Exit(1)
@@ -131,10 +134,10 @@ func main() {
 			rows, render := experiments.Fig7(suite().All(), cfg)
 			emit(rows, render)
 		case "fig8":
-			if *server != "" {
+			techs := append([]experiments.Technique{experiments.TechOoO}, experiments.Fig8Variants...)
+			if *server != "" || *ckptDir != "" {
 				specs := suite().All()
-				techs := append([]experiments.Technique{experiments.TechOoO}, experiments.Fig8Variants...)
-				m, err := serverMatrix(*server, specs, techs, cfg)
+				m, err := matrixVia(*server, *ckptDir, specs, techs, cfg)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "dvrbench:", err)
 					os.Exit(1)
@@ -202,6 +205,92 @@ func main() {
 		}
 		run(a)
 	}
+}
+
+// matrixVia routes a benchmark × technique matrix through whichever
+// durable path the flags picked: a dvrd server (-server) or a local
+// checkpoint directory (-checkpoint-dir). The two are mutually exclusive
+// — the server has its own checkpoint directory.
+func matrixVia(server, ckptDir string, specs []workloads.Spec, techs []experiments.Technique, cfg cpu.Config) (map[string]map[experiments.Technique]cpu.Result, error) {
+	if server != "" && ckptDir != "" {
+		return nil, fmt.Errorf("-server and -checkpoint-dir are mutually exclusive (the server checkpoints on its own -cache-dir)")
+	}
+	if server != "" {
+		return serverMatrix(server, specs, techs, cfg)
+	}
+	return durableMatrix(ckptDir, specs, techs, cfg)
+}
+
+// durableMatrix runs the matrix in-process, one cell at a time, with each
+// cell journaling its state to <dir>/<bench>-<tech>.ckpt. A killed
+// dvrbench rerun with the same flags resumes every interrupted cell from
+// its journal (completed cells' journals are deleted; their work is lost
+// only if the figure never rendered) and finishes bit-identically to an
+// uninterrupted run.
+func durableMatrix(dir string, specs []workloads.Spec, techs []experiments.Technique, cfg cpu.Config) (map[string]map[experiments.Technique]cpu.Result, error) {
+	store, err := checkpoint.NewStore(dir, faults.OS())
+	if err != nil {
+		return nil, err
+	}
+	resumed := 0
+	m := make(map[string]map[experiments.Technique]cpu.Result, len(specs))
+	for _, sp := range specs {
+		if sp.Ref.Kernel == "" {
+			return nil, fmt.Errorf("benchmark %q has no declarative ref; cannot journal it", sp.Name)
+		}
+		ref := sp.Ref
+		ref.ROI = sp.ROI
+		// Checkpoint a handful of times per cell whatever its length, but
+		// not so often that journal encoding dominates short runs.
+		roi := sp.ROI
+		if roi == 0 {
+			roi = 300_000
+		}
+		every := roi / 5
+		if every < 10_000 {
+			every = 10_000
+		}
+		if every > 100_000 {
+			every = 100_000
+		}
+		row := make(map[experiments.Technique]cpu.Result, len(techs))
+		for _, tech := range techs {
+			key := fmt.Sprintf("%s-%s", sp.Name, tech)
+			opts := experiments.JobOpts{CheckpointEvery: every}
+			if st, err := store.Load(key); err == nil {
+				if st.Matches(api.EngineVersion, ref, string(tech), cfg) == nil {
+					opts.Resume = &st.Core
+					resumed++
+				} else {
+					// Journal from a different suite/config under the same
+					// name: useless for this run.
+					_ = store.Remove(key)
+				}
+			}
+			opts.Checkpoint = func(snap *cpu.Snapshot) error {
+				return store.Save(key, &checkpoint.State{
+					Engine:    api.EngineVersion,
+					Ref:       ref,
+					Technique: string(tech),
+					Config:    cfg,
+					Core:      *snap,
+				})
+			}
+			res, err := experiments.RunJob(context.Background(), sp, tech, cfg, opts)
+			if err != nil {
+				// Journals of unfinished cells stay behind for the rerun.
+				return nil, fmt.Errorf("cell %s: %w", key, err)
+			}
+			_ = store.Remove(key)
+			row[tech] = res
+		}
+		m[sp.Name] = row
+	}
+	if resumed > 0 {
+		// To stderr so -json output stays parseable.
+		fmt.Fprintf(os.Stderr, "[durable: resumed %d interrupted cell(s) from %s]\n", resumed, dir)
+	}
+	return m, nil
 }
 
 // serverMatrix runs a benchmark × technique matrix against a dvrd server

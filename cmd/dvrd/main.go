@@ -7,7 +7,15 @@
 //
 // Usage:
 //
-//	dvrd [-addr :8377] [-workers N] [-queue N] [-cache N] [-cache-dir DIR] [-timeout 5m]
+//	dvrd [-addr :8377] [-workers N] [-queue N] [-cache N] [-cache-dir DIR]
+//	     [-checkpoint-every N] [-watchdog N] [-timeout 5m]
+//
+// With -cache-dir and -checkpoint-every, running simulations journal
+// their state to <dir>/checkpoints and a dvrd killed mid-job resumes the
+// interrupted work at the next startup; -watchdog bounds how long a
+// simulation may go without committing an instruction before it is
+// aborted with a livelock error and a forensics dump under
+// <dir>/forensics. See the README's "Durable jobs" notes for tuning.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-
 // flight requests and async jobs drain, then the process exits 0.
@@ -35,17 +43,26 @@ func main() {
 		queue    = flag.Int("queue", 256, "queued simulations before requests block")
 		cacheN   = flag.Int("cache", 4096, "in-memory result-cache entries")
 		cacheDir = flag.String("cache-dir", "", "spill cached results to this directory (optional)")
+		ckptN    = flag.Uint64("checkpoint-every", 0, "checkpoint running simulations every N committed instructions so a killed dvrd resumes them at restart (requires -cache-dir; 0 = off)")
+		watchdog = flag.Uint64("watchdog", 0, "abort any simulation that commits nothing for N cycles with a livelock error and forensics dump (0 = off)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
 		drain    = flag.Duration("drain", 2*time.Minute, "graceful-shutdown deadline")
 	)
 	flag.Parse()
 
+	if *ckptN > 0 && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "dvrd: -checkpoint-every requires -cache-dir (checkpoints live beside the spill)")
+		os.Exit(2)
+	}
+
 	srv := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheN,
-		CacheDir:       *cacheDir,
-		DefaultTimeout: *timeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheN,
+		CacheDir:        *cacheDir,
+		CheckpointEvery: *ckptN,
+		WatchdogCycles:  *watchdog,
+		DefaultTimeout:  *timeout,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -53,6 +70,14 @@ func main() {
 		h := srv.SpillHealth()
 		fmt.Printf("dvrd: spill scan: %d entries, %d healthy, %d quarantined\n",
 			h.Scanned, h.Healthy, h.Quarantined)
+	}
+	if *ckptN > 0 {
+		ch := srv.CheckpointHealth()
+		fmt.Printf("dvrd: checkpoint scan: %d journals, %d healthy, %d quarantined, %d dropped\n",
+			ch.Scanned, ch.Healthy, ch.Quarantined, ch.Dropped)
+		if len(ch.Pending) > 0 {
+			fmt.Printf("dvrd: resuming %d interrupted job(s) in the background\n", len(ch.Pending))
+		}
 	}
 
 	errCh := make(chan error, 1)

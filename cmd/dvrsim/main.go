@@ -4,22 +4,35 @@
 // Usage:
 //
 //	dvrsim -bench bfs -input KR -tech dvr [-rob 350] [-roi 300000]
+//	dvrsim -bench bfs -tech dvr -checkpoint bfs.ckpt -resume [-watchdog 2000000]
 //	dvrsim -list
+//
+// -checkpoint journals the run's full state every -checkpoint-every
+// committed instructions; after a kill, the same command line with
+// -resume picks the run back up from the journal and finishes with
+// results bit-identical to an uninterrupted run. -watchdog aborts a run
+// that commits nothing for N cycles and dumps pipeline forensics.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
+	"dvr/internal/checkpoint"
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
 	"dvr/internal/graphgen"
 	"dvr/internal/mem"
 	"dvr/internal/runahead"
+	"dvr/internal/service/api"
 	"dvr/internal/workloads"
 )
 
@@ -35,6 +48,10 @@ func main() {
 		bwCycles  = flag.Uint64("bw", 5, "DRAM cycles per 64 B line (5 = 51.2 GB/s at 4 GHz)")
 		lanes     = flag.Int("lanes", 128, "DVR vectorization degree (dvr only; max 256)")
 		list      = flag.Bool("list", false, "list benchmarks and techniques")
+		ckptFile  = flag.String("checkpoint", "", "journal the run's state to this file so it can be resumed after a kill")
+		ckptEvery = flag.Uint64("checkpoint-every", 100_000, "committed instructions between checkpoints (with -checkpoint)")
+		resume    = flag.Bool("resume", false, "resume from the -checkpoint file if it holds a valid journal for this exact run")
+		watchdog  = flag.Uint64("watchdog", 0, "abort if nothing commits for N cycles, with a livelock forensics dump (0 = off)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -92,7 +109,7 @@ func main() {
 		runTraced(spec, experiments.Technique(*techName), cfg, *trace)
 		return
 	}
-	res := experiments.Run(spec, experiments.Technique(*techName), cfg)
+	res := runDurable(spec, experiments.Technique(*techName), cfg, *ckptFile, *ckptEvery, *resume, *watchdog)
 
 	fmt.Printf("benchmark    %s\n", res.Name)
 	fmt.Printf("technique    %s\n", res.Technique)
@@ -120,6 +137,69 @@ func main() {
 		fmt.Printf("engine       episodes=%d prefetches=%d vector-uops=%d discovery=%d nested=%d timeouts=%d avg-lanes=%.1f\n",
 			e.Episodes, e.Prefetches, e.VectorUops, e.DiscoveryModes, e.NestedModes, e.Timeouts, e.LanesVectorize)
 	}
+}
+
+// runDurable runs the cell through the durable job path: optional
+// checkpoint journal (resumable with -resume after a kill, deleted on
+// success) and the retirement watchdog. A watchdog trip prints the typed
+// livelock error plus its forensics dump and exits 3.
+func runDurable(spec workloads.Spec, tech experiments.Technique, cfg cpu.Config, ckptFile string, every uint64, resume bool, watchdog uint64) cpu.Result {
+	opts := experiments.JobOpts{WatchdogBudget: watchdog}
+	if ckptFile != "" {
+		opts.CheckpointEvery = every
+		if resume {
+			if data, err := os.ReadFile(ckptFile); err == nil {
+				st, derr := checkpoint.Decode(data)
+				if derr == nil {
+					derr = st.Matches(api.EngineVersion, spec.Ref, string(tech), cfg)
+				}
+				if derr != nil {
+					fmt.Fprintf(os.Stderr, "dvrsim: ignoring checkpoint %s: %v\n", ckptFile, derr)
+				} else {
+					fmt.Fprintf(os.Stderr, "dvrsim: resuming at instruction %d\n", st.Seq())
+					opts.Resume = &st.Core
+				}
+			} else if !errors.Is(err, fs.ErrNotExist) {
+				fmt.Fprintln(os.Stderr, "dvrsim:", err)
+				os.Exit(1)
+			}
+		}
+		opts.Checkpoint = func(snap *cpu.Snapshot) error {
+			data, err := checkpoint.Encode(&checkpoint.State{
+				Engine:    api.EngineVersion,
+				Ref:       spec.Ref,
+				Technique: string(tech),
+				Config:    cfg,
+				Core:      *snap,
+			})
+			if err != nil {
+				return err
+			}
+			tmp := ckptFile + ".tmp"
+			if err := os.WriteFile(tmp, data, 0o644); err != nil {
+				return err
+			}
+			return os.Rename(tmp, ckptFile)
+		}
+	}
+	res, err := experiments.RunJob(context.Background(), spec, tech, cfg, opts)
+	if err != nil {
+		var le *cpu.LivelockError
+		if errors.As(err, &le) {
+			fmt.Fprintln(os.Stderr, "dvrsim:", err)
+			if dump, jerr := json.MarshalIndent(le, "", "  "); jerr == nil {
+				fmt.Fprintln(os.Stderr, string(dump))
+			}
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, "dvrsim:", err)
+		os.Exit(1)
+	}
+	if ckptFile != "" {
+		// The run completed; the journal has nothing left to resume.
+		_ = os.Remove(ckptFile)
+	}
+	return res
 }
 
 // runCustomLanes runs DVR with a non-default vectorization degree.

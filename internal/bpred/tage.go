@@ -5,6 +5,8 @@
 // allocation on mispredictions.
 package bpred
 
+import "fmt"
+
 // Config sizes the predictor.
 type Config struct {
 	BimodalBits  int   // log2 entries of the base bimodal table
@@ -24,6 +26,31 @@ func DefaultConfig() Config {
 		HistLengths: []int{4, 8, 16, 32, 64, 128, 256, 512},
 		UsefulReset: 2048,
 	}
+}
+
+// Validate rejects predictor configurations that cannot be constructed.
+// These arrive over the dvrd wire inside a core Config, so out-of-range
+// table sizes are request errors: a negative bit count panics the shift in
+// New, and an oversized one is an allocation bomb.
+func (c Config) Validate() error {
+	if c.BimodalBits < 0 || c.BimodalBits > 28 {
+		return fmt.Errorf("bpred: bimodal_bits must be in [0,28], got %d", c.BimodalBits)
+	}
+	if c.TableBits < 0 || c.TableBits > 24 {
+		return fmt.Errorf("bpred: table_bits must be in [0,24], got %d", c.TableBits)
+	}
+	if c.TagBits < 1 || c.TagBits > 16 {
+		return fmt.Errorf("bpred: tag_bits must be in [1,16], got %d", c.TagBits)
+	}
+	if len(c.HistLengths) > 64 {
+		return fmt.Errorf("bpred: at most 64 history lengths, got %d", len(c.HistLengths))
+	}
+	for i, h := range c.HistLengths {
+		if h < 0 {
+			return fmt.Errorf("bpred: history length %d is negative (%d)", i, h)
+		}
+	}
+	return nil
 }
 
 type taggedEntry struct {

@@ -9,6 +9,8 @@
 // past than the window covers, preserving the map semantics bit for bit.
 package calendar
 
+import "sort"
+
 // window is the number of epoch slots kept in the flat ring. Timestamp
 // spread inside one simulation is bounded by the dependence chains the ROB
 // window can hold (hundreds of thousands of cycles in the worst case);
@@ -110,6 +112,81 @@ func (c *Calendar) fold() {
 
 // Booked returns the total number of reservations made so far.
 func (c *Calendar) Booked() uint64 { return c.booked }
+
+// State is a serializable image of a calendar's bookings, used by the
+// checkpoint subsystem. Epochs are sorted ascending so the encoding is
+// deterministic.
+type State struct {
+	Epochs []EpochCount `json:"epochs,omitempty"`
+	Booked uint64       `json:"booked"`
+}
+
+// EpochCount is one epoch's reservation count.
+type EpochCount struct {
+	Epoch uint64 `json:"e"`
+	Count uint16 `json:"n"`
+}
+
+// Export captures every epoch with a nonzero count plus the booked total.
+// Ring slots and the overflow map are disjoint (an epoch maps to exactly
+// one slot, and evicted epochs are always older than the slot's current
+// tag), so the merge is a plain concatenation.
+func (c *Calendar) Export() State {
+	c.fold()
+	st := State{Booked: c.booked}
+	for slot, n := range c.counts {
+		if n != 0 {
+			st.Epochs = append(st.Epochs, EpochCount{c.tags[slot], n})
+		}
+	}
+	for epoch, n := range c.overflow {
+		if n != 0 {
+			st.Epochs = append(st.Epochs, EpochCount{epoch, n})
+		}
+	}
+	sort.Slice(st.Epochs, func(i, j int) bool { return st.Epochs[i].Epoch < st.Epochs[j].Epoch })
+	return st
+}
+
+// Import resets the calendar to the bookings in st. The ring invariant —
+// each slot holds the largest epoch ever claimed there, with its full
+// count — is rebuilt by keeping the max epoch per slot in the ring and
+// spilling every older epoch to the overflow map, which is exactly the
+// state a live calendar converges to. Duplicate epochs in st merge.
+func (c *Calendar) Import(st State) {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.counts[i] = 0
+	}
+	c.retired = c.retired[:0]
+	c.overflow = nil
+	for _, ec := range st.Epochs {
+		if ec.Count == 0 {
+			continue
+		}
+		slot := ec.Epoch & (window - 1)
+		switch tag := c.tags[slot]; {
+		case c.counts[slot] == 0 || tag < ec.Epoch:
+			if n := c.counts[slot]; n != 0 {
+				c.spill(tag, n)
+			}
+			c.tags[slot] = ec.Epoch
+			c.counts[slot] = ec.Count
+		case tag == ec.Epoch:
+			c.counts[slot] += ec.Count
+		default:
+			c.spill(ec.Epoch, ec.Count)
+		}
+	}
+	c.booked = st.Booked
+}
+
+func (c *Calendar) spill(epoch uint64, count uint16) {
+	if c.overflow == nil {
+		c.overflow = make(map[uint64]uint16)
+	}
+	c.overflow[epoch] += count
+}
 
 // Each calls fn for every epoch with a nonzero reservation count, in no
 // particular order. Intended for tests and statistics, not the hot path.

@@ -64,6 +64,62 @@ func TestMatchesMapSemantics(t *testing.T) {
 	}
 }
 
+// TestExportImportRoundTrip checks that a calendar restored from Export
+// keeps answering Reserve exactly like the original (and like the map
+// reference) on a shared continuation stream. This is the property the
+// checkpoint subsystem depends on: restore must be behaviorally, not just
+// structurally, identical.
+func TestExportImportRoundTrip(t *testing.T) {
+	for _, span := range []uint64{64, window / 2, 4 * window} {
+		orig := New()
+		ref := &mapCalendar{used: make(map[uint64]uint16)}
+		r := lcg(7)
+		base := uint64(0)
+		step := func(c *Calendar) {
+			base += r.next() % 3
+			e := base + r.next()%span
+			got := c.Reserve(e, 4)
+			want := ref.reserve(e, 4)
+			if got != want {
+				t.Fatalf("span %d: ring=%d map=%d", span, got, want)
+			}
+		}
+		for i := 0; i < 5000; i++ {
+			step(orig)
+		}
+		restored := New()
+		restored.Import(orig.Export())
+		if restored.Booked() != orig.Booked() {
+			t.Fatalf("span %d: booked %d != %d after restore", span, restored.Booked(), orig.Booked())
+		}
+		for i := 0; i < 5000; i++ {
+			step(restored)
+		}
+	}
+}
+
+// TestExportDeterministic checks two exports of identical calendars are
+// equal element-wise (sorted order, no map-iteration leakage).
+func TestExportDeterministic(t *testing.T) {
+	build := func() *Calendar {
+		c := New()
+		r := lcg(11)
+		for i := 0; i < 3000; i++ {
+			c.Reserve(r.next()%(3*window), 2)
+		}
+		return c
+	}
+	a, b := build().Export(), build().Export()
+	if a.Booked != b.Booked || len(a.Epochs) != len(b.Epochs) {
+		t.Fatalf("export shape mismatch: %d/%d vs %d/%d", a.Booked, len(a.Epochs), b.Booked, len(b.Epochs))
+	}
+	for i := range a.Epochs {
+		if a.Epochs[i] != b.Epochs[i] {
+			t.Fatalf("epoch %d: %+v vs %+v", i, a.Epochs[i], b.Epochs[i])
+		}
+	}
+}
+
 func BenchmarkReserve(b *testing.B) {
 	c := New()
 	for i := 0; i < b.N; i++ {

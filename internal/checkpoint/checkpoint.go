@@ -1,0 +1,110 @@
+// Package checkpoint persists simulation state durably: a versioned,
+// integrity-sealed snapshot of one job (workload ref + technique + config +
+// full cpu.Snapshot) that a restarted process can decode, validate against
+// the job it is about to run, and resume bit-identically. The format is
+// self-describing — a checkpoint file doubles as the job's journal entry:
+// everything needed to rebuild the run (and to refuse a mismatched one) is
+// in the file itself, so resuming never depends on in-memory state that
+// died with the previous process.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"dvr/internal/cpu"
+	"dvr/internal/workloads"
+)
+
+// FormatVersion is the checkpoint format this build writes and reads.
+// Bump it whenever the State schema or any embedded snapshot schema
+// changes shape; old files then decode to ErrVersion (dropped, recompute)
+// instead of restoring garbage.
+const FormatVersion = 1
+
+// ErrVersion marks an intact checkpoint written by a different format
+// version. Unlike corruption it is expected across upgrades; callers drop
+// the file and recompute rather than quarantining it.
+var ErrVersion = errors.New("checkpoint: unsupported format version")
+
+// ErrMismatch marks a checkpoint that decodes fine but belongs to a
+// different job (other engine build, workload, technique, or config) than
+// the one being resumed. Restoring it would be silently wrong; callers
+// must recompute from scratch.
+var ErrMismatch = errors.New("checkpoint: does not match this job")
+
+// State is one durable checkpoint: the job identity and the complete
+// simulation snapshot at a committed-instruction boundary.
+type State struct {
+	Version int `json:"version"`
+	// Engine is the simulation-semantics version that produced the
+	// snapshot (api.EngineVersion for dvrd); resuming under a different
+	// engine is refused because the continued half would not match the
+	// from-scratch result.
+	Engine    string        `json:"engine"`
+	Ref       workloads.Ref `json:"ref"`
+	Technique string        `json:"technique"`
+	Config    cpu.Config    `json:"config"`
+	Core      cpu.Snapshot  `json:"core"`
+}
+
+// Seq returns the committed-instruction count the checkpoint resumes at.
+func (st *State) Seq() uint64 { return st.Core.Seq }
+
+// Encode serializes st (stamping FormatVersion) and seals it with the
+// digest footer.
+func Encode(st *State) ([]byte, error) {
+	st.Version = FormatVersion
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return Seal(payload), nil
+}
+
+// Decode verifies and deserializes a checkpoint file. It returns
+// ErrCorrupt-wrapped errors for integrity failures (quarantine the file)
+// and ErrVersion-wrapped errors for format skew (drop the file); it never
+// panics on hostile input.
+func Decode(data []byte) (*State, error) {
+	payload, err := Unseal(data)
+	if err != nil {
+		return nil, err
+	}
+	var st State
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if st.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: file has %d, this build reads %d", ErrVersion, st.Version, FormatVersion)
+	}
+	return &st, nil
+}
+
+// Matches reports whether the checkpoint belongs to the given job; a
+// mismatch wraps ErrMismatch naming the differing field. Ref and Config
+// are compared by canonical JSON (they are plain data; two configs that
+// serialize identically simulate identically).
+func (st *State) Matches(engine string, ref workloads.Ref, tech string, cfg cpu.Config) error {
+	if st.Engine != engine {
+		return fmt.Errorf("%w: engine %q, want %q", ErrMismatch, st.Engine, engine)
+	}
+	if st.Technique != tech {
+		return fmt.Errorf("%w: technique %q, want %q", ErrMismatch, st.Technique, tech)
+	}
+	if !jsonEqual(st.Ref, ref) {
+		return fmt.Errorf("%w: workload %s, want %s", ErrMismatch, st.Ref.SpecName(), ref.SpecName())
+	}
+	if !jsonEqual(st.Config, cfg) {
+		return fmt.Errorf("%w: core config differs", ErrMismatch)
+	}
+	return nil
+}
+
+func jsonEqual(a, b any) bool {
+	ab, errA := json.Marshal(a)
+	bb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && bytes.Equal(ab, bb)
+}

@@ -1,0 +1,230 @@
+package checkpoint
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/workloads"
+)
+
+// testState builds a small but structurally real checkpoint.
+func testState() *State {
+	return &State{
+		Engine:    "dvr-engine/test",
+		Ref:       workloads.Ref{Kernel: "camel", ROI: 50_000},
+		Technique: "dvr",
+		Config:    cpu.DefaultConfig(),
+		Core: cpu.Snapshot{
+			Seq:        12_345,
+			RegReady:   make([]uint64, 16),
+			CommitRing: make([]uint64, 224),
+			LoadRing:   make([]uint64, 72),
+			StoreRing:  make([]uint64, 56),
+			LastPCs:    []int{4, 5, 6, 7},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := testState()
+	data, err := Encode(st)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Seq() != st.Seq() {
+		t.Errorf("Seq = %d, want %d", got.Seq(), st.Seq())
+	}
+	if err := got.Matches(st.Engine, st.Ref, st.Technique, st.Config); err != nil {
+		t.Errorf("round-tripped state does not match itself: %v", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	data, err := Encode(testState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, footerLen - 1, len(data) / 2, len(data) - 1} {
+		if n > len(data) {
+			continue
+		}
+		if _, err := Decode(data[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("Decode(%d of %d bytes) = %v, want ErrCorrupt", n, len(data), err)
+		}
+	}
+}
+
+func TestDecodeBitFlips(t *testing.T) {
+	data, err := Encode(testState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit at a spread of positions covering payload and footer.
+	for pos := 0; pos < len(data); pos += 37 {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x40
+		if _, err := Decode(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Decode with bit flip at %d = %v, want ErrCorrupt", pos, err)
+		}
+	}
+}
+
+func TestDecodeVersionSkew(t *testing.T) {
+	st := testState()
+	data, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A future format version is intact data we cannot interpret. Rewrite
+	// the version field and re-seal (the digest must verify for the
+	// version check to even run).
+	payload, err := Unseal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := strings.Replace(string(payload), `"version":1`, `"version":99`, 1)
+	if mut == string(payload) {
+		t.Fatal("version field not found in payload")
+	}
+	if _, err := Decode(Seal([]byte(mut))); !errors.Is(err, ErrVersion) {
+		t.Errorf("Decode(version 99) = %v, want ErrVersion", err)
+	}
+}
+
+func TestMatchesRejectsEveryAxis(t *testing.T) {
+	st := testState()
+	otherCfg := st.Config
+	otherCfg.ROBSize++
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"engine", st.Matches("dvr-engine/other", st.Ref, st.Technique, st.Config)},
+		{"technique", st.Matches(st.Engine, st.Ref, "ooo", st.Config)},
+		{"workload", st.Matches(st.Engine, workloads.Ref{Kernel: "kangaroo"}, st.Technique, st.Config)},
+		{"config", st.Matches(st.Engine, st.Ref, st.Technique, otherCfg)},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, ErrMismatch) {
+			t.Errorf("Matches with different %s = %v, want ErrMismatch", c.name, c.err)
+		}
+	}
+}
+
+func TestStoreSaveLoadRemove(t *testing.T) {
+	s, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testState()
+	if err := s.Save("job1", st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := s.Load("job1")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Seq() != st.Seq() {
+		t.Errorf("Seq = %d, want %d", got.Seq(), st.Seq())
+	}
+	if _, err := s.Load("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Load(missing) = %v, want fs.ErrNotExist", err)
+	}
+	if err := s.Remove("job1"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := s.Remove("job1"); err != nil {
+		t.Fatalf("Remove(missing) = %v, want nil", err)
+	}
+	if _, err := s.Load("job1"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Load after Remove = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestStoreQuarantinesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("bad", testState()); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file on disk.
+	path := s.Path("bad")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Load("bad"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load(corrupt) = %v, want ErrCorrupt", err)
+	}
+	if got := s.Quarantined(); got != 1 {
+		t.Errorf("Quarantined = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("corrupt file still at %s", path)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "bad"+ext)); err != nil {
+		t.Errorf("quarantined copy missing: %v", err)
+	}
+	// Quarantined means never re-read: a fresh store over the same dir
+	// scans it as empty and a Load is a plain miss, even across restarts.
+	s2, err := NewStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := s2.Scan(); h.Scanned != 0 || len(h.Pending) != 0 {
+		t.Errorf("Scan after quarantine = %+v, want empty", h)
+	}
+	if _, err := s2.Load("bad"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Load after quarantine = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestStoreScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("ok1", testState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("ok2", testState()); err != nil {
+		t.Fatal(err)
+	}
+	// One corrupt file, one version-skewed file.
+	if err := os.WriteFile(s.Path("corrupt"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := `{"version":0,"engine":"x"}`
+	if err := os.WriteFile(s.Path("old"), Seal([]byte(old)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h := s.Scan()
+	if h.Scanned != 4 || h.Healthy != 2 || h.Quarantined != 1 || h.Dropped != 1 {
+		t.Errorf("Scan = %+v, want scanned 4 / healthy 2 / quarantined 1 / dropped 1", h)
+	}
+	if len(h.Pending) != 2 || h.Pending[0] != "ok1" || h.Pending[1] != "ok2" {
+		t.Errorf("Pending = %v, want [ok1 ok2]", h.Pending)
+	}
+	if _, err := os.Stat(s.Path("old")); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("version-skewed file not dropped")
+	}
+}

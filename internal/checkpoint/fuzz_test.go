@@ -1,0 +1,51 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCheckpoint drives Decode with hostile bytes: truncations,
+// bit flips, version skew, and arbitrary garbage. The contract is that
+// Decode returns an error or a structurally valid State — it never
+// panics, and it never returns a State whose re-encoding disagrees with
+// what was verified (which would be a silently-wrong restore).
+func FuzzDecodeCheckpoint(f *testing.F) {
+	valid, err := Encode(testState())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:footerLen-1])
+	f.Add([]byte{})
+	f.Add([]byte("\n# sha256:0000000000000000000000000000000000000000000000000000000000000000\n"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/4] ^= 1
+	f.Add(flipped)
+	skew := bytes.Replace(valid, []byte(`"version":1`), []byte(`"version":2`), 1)
+	f.Add(Seal(skew[:len(skew)-footerLen]))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if st.Version != FormatVersion {
+			t.Fatalf("Decode accepted version %d", st.Version)
+		}
+		// Anything that decodes must survive a lossless round trip.
+		re, err := Encode(st)
+		if err != nil {
+			t.Fatalf("re-encode of accepted state: %v", err)
+		}
+		st2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted state: %v", err)
+		}
+		if st2.Seq() != st.Seq() || st2.Engine != st.Engine {
+			t.Fatalf("round trip changed state: seq %d->%d engine %q->%q",
+				st.Seq(), st2.Seq(), st.Engine, st2.Engine)
+		}
+	})
+}

@@ -195,7 +195,10 @@ func (c *Core) Run(maxInsts uint64) Result {
 // cancelCheckInterval is how many instructions the simulation loop commits
 // between context polls: rare enough that the poll is invisible in the hot
 // path, frequent enough (tens of microseconds of host time) that deadline
-// cancellation is prompt.
+// cancellation is prompt. This is the documented cancellation-latency
+// bound: after ctx is cancelled, the loop commits at most
+// cancelCheckInterval further instructions before returning (verified by
+// TestCancellationLatency).
 const cancelCheckInterval = 1024
 
 // RunContext is Run with cooperative cancellation: the cycle loop polls
@@ -205,32 +208,126 @@ const cancelCheckInterval = 1024
 // is what lets the dvrd service enforce per-request deadlines on in-flight
 // simulations instead of leaking a worker per abandoned request.
 func (c *Core) RunContext(ctx context.Context, maxInsts uint64) (Result, error) {
+	return c.RunWithOptions(ctx, maxInsts, RunOptions{})
+}
+
+// RunOptions extends RunContext with durability features. The zero value
+// is a plain run.
+type RunOptions struct {
+	// Resume, when non-nil, restores the full simulation state from a
+	// snapshot before the first instruction. The core must be freshly
+	// constructed with the same Config, the same workload frontend (not
+	// yet stepped) and the same engine technique the snapshot was taken
+	// under; a resumed run is bit-identical to one that was never
+	// interrupted.
+	Resume *Snapshot
+
+	// CheckpointEvery, when nonzero, captures a Snapshot at every
+	// committed-instruction boundary that is a multiple of it and passes
+	// the snapshot to CheckpointFn. An error from CheckpointFn aborts the
+	// run and is returned.
+	CheckpointEvery uint64
+	CheckpointFn    func(*Snapshot) error
+
+	// WatchdogBudget, when nonzero, is the retirement watchdog: if the gap
+	// between two consecutive commit cycles exceeds it, the run aborts
+	// with a *LivelockError carrying a ForensicsDump of the stuck
+	// pipeline.
+	WatchdogBudget uint64
+}
+
+// runState is the complete mutable state of one cycle-loop run, grouped so
+// checkpoint capture and restore see every field the loop depends on. The
+// slices and pools are sized by Config once per run; the loop mutates the
+// fields in place, so a run still allocates O(1).
+type runState struct {
+	res        Result
+	regReady   [isa.NumRegs]uint64 // completion cycle of last writer
+	commitRing []uint64
+	iq         *issueQueue
+	loadRing   []uint64
+	storeRing  []uint64
+	fetchLim   widthLimiter
+	commitLim  widthLimiter
+	alu        *fuPool
+	mul        *fuPool
+	div        *fuPool
+	loadPorts  *fuPool
+	storePorts *fuPool
+
+	feReady     uint64 // front-end redirect: no fetch before this cycle
+	lastCommit  uint64
+	nLoads      uint64
+	nStores     uint64
+	stallCursor uint64 // end of the last accounted ROB-stall window
+
+	pcRing [livelockPCWindow]int // trailing committed PCs, indexed by seq
+}
+
+func (c *Core) newRunState() *runState {
+	return &runState{
+		commitRing: make([]uint64, c.cfg.ROBSize),
+		iq:         newIssueQueue(c.cfg.IQSize),
+		loadRing:   make([]uint64, c.cfg.LQSize),
+		storeRing:  make([]uint64, c.cfg.SQSize),
+		fetchLim:   widthLimiter{width: c.cfg.Width},
+		commitLim:  widthLimiter{width: c.cfg.Width},
+		alu:        newFUPool(c.cfg.IntALUs, 1, true),
+		mul:        newFUPool(c.cfg.IntMuls, c.cfg.MulLatency, true),
+		div:        newFUPool(c.cfg.IntDivs, c.cfg.DivLatency, false),
+		loadPorts:  newFUPool(c.cfg.LoadPorts, 1, true),
+		storePorts: newFUPool(c.cfg.StorePorts, 1, true),
+	}
+}
+
+// lastPCs returns the trailing committed PCs before instruction seq,
+// oldest first.
+func (rs *runState) lastPCs(seq uint64) []int {
+	n := uint64(livelockPCWindow)
+	if seq < n {
+		n = seq
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for s := seq - n; s < seq; s++ {
+		out = append(out, rs.pcRing[s%livelockPCWindow])
+	}
+	return out
+}
+
+// setLastPCs rebuilds the PC ring from a snapshot's trailing-PC list.
+func (rs *runState) setLastPCs(seq uint64, pcs []int) {
+	for i, pc := range pcs {
+		s := seq - uint64(len(pcs)) + uint64(i)
+		rs.pcRing[s%livelockPCWindow] = pc
+	}
+}
+
+// RunWithOptions is RunContext plus checkpoint/resume and the retirement
+// watchdog. See RunOptions for the semantics of each option.
+func (c *Core) RunWithOptions(ctx context.Context, maxInsts uint64, opts RunOptions) (Result, error) {
 	hostStart := time.Now()
 	cancelCh := ctx.Done()
 	var runErr error
-	var (
-		res         Result
-		srcBuf      [4]isa.Reg // stack buffer for SrcRegs (keeps the loop allocation-free)
-		regReady    [16]uint64 // completion cycle of last writer
-		commitRing  = make([]uint64, c.cfg.ROBSize)
-		iq          = newIssueQueue(c.cfg.IQSize)
-		loadRing    = make([]uint64, c.cfg.LQSize)
-		storeRing   = make([]uint64, c.cfg.SQSize)
-		fetchLim    = widthLimiter{width: c.cfg.Width}
-		commitLim   = widthLimiter{width: c.cfg.Width}
-		alu         = newFUPool(c.cfg.IntALUs, 1, true)
-		mul         = newFUPool(c.cfg.IntMuls, c.cfg.MulLatency, true)
-		div         = newFUPool(c.cfg.IntDivs, c.cfg.DivLatency, false)
-		loadPorts   = newFUPool(c.cfg.LoadPorts, 1, true)
-		storePorts  = newFUPool(c.cfg.StorePorts, 1, true)
-		feReady     uint64 // front-end redirect: no fetch before this cycle
-		lastCommit  uint64
-		nLoads      uint64
-		nStores     uint64
-		stallCursor uint64 // end of the last accounted ROB-stall window
-	)
+	var srcBuf [4]isa.Reg // stack buffer for SrcRegs (keeps the loop allocation-free)
+	rs := c.newRunState()
 
-	for seq := uint64(0); seq < maxInsts; seq++ {
+	var startSeq uint64
+	if opts.Resume != nil {
+		var err error
+		if startSeq, err = c.restore(rs, opts.Resume); err != nil {
+			return Result{}, err
+		}
+	}
+	if opts.CheckpointEvery > 0 {
+		if err := c.checkpointable(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	for seq := startSeq; seq < maxInsts; seq++ {
 		if cancelCh != nil && seq%cancelCheckInterval == 0 {
 			select {
 			case <-cancelCh:
@@ -241,6 +338,16 @@ func (c *Core) RunContext(ctx context.Context, maxInsts uint64) (Result, error) 
 				break
 			}
 		}
+		if opts.CheckpointEvery > 0 && seq > startSeq && seq%opts.CheckpointEvery == 0 {
+			snap, err := c.snapshot(rs, seq)
+			if err == nil && opts.CheckpointFn != nil {
+				err = opts.CheckpointFn(snap)
+			}
+			if err != nil {
+				runErr = err
+				break
+			}
+		}
 		di, ok := c.fe.Step()
 		if !ok {
 			break
@@ -248,90 +355,90 @@ func (c *Core) RunContext(ctx context.Context, maxInsts uint64) (Result, error) 
 		in := di.Inst
 
 		// ---- Fetch / dispatch ----
-		cand := feReady
-		disp := fetchLim.next(cand)
+		cand := rs.feReady
+		disp := rs.fetchLim.next(cand)
 
 		// Issue-queue occupancy: entries are allocated at dispatch and freed
 		// (out of order) at issue; when the queue is full, dispatch waits
 		// for the earliest outstanding issue.
-		if f := iq.admit(disp); f > disp {
-			disp = fetchLim.next(f)
+		if f := rs.iq.admit(disp); f > disp {
+			disp = rs.fetchLim.next(f)
 		}
 		// Load/store queue occupancy: entries free at commit.
-		if in.Op.IsLoad() && nLoads >= uint64(c.cfg.LQSize) {
-			if f := loadRing[nLoads%uint64(c.cfg.LQSize)]; f > disp {
-				disp = fetchLim.next(f)
+		if in.Op.IsLoad() && rs.nLoads >= uint64(c.cfg.LQSize) {
+			if f := rs.loadRing[rs.nLoads%uint64(c.cfg.LQSize)]; f > disp {
+				disp = rs.fetchLim.next(f)
 			}
 		}
-		if in.Op.IsStore() && nStores >= uint64(c.cfg.SQSize) {
-			if f := storeRing[nStores%uint64(c.cfg.SQSize)]; f > disp {
-				disp = fetchLim.next(f)
+		if in.Op.IsStore() && rs.nStores >= uint64(c.cfg.SQSize) {
+			if f := rs.storeRing[rs.nStores%uint64(c.cfg.SQSize)]; f > disp {
+				disp = rs.fetchLim.next(f)
 			}
 		}
 		// ROB occupancy: dispatch must wait for the entry ROBSize back to
 		// commit. Time spent waiting here is the full-ROB stall that
 		// triggers classic runahead.
 		if seq >= uint64(c.cfg.ROBSize) {
-			if f := commitRing[seq%uint64(c.cfg.ROBSize)]; f > disp {
+			if f := rs.commitRing[seq%uint64(c.cfg.ROBSize)]; f > disp {
 				// Only account the portion of the stall window not already
 				// counted for an earlier instruction in the same stall.
 				from := disp
-				if stallCursor > from {
-					from = stallCursor
+				if rs.stallCursor > from {
+					from = rs.stallCursor
 				}
 				if f > from {
-					res.ROBStallCycles += f - from
+					rs.res.ROBStallCycles += f - from
 					if c.engine != nil {
 						c.engine.OnROBStall(from, f)
 					}
-					stallCursor = f
+					rs.stallCursor = f
 				}
-				disp = fetchLim.next(f)
+				disp = rs.fetchLim.next(f)
 			}
 		}
 
 		// ---- Issue ----
 		ready := disp + 1
 		for _, r := range in.SrcRegs(srcBuf[:0]) {
-			if regReady[r] > ready {
-				ready = regReady[r]
+			if rs.regReady[r] > ready {
+				ready = rs.regReady[r]
 			}
 		}
 
 		var issue, done uint64
 		switch {
 		case in.Op.IsLoad():
-			issue = loadPorts.issue(ready)
+			issue = rs.loadPorts.issue(ready)
 			r := c.hier.Access(di.Addr, issue, false, di.PC)
 			done = r.Done
-			res.Loads++
+			rs.res.Loads++
 		case in.Op.IsStore():
-			issue = storePorts.issue(ready)
+			issue = rs.storePorts.issue(ready)
 			done = issue + 1 // store completes into the SQ; memory at commit
-			res.Stores++
+			rs.res.Stores++
 		case in.Op == isa.Mul:
-			issue = mul.issue(ready)
+			issue = rs.mul.issue(ready)
 			done = issue + c.cfg.MulLatency
 		case in.Op == isa.Div:
-			issue = div.issue(ready)
+			issue = rs.div.issue(ready)
 			done = issue + c.cfg.DivLatency
 		case in.Op == isa.Hash:
-			issue = mul.issue(ready)
+			issue = rs.mul.issue(ready)
 			done = issue + c.cfg.HashLatency
 		default:
-			issue = alu.issue(ready)
+			issue = rs.alu.issue(ready)
 			done = issue + 1
 		}
-		iq.record(issue)
+		rs.iq.record(issue)
 
 		// ---- Branch resolution ----
 		if in.Op.IsBranch() {
-			res.Branches++
+			rs.res.Branches++
 			if in.Cond != isa.Always {
 				if c.bp.Update(uint64(di.PC), di.Taken) {
 					redirect := done + uint64(c.cfg.FrontendDepth)
-					if redirect > feReady {
-						feReady = redirect
+					if redirect > rs.feReady {
+						rs.feReady = redirect
 					}
 				}
 			}
@@ -339,32 +446,42 @@ func (c *Core) RunContext(ctx context.Context, maxInsts uint64) (Result, error) 
 
 		// ---- Commit (in order, width-limited) ----
 		cc := done + 1
-		if cc <= lastCommit {
-			cc = lastCommit
+		if cc <= rs.lastCommit {
+			cc = rs.lastCommit
 		}
+		var hold uint64
 		if c.engine != nil {
-			if hold := c.engine.CommitBlockedUntil(); hold > cc {
-				res.CommitHoldCycles += hold - cc
+			if hold = c.engine.CommitBlockedUntil(); hold > cc {
+				rs.res.CommitHoldCycles += hold - cc
 				cc = hold
 			}
 		}
-		cc = commitLim.next(cc)
-		lastCommit = cc
-		commitRing[seq%uint64(c.cfg.ROBSize)] = cc
+		cc = rs.commitLim.next(cc)
+		// Retirement watchdog: a commit-to-commit gap beyond the budget
+		// means retirement has effectively stopped (a stuck engine hold, a
+		// runaway completion time). Abort with the pipeline state instead
+		// of spinning the worker.
+		if opts.WatchdogBudget > 0 && cc-rs.lastCommit > opts.WatchdogBudget {
+			runErr = c.livelock(rs, seq, di, disp, ready, issue, done, cc, hold, opts.WatchdogBudget)
+			break
+		}
+		rs.lastCommit = cc
+		rs.commitRing[seq%uint64(c.cfg.ROBSize)] = cc
 		if in.Op.IsLoad() {
-			loadRing[nLoads%uint64(c.cfg.LQSize)] = cc
-			nLoads++
+			rs.loadRing[rs.nLoads%uint64(c.cfg.LQSize)] = cc
+			rs.nLoads++
 		}
 		if in.Op.IsStore() {
-			storeRing[nStores%uint64(c.cfg.SQSize)] = cc
-			nStores++
+			rs.storeRing[rs.nStores%uint64(c.cfg.SQSize)] = cc
+			rs.nStores++
 			// The store drains to memory at commit.
 			c.hier.Access(di.Addr, cc, true, di.PC)
 		}
 		if in.Op.WritesDst() {
-			regReady[in.Dst] = done
+			rs.regReady[in.Dst] = done
 		}
-		res.Instructions++
+		rs.pcRing[seq%livelockPCWindow] = di.PC
+		rs.res.Instructions++
 
 		if c.engine != nil {
 			c.engine.OnCommit(di, cc)
@@ -375,10 +492,11 @@ func (c *Core) RunContext(ctx context.Context, maxInsts uint64) (Result, error) 
 		}
 	}
 
+	res := rs.res
 	res.SchemaVersion = ResultSchemaVersion
-	res.Cycles = lastCommit
+	res.Cycles = rs.lastCommit
 	res.HostNS = time.Since(hostStart).Nanoseconds()
-	c.hier.FinishStats(lastCommit)
+	c.hier.FinishStats(rs.lastCommit)
 	res.Mem = c.hier.Stats
 	res.BranchLookups = c.bp.Lookups
 	res.BranchMispredict = c.bp.Mispredicts

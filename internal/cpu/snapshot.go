@@ -1,0 +1,228 @@
+package cpu
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"slices"
+
+	"dvr/internal/bpred"
+	"dvr/internal/calendar"
+	"dvr/internal/interp"
+	"dvr/internal/mem"
+)
+
+// Snapshot-related errors. Callers (the checkpoint store, the service)
+// distinguish "this snapshot cannot be used here" (mismatch — recompute
+// from scratch) from "this run cannot checkpoint at all" (unsupported —
+// reject the options).
+var (
+	// ErrSnapshotMismatch means the snapshot does not fit the core it is
+	// being restored into: different configuration shapes, a different
+	// technique, or inconsistent internal dimensions.
+	ErrSnapshotMismatch = errors.New("cpu: snapshot does not match core")
+	// ErrCheckpointUnsupported means the attached frontend or engine does
+	// not implement snapshot capture/restore.
+	ErrCheckpointUnsupported = errors.New("cpu: frontend or engine does not support checkpointing")
+)
+
+// FrontendState is the snapshot surface of a checkpointable frontend.
+// *interp.Interp satisfies it.
+type FrontendState interface {
+	Frontend
+	Snapshot() interp.Snapshot
+	Restore(interp.Snapshot) error
+}
+
+// EngineState is implemented by engines that support checkpoint/restore.
+// SnapshotState is called only at committed-instruction boundaries, where
+// every engine in this repo is between episodes (episodes run synchronously
+// inside OnCommit/OnROBStall), so the state is compact. RestoreState is
+// called on a freshly constructed engine attached to the already-restored
+// frontend and hierarchy.
+type EngineState interface {
+	Engine
+	SnapshotState() (json.RawMessage, error)
+	RestoreState(json.RawMessage) error
+}
+
+// EngineSnapshot carries an engine's serialized state plus its name, so a
+// resume under a different technique is rejected instead of silently
+// misinterpreted.
+type EngineSnapshot struct {
+	Name  string          `json:"name"`
+	State json.RawMessage `json:"state"`
+}
+
+// LimiterState is a widthLimiter's position (its width comes from Config).
+type LimiterState struct {
+	Cycle uint64 `json:"cycle"`
+	Count int    `json:"count"`
+}
+
+// Snapshot is the complete state of a simulation at a committed-instruction
+// boundary: every field the cycle loop, the hierarchy, the predictor, the
+// frontend and the attached engine need to continue bit-identically. It is
+// deterministic — two snapshots of the same run at the same instruction
+// count are deeply equal — which is what makes checkpoint files
+// content-verifiable.
+type Snapshot struct {
+	Seq uint64 `json:"seq"` // committed instructions so far
+
+	Res        Result          `json:"res"` // stats accumulated by the loop so far
+	RegReady   []uint64        `json:"reg_ready"`
+	CommitRing []uint64        `json:"commit_ring"`
+	IQ         []uint64        `json:"iq"` // issue-queue min-heap, raw layout
+	LoadRing   []uint64        `json:"load_ring"`
+	StoreRing  []uint64        `json:"store_ring"`
+	FetchLim   LimiterState    `json:"fetch_lim"`
+	CommitLim  LimiterState    `json:"commit_lim"`
+	ALU        calendar.State  `json:"alu"`
+	Mul        calendar.State  `json:"mul"`
+	Div        calendar.State  `json:"div"`
+	LoadPorts  calendar.State  `json:"load_ports"`
+	StorePorts calendar.State  `json:"store_ports"`
+	FeReady    uint64          `json:"fe_ready"`
+	LastCommit uint64          `json:"last_commit"`
+	NLoads     uint64          `json:"n_loads"`
+	NStores    uint64          `json:"n_stores"`
+	StallCur   uint64          `json:"stall_cursor"`
+	LastPCs    []int           `json:"last_pcs,omitempty"` // most recent committed PCs, oldest first
+	Frontend   interp.Snapshot `json:"frontend"`
+	Hier       mem.Snapshot    `json:"hier"`
+	Bpred      bpred.Snapshot  `json:"bpred"`
+	Engine     *EngineSnapshot `json:"engine,omitempty"`
+}
+
+// snapshot captures the full simulation state at the boundary before
+// instruction seq.
+func (c *Core) snapshot(rs *runState, seq uint64) (*Snapshot, error) {
+	fs, ok := c.fe.(FrontendState)
+	if !ok {
+		return nil, fmt.Errorf("%w: frontend %T", ErrCheckpointUnsupported, c.fe)
+	}
+	s := &Snapshot{
+		Seq:        seq,
+		Res:        rs.res,
+		RegReady:   slices.Clone(rs.regReady[:]),
+		CommitRing: slices.Clone(rs.commitRing),
+		IQ:         slices.Clone(rs.iq.h),
+		LoadRing:   slices.Clone(rs.loadRing),
+		StoreRing:  slices.Clone(rs.storeRing),
+		FetchLim:   LimiterState{rs.fetchLim.cycle, rs.fetchLim.count},
+		CommitLim:  LimiterState{rs.commitLim.cycle, rs.commitLim.count},
+		ALU:        rs.alu.cal.Export(),
+		Mul:        rs.mul.cal.Export(),
+		Div:        rs.div.cal.Export(),
+		LoadPorts:  rs.loadPorts.cal.Export(),
+		StorePorts: rs.storePorts.cal.Export(),
+		FeReady:    rs.feReady,
+		LastCommit: rs.lastCommit,
+		NLoads:     rs.nLoads,
+		NStores:    rs.nStores,
+		StallCur:   rs.stallCursor,
+		LastPCs:    rs.lastPCs(seq),
+		Frontend:   fs.Snapshot(),
+		Hier:       c.hier.Snapshot(),
+		Bpred:      c.bp.Snapshot(),
+	}
+	if c.engine != nil {
+		es, ok := c.engine.(EngineState)
+		if !ok {
+			return nil, fmt.Errorf("%w: engine %s", ErrCheckpointUnsupported, c.engine.Name())
+		}
+		raw, err := es.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("cpu: snapshot engine %s: %w", c.engine.Name(), err)
+		}
+		s.Engine = &EngineSnapshot{Name: c.engine.Name(), State: raw}
+	}
+	return s, nil
+}
+
+// checkpointable reports whether the core as currently assembled can
+// produce snapshots, so an impossible checkpointing request fails up front
+// rather than mid-run.
+func (c *Core) checkpointable() error {
+	if _, ok := c.fe.(FrontendState); !ok {
+		return fmt.Errorf("%w: frontend %T", ErrCheckpointUnsupported, c.fe)
+	}
+	if c.engine != nil {
+		if _, ok := c.engine.(EngineState); !ok {
+			return fmt.Errorf("%w: engine %s", ErrCheckpointUnsupported, c.engine.Name())
+		}
+	}
+	return nil
+}
+
+// restore loads s into the run state and the core's components. The core
+// must have been built with the same Config (and the same engine attached)
+// the snapshot was taken under; every shape is checked and a mismatch
+// returns an error wrapping ErrSnapshotMismatch with the loop state
+// untouched by the failing stage.
+func (c *Core) restore(rs *runState, s *Snapshot) (uint64, error) {
+	switch {
+	case len(s.RegReady) != len(rs.regReady):
+		return 0, fmt.Errorf("%w: %d ready registers, want %d", ErrSnapshotMismatch, len(s.RegReady), len(rs.regReady))
+	case len(s.CommitRing) != c.cfg.ROBSize:
+		return 0, fmt.Errorf("%w: ROB size %d, config has %d", ErrSnapshotMismatch, len(s.CommitRing), c.cfg.ROBSize)
+	case len(s.IQ) > c.cfg.IQSize:
+		return 0, fmt.Errorf("%w: %d issue-queue entries, config holds %d", ErrSnapshotMismatch, len(s.IQ), c.cfg.IQSize)
+	case len(s.LoadRing) != c.cfg.LQSize:
+		return 0, fmt.Errorf("%w: LQ size %d, config has %d", ErrSnapshotMismatch, len(s.LoadRing), c.cfg.LQSize)
+	case len(s.StoreRing) != c.cfg.SQSize:
+		return 0, fmt.Errorf("%w: SQ size %d, config has %d", ErrSnapshotMismatch, len(s.StoreRing), c.cfg.SQSize)
+	case len(s.LastPCs) > livelockPCWindow:
+		return 0, fmt.Errorf("%w: %d trailing PCs, window is %d", ErrSnapshotMismatch, len(s.LastPCs), livelockPCWindow)
+	}
+	fs, ok := c.fe.(FrontendState)
+	if !ok {
+		return 0, fmt.Errorf("%w: frontend %T", ErrCheckpointUnsupported, c.fe)
+	}
+	if err := fs.Restore(s.Frontend); err != nil {
+		return 0, fmt.Errorf("%w: frontend: %v", ErrSnapshotMismatch, err)
+	}
+	if err := c.hier.Restore(s.Hier); err != nil {
+		return 0, fmt.Errorf("%w: hierarchy: %v", ErrSnapshotMismatch, err)
+	}
+	if err := c.bp.Restore(s.Bpred); err != nil {
+		return 0, fmt.Errorf("%w: predictor: %v", ErrSnapshotMismatch, err)
+	}
+	switch {
+	case s.Engine == nil && c.engine != nil:
+		return 0, fmt.Errorf("%w: snapshot has no engine, core has %s", ErrSnapshotMismatch, c.engine.Name())
+	case s.Engine != nil && c.engine == nil:
+		return 0, fmt.Errorf("%w: snapshot has engine %s, core has none", ErrSnapshotMismatch, s.Engine.Name)
+	case s.Engine != nil:
+		if c.engine.Name() != s.Engine.Name {
+			return 0, fmt.Errorf("%w: snapshot has engine %s, core has %s", ErrSnapshotMismatch, s.Engine.Name, c.engine.Name())
+		}
+		es, ok := c.engine.(EngineState)
+		if !ok {
+			return 0, fmt.Errorf("%w: engine %s", ErrCheckpointUnsupported, c.engine.Name())
+		}
+		if err := es.RestoreState(s.Engine.State); err != nil {
+			return 0, fmt.Errorf("%w: engine %s: %v", ErrSnapshotMismatch, s.Engine.Name, err)
+		}
+	}
+	rs.res = s.Res
+	copy(rs.regReady[:], s.RegReady)
+	copy(rs.commitRing, s.CommitRing)
+	rs.iq.h = append(rs.iq.h[:0], s.IQ...)
+	copy(rs.loadRing, s.LoadRing)
+	copy(rs.storeRing, s.StoreRing)
+	rs.fetchLim.cycle, rs.fetchLim.count = s.FetchLim.Cycle, s.FetchLim.Count
+	rs.commitLim.cycle, rs.commitLim.count = s.CommitLim.Cycle, s.CommitLim.Count
+	rs.alu.cal.Import(s.ALU)
+	rs.mul.cal.Import(s.Mul)
+	rs.div.cal.Import(s.Div)
+	rs.loadPorts.cal.Import(s.LoadPorts)
+	rs.storePorts.cal.Import(s.StorePorts)
+	rs.feReady = s.FeReady
+	rs.lastCommit = s.LastCommit
+	rs.nLoads = s.NLoads
+	rs.nStores = s.NStores
+	rs.stallCursor = s.StallCur
+	rs.setLastPCs(s.Seq, s.LastPCs)
+	return s.Seq, nil
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"dvr/internal/checkpoint"
+	"dvr/internal/cpu"
+	"dvr/internal/workloads"
+)
+
+// errKilled simulates a process death at a checkpoint boundary: the
+// checkpoint callback persists the snapshot and then the run is cut off.
+var errKilled = errors.New("scripted kill")
+
+// killResumeTechs is the bit-identity matrix of the durability contract:
+// the no-engine baseline and both runahead engines (VR exercises the
+// delayed-termination hold path, DVR the full discovery/vectorize state).
+var killResumeTechs = []Technique{TechOoO, TechVR, TechDVR}
+
+// TestKillResumeBitIdentity is the durability acceptance test: for every
+// suite workload under every technique, a run that is killed at a
+// randomized checkpoint boundary and resumed — through a full
+// encode/decode of the checkpoint file format — produces a canonical
+// Result bit-identical to a run that was never interrupted.
+func TestKillResumeBitIdentity(t *testing.T) {
+	specs := QuickSuite().All()
+	if testing.Short() {
+		specs = specs[:4]
+	}
+	cfg := cpu.DefaultConfig()
+	for _, spec := range specs {
+		for _, tech := range killResumeTechs {
+			spec, tech := spec, tech
+			t.Run(fmt.Sprintf("%s/%s", spec.Name, tech), func(t *testing.T) {
+				t.Parallel()
+				full, err := RunJob(context.Background(), spec, tech, cfg, JobOpts{})
+				if err != nil {
+					t.Fatalf("uninterrupted run: %v", err)
+				}
+
+				// Kill at a seeded-random checkpoint boundary, different
+				// per cell but reproducible across runs.
+				const every = 7_000
+				roi := roiOf(spec)
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%s/%s", spec.Name, tech)
+				rng := rand.New(rand.NewSource(int64(h.Sum64())))
+				kill := every * uint64(1+rng.Intn(int(roi/every)-1))
+
+				var snap *cpu.Snapshot
+				_, err = RunJob(context.Background(), spec, tech, cfg, JobOpts{
+					CheckpointEvery: every,
+					Checkpoint: func(s *cpu.Snapshot) error {
+						if s.Seq == kill {
+							snap = s
+							return errKilled
+						}
+						return nil
+					},
+				})
+				if !errors.Is(err, errKilled) {
+					t.Fatalf("killed run returned %v, want scripted kill", err)
+				}
+				if snap == nil {
+					t.Fatalf("no snapshot captured at seq %d", kill)
+				}
+
+				// Round-trip the snapshot through the durable file format,
+				// so what resumes is exactly what a restarted process
+				// would read off disk.
+				data, err := checkpoint.Encode(&checkpoint.State{
+					Engine:    "test-engine",
+					Ref:       spec.Ref,
+					Technique: string(tech),
+					Config:    cfg,
+					Core:      *snap,
+				})
+				if err != nil {
+					t.Fatalf("encode checkpoint: %v", err)
+				}
+				st, err := checkpoint.Decode(data)
+				if err != nil {
+					t.Fatalf("decode checkpoint: %v", err)
+				}
+				if err := st.Matches("test-engine", spec.Ref, string(tech), cfg); err != nil {
+					t.Fatalf("decoded checkpoint does not match job: %v", err)
+				}
+
+				resumed, err := RunJob(context.Background(), spec, tech, cfg, JobOpts{Resume: &st.Core})
+				if err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+				if got, want := resumed.Canonical(), full.Canonical(); got != want {
+					t.Errorf("resumed result differs from uninterrupted run (killed at %d/%d):\n got %+v\nwant %+v",
+						kill, roi, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeRejectsMismatchedCore verifies the restore path refuses a
+// snapshot taken under a different configuration or technique instead of
+// restoring garbage.
+func TestResumeRejectsMismatchedCore(t *testing.T) {
+	spec := QuickSuite().HPCDB[0]
+	cfg := cpu.DefaultConfig()
+	var snap *cpu.Snapshot
+	_, err := RunJob(context.Background(), spec, TechDVR, cfg, JobOpts{
+		CheckpointEvery: 5_000,
+		Checkpoint: func(s *cpu.Snapshot) error {
+			snap = s
+			return errKilled
+		},
+	})
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("killed run returned %v", err)
+	}
+
+	smaller := cfg
+	smaller.ROBSize /= 2
+	if _, err := RunJob(context.Background(), spec, TechDVR, smaller, JobOpts{Resume: snap}); !errors.Is(err, cpu.ErrSnapshotMismatch) {
+		t.Errorf("resume under smaller ROB = %v, want ErrSnapshotMismatch", err)
+	}
+	if _, err := RunJob(context.Background(), spec, TechVR, cfg, JobOpts{Resume: snap}); !errors.Is(err, cpu.ErrSnapshotMismatch) {
+		t.Errorf("resume under other technique = %v, want ErrSnapshotMismatch", err)
+	}
+	if _, err := RunJob(context.Background(), spec, TechOoO, cfg, JobOpts{Resume: snap}); !errors.Is(err, cpu.ErrSnapshotMismatch) {
+		t.Errorf("resume without engine = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+// TestWatchdogLivelock seeds a scripted livelock (the commit stream wedges
+// after N instructions) and verifies the retirement watchdog converts it
+// into a typed error with a populated forensics dump instead of a
+// runaway simulation.
+func TestWatchdogLivelock(t *testing.T) {
+	spec := QuickSuite().HPCDB[0]
+	cfg := cpu.DefaultConfig()
+	for _, tech := range []Technique{TechOoO, TechDVR} {
+		t.Run(string(tech), func(t *testing.T) {
+			_, err := RunJob(context.Background(), spec, tech, cfg, JobOpts{
+				WatchdogBudget: 50_000,
+				LivelockAfter:  2_000,
+			})
+			var le *cpu.LivelockError
+			if !errors.As(err, &le) {
+				t.Fatalf("livelocked run returned %v, want *cpu.LivelockError", err)
+			}
+			if le.Budget != 50_000 {
+				t.Errorf("Budget = %d, want 50000", le.Budget)
+			}
+			d := le.Dump
+			if d.Seq < 2_000 {
+				t.Errorf("dump seq = %d, want >= livelock point 2000", d.Seq)
+			}
+			if d.Commit <= d.PrevCommit {
+				t.Errorf("dump commit %d not after previous commit %d", d.Commit, d.PrevCommit)
+			}
+			if d.EngineHold == 0 {
+				t.Error("dump engine hold = 0, want the wedged hold cycle")
+			}
+			if len(d.LastPCs) == 0 {
+				t.Error("dump has no trailing PCs")
+			}
+			if le.Error() == "" {
+				t.Error("empty error string")
+			}
+		})
+	}
+}
+
+// TestRunJobMatchesRunE pins RunJob's zero-options path to RunE: same
+// canonical result, so the durable entry point cannot drift from the one
+// the figures use.
+func TestRunJobMatchesRunE(t *testing.T) {
+	spec := QuickSuite().GAP[0]
+	cfg := cpu.DefaultConfig()
+	a, err := RunE(context.Background(), spec, TechDVR, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunJob(context.Background(), spec, TechDVR, cfg, JobOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("RunJob result differs from RunE:\n got %+v\nwant %+v", b.Canonical(), a.Canonical())
+	}
+}
+
+// TestRunERejectsDegenerateConfig verifies wire-reachable construction
+// panics are request errors now: a zero ROB or zero functional-unit count
+// must come back as a validation error, not a crash.
+func TestRunERejectsDegenerateConfig(t *testing.T) {
+	spec := QuickSuite().GAP[0]
+	bad := []func(*cpu.Config){
+		func(c *cpu.Config) { c.ROBSize = 0 },
+		func(c *cpu.Config) { c.IntALUs = 0 },
+		func(c *cpu.Config) { c.LoadPorts = -1 },
+		func(c *cpu.Config) { c.Width = 0 },
+		func(c *cpu.Config) { c.Bpred.BimodalBits = -1 },
+		func(c *cpu.Config) { c.Bpred.BimodalBits = 40 },
+		func(c *cpu.Config) { c.Mem.L1D.Assoc = 0 },
+		func(c *cpu.Config) { c.Mem.MSHRs = 0 },
+		func(c *cpu.Config) { c.Mem.StrideStreams = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := cpu.DefaultConfig()
+		mutate(&cfg)
+		if _, err := RunE(context.Background(), spec, TechDVR, cfg); err == nil {
+			t.Errorf("case %d: degenerate config accepted", i)
+		}
+	}
+}
+
+var _ = workloads.Ref{} // keep the import when build tags trim tests

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"dvr/internal/cpu"
+	"dvr/internal/interp"
+	"dvr/internal/workloads"
+)
+
+// JobOpts are the durability options of RunJob. The zero value runs
+// exactly like RunE.
+type JobOpts struct {
+	// Resume restores the run from a snapshot instead of starting at
+	// instruction zero. The snapshot must have been taken by the same
+	// engine build for the same (workload ref, technique, config) — the
+	// checkpoint package's State.Matches checks that — and the resumed run
+	// is bit-identical to an uninterrupted one.
+	Resume *cpu.Snapshot
+
+	// CheckpointEvery captures a snapshot every N committed instructions
+	// and hands it to Checkpoint; 0 disables checkpointing.
+	CheckpointEvery uint64
+	Checkpoint      func(*cpu.Snapshot) error
+
+	// WatchdogBudget aborts the run with a *cpu.LivelockError (carrying a
+	// forensics dump) when no instruction commits for this many cycles; 0
+	// disables the watchdog.
+	WatchdogBudget uint64
+
+	// LivelockAfter is a scripted fault: after this many committed
+	// instructions the commit stream wedges permanently, which is how the
+	// chaos suite drives the watchdog without a real simulator bug. 0
+	// means run normally.
+	LivelockAfter uint64
+}
+
+// RunJob is RunE plus durability: optional resume from a snapshot,
+// periodic checkpoint capture, and the retirement watchdog. It is the
+// entry point the dvrd service and the CLI harnesses use for runs that
+// must survive being killed.
+func RunJob(ctx context.Context, spec workloads.Spec, tech Technique, cfg cpu.Config, opts JobOpts) (cpu.Result, error) {
+	if _, err := ParseTechnique(string(tech)); err != nil {
+		return cpu.Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return cpu.Result{}, err
+	}
+	w := spec.Build()
+	var fe *interp.Interp
+	if opts.Resume != nil {
+		// The snapshot carries the complete post-warmup machine state,
+		// including every page the warmup wrote, so the frontend starts
+		// cold and the restore inside RunWithOptions supplies everything.
+		fe = interp.New(w.Prog, w.Mem)
+	} else {
+		fe = w.Frontend()
+	}
+	core := cpu.NewCore(cfg, fe)
+	eng, err := buildEngine(tech, fe, w, core.Hierarchy(), cfg)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	if opts.LivelockAfter > 0 {
+		eng = &livelockEngine{inner: eng, after: opts.LivelockAfter}
+	}
+	if eng != nil {
+		core.Attach(eng)
+	}
+	res, err := core.RunWithOptions(ctx, roiOf(spec), cpu.RunOptions{
+		Resume:          opts.Resume,
+		CheckpointEvery: opts.CheckpointEvery,
+		CheckpointFn:    opts.Checkpoint,
+		WatchdogBudget:  opts.WatchdogBudget,
+	})
+	res.Name = spec.Name
+	res.Technique = string(tech)
+	simInsts.Add(res.Instructions)
+	return res, err
+}
+
+// livelockHold is the commit-block cycle a wedged engine reports: far
+// beyond any reachable commit cycle, so the very next commit attempt
+// exceeds any watchdog budget.
+const livelockHold = uint64(1) << 62
+
+// livelockEngine wraps a technique's engine (or stands alone for the OoO
+// baseline) and, after a scripted number of commits, blocks commit at an
+// unreachable cycle forever. It exists so fault injection can produce a
+// genuine retirement stall — through the same CommitBlockedUntil path a
+// buggy delayed-termination engine would use — without planting a bug.
+type livelockEngine struct {
+	inner   cpu.Engine // nil for the OoO baseline
+	after   uint64
+	commits uint64
+}
+
+func (e *livelockEngine) Name() string {
+	if e.inner != nil {
+		return e.inner.Name()
+	}
+	return "ooo"
+}
+
+func (e *livelockEngine) OnCommit(di interp.DynInst, cycle uint64) {
+	e.commits++
+	if e.inner != nil {
+		e.inner.OnCommit(di, cycle)
+	}
+}
+
+func (e *livelockEngine) OnROBStall(from, to uint64) {
+	if e.inner != nil {
+		e.inner.OnROBStall(from, to)
+	}
+}
+
+func (e *livelockEngine) Advance(now uint64) {
+	if e.inner != nil {
+		e.inner.Advance(now)
+	}
+}
+
+func (e *livelockEngine) CommitBlockedUntil() uint64 {
+	if e.commits >= e.after {
+		return livelockHold
+	}
+	if e.inner != nil {
+		return e.inner.CommitBlockedUntil()
+	}
+	return 0
+}
+
+// livelockSnapshot serializes the wrapper's wedge progress alongside the
+// wrapped engine's state, so a checkpointed faulty run restores with the
+// fault intact (not that a wedged job's checkpoint survives — the service
+// drops it — but the snapshot contract must hold for every engine).
+type livelockSnapshot struct {
+	Commits uint64          `json:"commits"`
+	Inner   json.RawMessage `json:"inner,omitempty"`
+}
+
+func (e *livelockEngine) SnapshotState() (json.RawMessage, error) {
+	s := livelockSnapshot{Commits: e.commits}
+	if e.inner != nil {
+		es, ok := e.inner.(cpu.EngineState)
+		if !ok {
+			return nil, fmt.Errorf("%w: engine %s", cpu.ErrCheckpointUnsupported, e.inner.Name())
+		}
+		raw, err := es.SnapshotState()
+		if err != nil {
+			return nil, err
+		}
+		s.Inner = raw
+	}
+	return json.Marshal(s)
+}
+
+func (e *livelockEngine) RestoreState(raw json.RawMessage) error {
+	var s livelockSnapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return err
+	}
+	e.commits = s.Commits
+	if e.inner != nil {
+		es, ok := e.inner.(cpu.EngineState)
+		if !ok {
+			return fmt.Errorf("%w: engine %s", cpu.ErrCheckpointUnsupported, e.inner.Name())
+		}
+		return es.RestoreState(s.Inner)
+	}
+	return nil
+}
+
+func (e *livelockEngine) Stats() cpu.EngineStats {
+	if e.inner != nil {
+		return e.inner.Stats()
+	}
+	return cpu.EngineStats{}
+}
+
+var (
+	_ cpu.Engine      = (*livelockEngine)(nil)
+	_ cpu.EngineState = (*livelockEngine)(nil)
+)

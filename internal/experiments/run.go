@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 
 	"dvr/internal/cpu"
+	"dvr/internal/interp"
+	"dvr/internal/mem"
 	"dvr/internal/prefetch"
 	"dvr/internal/runahead"
 	"dvr/internal/workloads"
@@ -76,11 +78,16 @@ func Run(spec workloads.Spec, tech Technique, cfg cpu.Config) cpu.Result {
 }
 
 // RunE simulates one benchmark under one technique, returning an error
-// instead of panicking on an unknown technique and stopping early (with
-// ctx.Err()) when ctx is cancelled — the two failure modes a simulation
-// service must survive per request.
+// instead of panicking on an unknown technique or a degenerate config and
+// stopping early (with ctx.Err()) when ctx is cancelled — the failure
+// modes a simulation service must survive per request. Config validation
+// here is what turns wire-reachable construction panics (zero ROB, zero
+// functional units, a predictor allocation bomb) into request errors.
 func RunE(ctx context.Context, spec workloads.Spec, tech Technique, cfg cpu.Config) (cpu.Result, error) {
 	if _, err := ParseTechnique(string(tech)); err != nil {
+		return cpu.Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
 		return cpu.Result{}, err
 	}
 	return runWorkloadE(ctx, spec.Build(), spec, tech, cfg)
@@ -102,36 +109,53 @@ func runWorkload(w *workloads.Workload, spec workloads.Spec, tech Technique, cfg
 func runWorkloadE(ctx context.Context, w *workloads.Workload, spec workloads.Spec, tech Technique, cfg cpu.Config) (cpu.Result, error) {
 	fe := w.Frontend()
 	core := cpu.NewCore(cfg, fe)
-	h := core.Hierarchy()
-	switch tech {
-	case TechOoO:
-		// no engine
-	case TechPRE:
-		core.Attach(runahead.NewPRE(fe, h, cfg.Width))
-	case TechIMP:
-		core.Attach(prefetch.NewIMP(h, w.Mem))
-	case TechVR:
-		core.Attach(runahead.NewVR(fe, h))
-	case TechDVR:
-		core.Attach(runahead.NewDVR(fe, h))
-	case TechDVROffload:
-		core.Attach(runahead.NewVector(runahead.OffloadOptions(), fe, h))
-	case TechDVRDiscovery:
-		core.Attach(runahead.NewVector(runahead.DiscoveryOptions(), fe, h))
-	case TechOracle:
-		core.Attach(prefetch.NewOracle(fe, h, OracleLookahead))
-	default:
-		return cpu.Result{}, fmt.Errorf("%w %q", ErrUnknownTechnique, tech)
+	eng, err := buildEngine(tech, fe, w, core.Hierarchy(), cfg)
+	if err != nil {
+		return cpu.Result{}, err
 	}
-	roi := spec.ROI
-	if roi == 0 {
-		roi = 300_000
+	if eng != nil {
+		core.Attach(eng)
 	}
-	res, err := core.RunContext(ctx, roi)
+	res, err := core.RunContext(ctx, roiOf(spec))
 	res.Name = spec.Name
 	res.Technique = string(tech)
 	simInsts.Add(res.Instructions)
 	return res, err
+}
+
+// buildEngine constructs the engine for a technique over an assembled
+// frontend/workload/hierarchy; nil (with nil error) means no engine (the
+// OoO baseline). Resumed runs rebuild the engine here and then restore its
+// state, so construction must not depend on the frontend having advanced.
+func buildEngine(tech Technique, fe *interp.Interp, w *workloads.Workload, h *mem.Hierarchy, cfg cpu.Config) (cpu.Engine, error) {
+	switch tech {
+	case TechOoO:
+		return nil, nil
+	case TechPRE:
+		return runahead.NewPRE(fe, h, cfg.Width), nil
+	case TechIMP:
+		return prefetch.NewIMP(h, w.Mem), nil
+	case TechVR:
+		return runahead.NewVR(fe, h), nil
+	case TechDVR:
+		return runahead.NewDVR(fe, h), nil
+	case TechDVROffload:
+		return runahead.NewVector(runahead.OffloadOptions(), fe, h), nil
+	case TechDVRDiscovery:
+		return runahead.NewVector(runahead.DiscoveryOptions(), fe, h), nil
+	case TechOracle:
+		return prefetch.NewOracle(fe, h, OracleLookahead), nil
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnknownTechnique, tech)
+	}
+}
+
+// roiOf returns the timed instruction budget for a spec.
+func roiOf(spec workloads.Spec) uint64 {
+	if spec.ROI == 0 {
+		return 300_000
+	}
+	return spec.ROI
 }
 
 // Speedup returns b's performance normalized to baseline a (IPC ratio).

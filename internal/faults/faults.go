@@ -68,6 +68,12 @@ type Injector struct {
 	// or panic (scripted worker crashes); the pool's recover path must
 	// contain either.
 	BeforeSim func(key string)
+	// SimLivelock, when set, returns the committed-instruction count after
+	// which the keyed job's commit stream should wedge permanently (0 =
+	// run normally): the scripted livelock that exercises the retirement
+	// watchdog end to end, from the stuck engine hold through the typed
+	// error and forensics dump to the worker staying healthy.
+	SimLivelock func(key string) uint64
 }
 
 // Filesystem returns the FS to use for spill I/O; the real one unless
@@ -84,4 +90,13 @@ func (in *Injector) Sim(key string) {
 	if in != nil && in.BeforeSim != nil {
 		in.BeforeSim(key)
 	}
+}
+
+// LivelockAfter returns the scripted livelock point for the keyed job, or
+// 0 when none is scheduled.
+func (in *Injector) LivelockAfter(key string) uint64 {
+	if in == nil || in.SimLivelock == nil {
+		return 0
+	}
+	return in.SimLivelock(key)
 }

@@ -1,0 +1,105 @@
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dvr/internal/isa"
+)
+
+const pageBytes = pageWords * 8
+
+// PageDelta is one owned page of a Memory in serializable form: the page
+// number plus the page's 512 words, little-endian. JSON encodes Data as
+// base64, which keeps checkpoint files a manageable multiple of the
+// touched footprint.
+type PageDelta struct {
+	PN   uint64 `json:"pn"`
+	Data []byte `json:"data"`
+}
+
+// SnapshotPages captures the pages owned by m itself — for a fork, exactly
+// the copy-on-write delta against its base — sorted by page number so the
+// encoding is deterministic. Pages still inherited from the base are not
+// captured: the checkpoint contract is that the base image is rebuilt
+// deterministically from the workload description and the delta is
+// replayed on a fresh fork of it.
+func (m *Memory) SnapshotPages() []PageDelta {
+	if len(m.pages) == 0 {
+		return nil
+	}
+	deltas := make([]PageDelta, 0, len(m.pages))
+	for pn, p := range m.pages {
+		data := make([]byte, pageBytes)
+		for i, w := range p {
+			binary.LittleEndian.PutUint64(data[i*8:], w)
+		}
+		deltas = append(deltas, PageDelta{PN: pn, Data: data})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].PN < deltas[j].PN })
+	return deltas
+}
+
+// RestorePages replaces m's owned pages with deltas and invalidates the
+// TLB. Restoring onto a fresh fork of the same base the snapshot was taken
+// over reproduces the snapshotted memory exactly.
+func (m *Memory) RestorePages(deltas []PageDelta) error {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page, len(deltas))
+	} else {
+		clear(m.pages)
+	}
+	m.tlb = [tlbSize]tlbEntry{}
+	for _, d := range deltas {
+		if len(d.Data) != pageBytes {
+			return fmt.Errorf("interp: page %#x has %d bytes, want %d", d.PN, len(d.Data), pageBytes)
+		}
+		p := new(page)
+		for i := range p {
+			p[i] = binary.LittleEndian.Uint64(d.Data[i*8:])
+		}
+		m.pages[d.PN] = p
+	}
+	return nil
+}
+
+// Snapshot is the serializable state of an interpreter: architectural
+// registers plus the memory delta of its (forked) image.
+type Snapshot struct {
+	Regs           [isa.NumRegs]uint64 `json:"regs"`
+	PC             int                 `json:"pc"`
+	Halted         bool                `json:"halted,omitempty"`
+	Seq            uint64              `json:"seq"`
+	SuppressStores bool                `json:"suppress_stores,omitempty"`
+	Pages          []PageDelta         `json:"pages,omitempty"`
+}
+
+// Snapshot captures the interpreter's architectural state and owned memory
+// pages.
+func (it *Interp) Snapshot() Snapshot {
+	return Snapshot{
+		Regs:           it.St.Regs,
+		PC:             it.St.PC,
+		Halted:         it.St.Halted,
+		Seq:            it.Seq,
+		SuppressStores: it.SuppressStores,
+		Pages:          it.Mem.SnapshotPages(),
+	}
+}
+
+// Restore overwrites the interpreter's architectural state and its
+// memory's owned pages from s. The interpreter must already be attached to
+// the same program and the same (freshly re-forked) base image the
+// snapshot was taken over.
+func (it *Interp) Restore(s Snapshot) error {
+	if err := it.Mem.RestorePages(s.Pages); err != nil {
+		return err
+	}
+	it.St.Regs = s.Regs
+	it.St.PC = s.PC
+	it.St.Halted = s.Halted
+	it.Seq = s.Seq
+	it.SuppressStores = s.SuppressStores
+	return nil
+}

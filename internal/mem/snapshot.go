@@ -1,0 +1,250 @@
+package mem
+
+import (
+	"fmt"
+
+	"dvr/internal/calendar"
+)
+
+// CacheWay is one occupied way of a cache level in serializable form. The
+// way index pins the line to its exact slot so LRU victim selection after
+// restore is bit-identical.
+type CacheWay struct {
+	Way      uint64 `json:"w"`
+	Line     uint64 `json:"l"`
+	Dirty    bool   `json:"d,omitempty"`
+	LastUse  uint64 `json:"u"`
+	Prefetch bool   `json:"p,omitempty"`
+	PrefSrc  uint8  `json:"s,omitempty"`
+}
+
+// CacheSnapshot captures one cache level: its LRU clock and every occupied
+// way. Empty ways are implicit, so the size tracks the touched footprint
+// rather than the configured capacity (an idle 8 MB L3 costs nothing).
+type CacheSnapshot struct {
+	UseClock uint64     `json:"use_clock"`
+	Ways     []CacheWay `json:"ways,omitempty"`
+}
+
+// MSHRWay is one outstanding miss in serializable form.
+type MSHRWay struct {
+	Line  uint64 `json:"l"`
+	Start uint64 `json:"b"`
+	Done  uint64 `json:"e"`
+	Src   uint8  `json:"s"`
+}
+
+// MSHRSnapshot captures the MSHR file: the outstanding entries in their
+// internal order plus the occupancy integral accumulated so far.
+type MSHRSnapshot struct {
+	Entries    []MSHRWay `json:"entries,omitempty"`
+	BusyCycles uint64    `json:"busy_cycles"`
+}
+
+// StrideStream is one stride-prefetcher stream in serializable form.
+type StrideStream struct {
+	PC       uint64 `json:"pc"`
+	Valid    bool   `json:"v,omitempty"`
+	LastAddr uint64 `json:"a"`
+	Stride   int64  `json:"st"`
+	Conf     uint8  `json:"c"`
+	LastUse  uint64 `json:"u"`
+}
+
+// StrideSnapshot captures the stride prefetcher's streams and clock.
+type StrideSnapshot struct {
+	Streams []StrideStream `json:"streams"`
+	Clock   uint64         `json:"clock"`
+}
+
+// Snapshot is the serializable state of a Hierarchy. The configuration is
+// not part of it — restore targets a hierarchy freshly built from the same
+// Config, and shape mismatches are detected against that.
+type Snapshot struct {
+	L1D       CacheSnapshot   `json:"l1d"`
+	L2        CacheSnapshot   `json:"l2"`
+	L3        CacheSnapshot   `json:"l3"`
+	MSHR      MSHRSnapshot    `json:"mshr"`
+	DRAM      calendar.State  `json:"dram"`
+	Stride    *StrideSnapshot `json:"stride,omitempty"`
+	Stats     Stats           `json:"stats"`
+	LastCycle uint64          `json:"last_cycle"`
+}
+
+func (c *cache) snapshot() CacheSnapshot {
+	s := CacheSnapshot{UseClock: c.useClock}
+	for w, t := range c.tags {
+		if t == 0 {
+			continue
+		}
+		m := c.meta[w]
+		s.Ways = append(s.Ways, CacheWay{
+			Way:      uint64(w),
+			Line:     m.tag,
+			Dirty:    m.dirty,
+			LastUse:  m.lastUse,
+			Prefetch: m.prefetch,
+			PrefSrc:  uint8(m.prefSrc),
+		})
+	}
+	return s
+}
+
+func (c *cache) restore(s CacheSnapshot, name string) error {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.meta[i] = cacheLine{}
+	}
+	for _, w := range s.Ways {
+		if w.Way >= uint64(len(c.tags)) {
+			return fmt.Errorf("mem: %s snapshot way %d out of range (cache has %d ways)", name, w.Way, len(c.tags))
+		}
+		if (w.Line&c.setMask)*c.assoc > w.Way || w.Way >= (w.Line&c.setMask)*c.assoc+c.assoc {
+			return fmt.Errorf("mem: %s snapshot line %#x does not map to way %d", name, w.Line, w.Way)
+		}
+		if c.tags[w.Way] != 0 {
+			return fmt.Errorf("mem: %s snapshot has duplicate way %d", name, w.Way)
+		}
+		if w.PrefSrc >= uint8(numSources) {
+			return fmt.Errorf("mem: %s snapshot way %d has unknown source %d", name, w.Way, w.PrefSrc)
+		}
+		c.tags[w.Way] = w.Line + 1
+		c.meta[w.Way] = cacheLine{
+			tag:      w.Line,
+			valid:    true,
+			dirty:    w.Dirty,
+			lastUse:  w.LastUse,
+			prefetch: w.Prefetch,
+			prefSrc:  Source(w.PrefSrc),
+		}
+	}
+	c.useClock = s.UseClock
+	return nil
+}
+
+// Snapshot captures the hierarchy's full timing state: cache contents and
+// LRU clocks, outstanding MSHR entries, the DRAM bandwidth calendar, the
+// stride prefetcher, and the statistics counters.
+func (h *Hierarchy) Snapshot() Snapshot {
+	s := Snapshot{
+		L1D:       h.l1d.snapshot(),
+		L2:        h.l2.snapshot(),
+		L3:        h.l3.snapshot(),
+		DRAM:      h.dram.cal.Export(),
+		Stats:     h.Stats,
+		LastCycle: h.lastCycle,
+	}
+	s.MSHR.BusyCycles = h.mshr.busyCycles
+	for _, e := range h.mshr.entries {
+		s.MSHR.Entries = append(s.MSHR.Entries, MSHRWay{
+			Line: e.line, Start: e.e.start, Done: e.e.done, Src: uint8(e.e.src),
+		})
+	}
+	if h.stride != nil {
+		ss := &StrideSnapshot{Clock: h.stride.clock, Streams: make([]StrideStream, len(h.stride.streams))}
+		for i, st := range h.stride.streams {
+			ss.Streams[i] = StrideStream{
+				PC: st.pc, Valid: st.valid, LastAddr: st.lastAddr,
+				Stride: st.stride, Conf: st.conf, LastUse: st.lastUse,
+			}
+		}
+		s.Stride = ss
+	}
+	return s
+}
+
+// Restore overwrites the hierarchy's state from s. The hierarchy must have
+// been built from the same Config the snapshot was taken under; shape
+// mismatches return an error. The registered access observer (if any) is
+// preserved — engines re-register themselves before restore.
+func (h *Hierarchy) Restore(s Snapshot) error {
+	if err := h.l1d.restore(s.L1D, "L1D"); err != nil {
+		return err
+	}
+	if err := h.l2.restore(s.L2, "L2"); err != nil {
+		return err
+	}
+	if err := h.l3.restore(s.L3, "L3"); err != nil {
+		return err
+	}
+	h.mshr.entries = h.mshr.entries[:0]
+	for _, e := range s.MSHR.Entries {
+		if e.Src >= uint8(numSources) {
+			return fmt.Errorf("mem: MSHR snapshot entry for line %#x has unknown source %d", e.Line, e.Src)
+		}
+		h.mshr.entries = append(h.mshr.entries, mshrSlot{
+			line: e.Line,
+			e:    mshrEntry{done: e.Done, start: e.Start, src: Source(e.Src)},
+		})
+	}
+	h.mshr.busyCycles = s.MSHR.BusyCycles
+	h.dram.cal.Import(s.DRAM)
+	if (h.stride != nil) != (s.Stride != nil) {
+		return fmt.Errorf("mem: snapshot stride prefetcher presence (%v) does not match config (%v)",
+			s.Stride != nil, h.stride != nil)
+	}
+	if h.stride != nil {
+		if len(s.Stride.Streams) != len(h.stride.streams) {
+			return fmt.Errorf("mem: snapshot has %d stride streams, config has %d",
+				len(s.Stride.Streams), len(h.stride.streams))
+		}
+		for i, st := range s.Stride.Streams {
+			h.stride.streams[i] = pfStream{
+				pc: st.PC, valid: st.Valid, lastAddr: st.LastAddr,
+				stride: st.Stride, conf: st.Conf, lastUse: st.LastUse,
+			}
+		}
+		h.stride.clock = s.Stride.Clock
+	}
+	h.Stats = s.Stats
+	h.lastCycle = s.LastCycle
+	return nil
+}
+
+// MSHRDumpEntry is one outstanding miss as reported in a forensics dump.
+type MSHRDumpEntry struct {
+	Line  uint64 `json:"line"`
+	Start uint64 `json:"start"`
+	Done  uint64 `json:"done"`
+	Src   string `json:"src"`
+}
+
+// MSHRDump returns the outstanding MSHR entries in human-readable form for
+// livelock forensics.
+func (h *Hierarchy) MSHRDump() []MSHRDumpEntry {
+	out := make([]MSHRDumpEntry, 0, len(h.mshr.entries))
+	for _, e := range h.mshr.entries {
+		out = append(out, MSHRDumpEntry{
+			Line: e.line, Start: e.e.start, Done: e.e.done, Src: e.e.src.String(),
+		})
+	}
+	return out
+}
+
+// Validate rejects configurations that the model cannot simulate. These
+// are request-shaped errors (a malformed Config arriving over the dvrd
+// wire), caught here so they surface as typed errors instead of runtime
+// panics (division by zero sizing a cache) or degenerate scheduling.
+func (c Config) Validate() error {
+	for _, lv := range []struct {
+		name string
+		cc   CacheConfig
+	}{{"l1d", c.L1D}, {"l2", c.L2}, {"l3", c.L3}} {
+		if lv.cc.Assoc < 1 {
+			return fmt.Errorf("mem: %s associativity must be >= 1, got %d", lv.name, lv.cc.Assoc)
+		}
+		if lv.cc.SizeBytes < LineSize {
+			return fmt.Errorf("mem: %s size must be >= one %d-byte line, got %d", lv.name, LineSize, lv.cc.SizeBytes)
+		}
+	}
+	if c.MSHRs < 1 {
+		return fmt.Errorf("mem: MSHR count must be >= 1, got %d", c.MSHRs)
+	}
+	if c.StrideEnabled && c.StrideStreams < 1 {
+		return fmt.Errorf("mem: stride prefetcher enabled with %d streams; need >= 1", c.StrideStreams)
+	}
+	if c.StrideEnabled && c.StrideDegree < 0 {
+		return fmt.Errorf("mem: stride degree must be >= 0, got %d", c.StrideDegree)
+	}
+	return nil
+}

@@ -64,8 +64,8 @@ var impCoeffs = []int64{1, 2, 4, 8, 16, 32}
 // distance tracks the out-of-order window.
 func NewIMP(hier *mem.Hierarchy, fmem *interp.Memory) *IMP {
 	p := &IMP{
-		hier:    hier,
-		fmem:    fmem,
+		hier:   hier,
+		fmem:   fmem,
 		rpt:    runahead.NewRPT(32),
 		pats:   make(map[impKey]*impPattern),
 		degree: 8,

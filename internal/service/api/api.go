@@ -181,6 +181,19 @@ type Metrics struct {
 	SingleFlightRetries uint64 `json:"single_flight_retries"`
 	SpillQuarantined    uint64 `json:"spill_quarantined"`
 
+	// CheckpointsWritten / CheckpointsResumed count durable-checkpoint
+	// activity (zero unless checkpointing is configured);
+	// CheckpointWriteErrors counts checkpoint saves that failed (the run
+	// continues without that resume point); CheckpointsQuarantined counts
+	// corrupt checkpoint files moved to quarantine; WatchdogTrips counts
+	// simulations aborted by the retirement watchdog with a livelock
+	// error and forensics dump.
+	CheckpointsWritten     uint64 `json:"checkpoints_written"`
+	CheckpointsResumed     uint64 `json:"checkpoints_resumed"`
+	CheckpointWriteErrors  uint64 `json:"checkpoint_write_errors"`
+	CheckpointsQuarantined uint64 `json:"checkpoints_quarantined"`
+	WatchdogTrips          uint64 `json:"watchdog_trips"`
+
 	// SimInstructions is the cumulative timed-instruction count simulated
 	// by this process (experiments.SimInstructions); SimMIPS divides the
 	// portion simulated since server start by the uptime.

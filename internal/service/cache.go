@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
@@ -13,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dvr/internal/checkpoint"
 	"dvr/internal/cpu"
 	"dvr/internal/faults"
 	"dvr/internal/service/api"
@@ -40,17 +40,18 @@ func CacheKey(ref workloads.Ref, tech string, cfg cpu.Config) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Spill integrity: every spill file carries a digest footer —
+// Spill integrity: every spill file carries the checkpoint package's
+// digest footer —
 //
 //	<canonical result JSON>\n# sha256:<hex of the JSON bytes>\n
 //
-// verified on every read. A file whose footer is missing or whose digest
-// does not match is quarantined (moved to <dir>/quarantine/, never served,
+// verified on every read (checkpoint.Seal/Unseal; checkpoint files share
+// the exact scheme). A file whose footer is missing or whose digest does
+// not match is quarantined (moved to <dir>/quarantine/, never served,
 // never re-read) and counted at /metrics as spill_quarantined; the job
 // simply re-simulates. Write-path corruption (torn writes, bit rot, a
 // hostile or failing disk) therefore degrades to a cache miss, never to a
 // wrong figure.
-const spillFooterPrefix = "# sha256:"
 
 // errSpillCorrupt marks a spill entry that failed integrity verification
 // (as opposed to one from an older result schema, which is a plain miss).
@@ -61,26 +62,13 @@ func encodeSpill(res cpu.Result) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	sum := sha256.Sum256(data)
-	buf := make([]byte, 0, len(data)+len(spillFooterPrefix)+2*len(sum)+2)
-	buf = append(buf, data...)
-	buf = append(buf, '\n')
-	buf = append(buf, spillFooterPrefix...)
-	buf = append(buf, hex.EncodeToString(sum[:])...)
-	buf = append(buf, '\n')
-	return buf, nil
+	return checkpoint.Seal(data), nil
 }
 
 func decodeSpill(data []byte) (cpu.Result, error) {
-	i := bytes.LastIndex(data, []byte("\n"+spillFooterPrefix))
-	if i < 0 {
-		return cpu.Result{}, fmt.Errorf("%w: missing digest footer", errSpillCorrupt)
-	}
-	payload := data[:i]
-	footer := strings.TrimSuffix(string(data[i+1+len(spillFooterPrefix):]), "\n")
-	sum := sha256.Sum256(payload)
-	if footer != hex.EncodeToString(sum[:]) {
-		return cpu.Result{}, fmt.Errorf("%w: digest mismatch", errSpillCorrupt)
+	payload, err := checkpoint.Unseal(data)
+	if err != nil {
+		return cpu.Result{}, fmt.Errorf("%w: %v", errSpillCorrupt, err)
 	}
 	var res cpu.Result
 	if err := json.Unmarshal(payload, &res); err != nil {

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+
+	"dvr/internal/checkpoint"
+	"dvr/internal/cpu"
+	"dvr/internal/experiments"
+	"dvr/internal/service/api"
+	"dvr/internal/workloads"
+)
+
+// Durable jobs: with CacheDir and CheckpointEvery configured, every
+// running simulation checkpoints its full state to
+// <CacheDir>/checkpoints/<key>.ckpt every N committed instructions. The
+// checkpoint file is the job's journal — self-describing (engine version,
+// workload ref, technique, config, snapshot), integrity-sealed, and
+// deleted when the job's result lands in the cache — so a dvrd killed
+// mid-batch resumes its interrupted jobs from the latest valid checkpoint
+// at the next startup and completes them bit-identically to uninterrupted
+// runs. Corrupt checkpoints are quarantined exactly like corrupt spill
+// entries; the job restarts from scratch.
+
+// simulate runs one cell inside a pool worker, with whatever durability
+// the server is configured for: resume from a valid checkpoint, periodic
+// checkpointing, the retirement watchdog, and scripted livelock faults.
+func (s *Server) simulate(ctx context.Context, key string, spec workloads.Spec, tech string, cfg cpu.Config) (cpu.Result, error) {
+	opts := experiments.JobOpts{
+		WatchdogBudget: s.cfg.WatchdogCycles,
+		LivelockAfter:  s.cfg.Faults.LivelockAfter(key),
+	}
+	if s.ckpts != nil {
+		if st, err := s.ckpts.Load(key); err == nil {
+			if merr := st.Matches(api.EngineVersion, spec.Ref, tech, cfg); merr == nil {
+				opts.Resume = &st.Core
+				s.ckptResumed.Add(1)
+			} else {
+				// The key matched but the journal names a different job
+				// (an engine upgrade, a renamed file): useless, drop it.
+				_ = s.ckpts.Remove(key)
+			}
+		}
+		opts.CheckpointEvery = s.cfg.CheckpointEvery
+		opts.Checkpoint = func(snap *cpu.Snapshot) error {
+			err := s.ckpts.Save(key, &checkpoint.State{
+				Engine:    api.EngineVersion,
+				Ref:       spec.Ref,
+				Technique: tech,
+				Config:    cfg,
+				Core:      *snap,
+			})
+			if err != nil {
+				// Losing the safety net must not kill the job: the run
+				// continues and, if the process dies, restarts from an
+				// older checkpoint or from scratch.
+				s.ckptErrors.Add(1)
+				return nil
+			}
+			s.ckptWritten.Add(1)
+			return nil
+		}
+	}
+	res, err := experiments.RunJob(ctx, spec, experiments.Technique(tech), cfg, opts)
+	if opts.Resume != nil && (errors.Is(err, cpu.ErrSnapshotMismatch) || errors.Is(err, cpu.ErrCheckpointUnsupported)) {
+		// The checkpoint verified and matched but still would not restore
+		// (shape drift the digest cannot see). Resume is an optimization,
+		// never a correctness requirement: drop it and run from scratch.
+		_ = s.ckpts.Remove(key)
+		opts.Resume = nil
+		res, err = experiments.RunJob(ctx, spec, experiments.Technique(tech), cfg, opts)
+	}
+	var le *cpu.LivelockError
+	if errors.As(err, &le) {
+		s.watchdogTrips.Add(1)
+		s.writeForensics(key, le)
+		if s.ckpts != nil {
+			// The wedge is deterministic; resuming near it would only trip
+			// the watchdog again at the same instruction.
+			_ = s.ckpts.Remove(key)
+		}
+		return cpu.Result{}, err
+	}
+	if err == nil && s.ckpts != nil {
+		// Job complete; the result is the cache's to keep now.
+		_ = s.ckpts.Remove(key)
+	}
+	return res, err
+}
+
+// writeForensics persists a livelock's pipeline dump beside the cache so
+// the stall can be diagnosed after the fact: ROB/IQ/LQ/SQ occupancy, the
+// oldest instruction's timing, MSHR contents and the trailing committed
+// PCs, keyed by the job that wedged.
+func (s *Server) writeForensics(key string, le *cpu.LivelockError) {
+	if s.cfg.CacheDir == "" {
+		return
+	}
+	fsys := s.cfg.Faults.Filesystem()
+	dir := filepath.Join(s.cfg.CacheDir, "forensics")
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(le, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = fsys.WriteFile(filepath.Join(dir, key+".json"), data, 0o644)
+}
+
+// resumePending re-submits every job the startup checkpoint scan found a
+// healthy journal for. Each resumed job goes through runCell — the same
+// cache / single-flight / pool path as a fresh request — and simulate
+// picks the checkpoint back up; its result lands in the cache and the
+// checkpoint is deleted, exactly as if the original request had never
+// been interrupted.
+func (s *Server) resumePending() {
+	for _, key := range s.ckptHealth.Pending {
+		st, err := s.ckpts.Load(key)
+		if err != nil {
+			continue
+		}
+		// The journal is self-describing; re-derive the content address
+		// and refuse files that do not name the job they are filed under
+		// (a renamed file, a foreign checkpoint dropped in the directory).
+		if CacheKey(st.Ref, st.Technique, st.Config) != key {
+			_ = s.ckpts.Remove(key)
+			continue
+		}
+		if _, ok := s.cache.Peek(key); ok {
+			// Already completed (the result spill survived alongside the
+			// checkpoint); nothing to resume.
+			_ = s.ckpts.Remove(key)
+			continue
+		}
+		s.jobs.wg.Add(1)
+		go func() {
+			defer s.jobs.wg.Done()
+			_, _ = s.runCell(context.Background(), st.Ref, st.Technique, st.Config, admitQueue)
+		}()
+	}
+}

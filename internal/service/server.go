@@ -15,12 +15,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dvr/internal/checkpoint"
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
 	"dvr/internal/faults"
@@ -54,6 +56,15 @@ type Config struct {
 	// CacheDir, when set, spills cached results to disk as
 	// <dir>/<key>.json and reads them back on memory misses.
 	CacheDir string
+	// CheckpointEvery, when nonzero (and CacheDir is set), checkpoints
+	// every running simulation to <CacheDir>/checkpoints/<key>.ckpt each
+	// N committed instructions; interrupted jobs resume from their latest
+	// valid checkpoint at the next startup.
+	CheckpointEvery uint64
+	// WatchdogCycles, when nonzero, aborts any simulation that commits no
+	// instruction for this many cycles with a typed livelock error and a
+	// forensics dump under <CacheDir>/forensics/.
+	WatchdogCycles uint64
 	// DefaultTimeout bounds requests that do not set timeout_ms; 0 means
 	// 5 minutes.
 	DefaultTimeout time.Duration
@@ -92,15 +103,27 @@ type Server struct {
 	jobs   *jobStore
 	bases  *baseCache
 
+	// ckpts is the durable checkpoint store (nil when disabled);
+	// ckptHealth is its startup scan.
+	ckpts      *checkpoint.Store
+	ckptHealth checkpoint.Health
+
 	start      time.Time
 	startInsts uint64
 	sfRetries  atomic.Uint64 // single-flight followers that re-ran after a leader error
+
+	ckptWritten   atomic.Uint64 // checkpoints persisted
+	ckptResumed   atomic.Uint64 // runs resumed from a checkpoint
+	ckptErrors    atomic.Uint64 // checkpoint writes that failed (run continued)
+	watchdogTrips atomic.Uint64 // simulations aborted by the retirement watchdog
 }
 
-// New builds a server. It starts the worker pool immediately.
+// New builds a server. It starts the worker pool immediately; with
+// checkpointing configured it also scans the checkpoint directory and
+// resumes any jobs a previous process left interrupted.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		cache:      newResultCache(cfg.CacheEntries, cfg.CacheDir, cfg.Faults.Filesystem()),
 		flight:     newFlightGroup(),
@@ -110,11 +133,26 @@ func New(cfg Config) *Server {
 		start:      time.Now(),
 		startInsts: experiments.SimInstructions(),
 	}
+	if cfg.CacheDir != "" && cfg.CheckpointEvery > 0 {
+		store, err := checkpoint.NewStore(filepath.Join(cfg.CacheDir, "checkpoints"), cfg.Faults.Filesystem())
+		if err == nil {
+			s.ckpts = store
+			s.ckptHealth = store.Scan()
+			s.resumePending()
+		}
+		// An unopenable checkpoint dir disables durability, not the server.
+	}
+	return s
 }
 
 // SpillHealth reports the startup scan of the spill directory (zero when
 // no -cache-dir is configured).
 func (s *Server) SpillHealth() SpillHealth { return s.cache.Health() }
+
+// CheckpointHealth reports the startup scan of the checkpoint directory
+// (zero when checkpointing is disabled). Pending lists the interrupted
+// jobs found journaled at boot; the server resumes them in the background.
+func (s *Server) CheckpointHealth() checkpoint.Health { return s.ckptHealth }
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -286,7 +324,7 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 			// and slowdowns exercise the same recover/occupancy paths a
 			// real simulator bug would.
 			s.cfg.Faults.Sim(key)
-			out, runErr = experiments.RunE(ctx, runSpec, experiments.Technique(tech), cfg)
+			out, runErr = s.simulate(ctx, key, runSpec, tech, cfg)
 		}
 		var err error
 		if adm == admitShed {
@@ -358,10 +396,13 @@ func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*a
 				defer wg.Done()
 				resp, err := s.runCell(ctx, ref, tech, cfg, admitQueue)
 				if err != nil {
-					var pe *PanicError
-					if errors.As(err, &pe) {
-						// Isolated crash of this one cell: report it in
-						// place and let the rest of the batch finish.
+					var (
+						pe *PanicError
+						le *cpu.LivelockError
+					)
+					if errors.As(err, &pe) || errors.As(err, &le) {
+						// Isolated crash or wedge of this one cell: report
+						// it in place and let the rest of the batch finish.
 						cells[idx] = api.SimResponse{
 							Key:   CacheKey(ref, tech, cfg),
 							Error: &api.Error{Code: api.CodeInternal, Error: err.Error()},
@@ -500,6 +541,10 @@ func (s *Server) Metrics() api.Metrics {
 		mips = float64(insts-s.startInsts) / uptime / 1e6
 	}
 	active, finished := s.jobs.counts()
+	var ckptQuarantined uint64
+	if s.ckpts != nil {
+		ckptQuarantined = s.ckpts.Quarantined()
+	}
 	return api.Metrics{
 		UptimeSeconds:      uptime,
 		Workers:            s.cfg.Workers,
@@ -519,6 +564,12 @@ func (s *Server) Metrics() api.Metrics {
 		ShedTotal:           s.pool.Shed(),
 		SingleFlightRetries: s.sfRetries.Load(),
 		SpillQuarantined:    s.cache.Quarantined(),
+
+		CheckpointsWritten:     s.ckptWritten.Load(),
+		CheckpointsResumed:     s.ckptResumed.Load(),
+		CheckpointWriteErrors:  s.ckptErrors.Load(),
+		CheckpointsQuarantined: ckptQuarantined,
+		WatchdogTrips:          s.watchdogTrips.Load(),
 	}
 }
 

@@ -198,9 +198,9 @@ func TestDeadlineExceededReturns504AndFreesWorker(t *testing.T) {
 func TestMalformedRequestsReturn400(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []api.SimRequest{
-		{Workload: loopRef(1000), Technique: "warp-drive"},            // unknown technique
-		{Workload: workloads.Ref{Kernel: "nope"}, Technique: "ooo"},   // unknown kernel
-		{Workload: workloads.Ref{Kernel: "bfs"}, Technique: "ooo"},    // graph kernel, no graph
+		{Workload: loopRef(1000), Technique: "warp-drive"},          // unknown technique
+		{Workload: workloads.Ref{Kernel: "nope"}, Technique: "ooo"}, // unknown kernel
+		{Workload: workloads.Ref{Kernel: "bfs"}, Technique: "ooo"},  // graph kernel, no graph
 		{Workload: workloads.Ref{Kernel: "svc-test-loop", Graph: &graphgen.Params{Gen: "bogus"}}, Technique: "ooo"},
 	}
 	for i, req := range cases {
