@@ -2,10 +2,18 @@
 //
 // Usage:
 //
-//	dvrbench table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|fig12|ablation|perf|all [-quick]
+//	dvrbench table1|table2|fig2|fig7|fig8|fig9|fig10|fig11|fig12|intervals|ablation|perf|all [-quick]
 //
 // With -quick, a scaled-down suite runs in seconds; without it, the full
 // Table 2 inputs and the paper's ROIs are used (minutes).
+//
+// The intervals subcommand runs the suite under ooo, vr and dvr with the
+// interval sampler attached and prints per-cell IPC/MLP sparklines plus a
+// consistency line asserting the sampled series sums back to the
+// end-of-run Result. With -trace DIR, fig7 and fig8 run each cell
+// sequentially with the event recorder attached and write one Perfetto
+// JSON per cell to <dir>/<bench>-<tech>.json; the rendered figure is
+// bit-identical to the untraced one (tracing is observational).
 //
 // The perf subcommand measures the simulator itself — simulated MIPS and
 // host allocations per simulated instruction for every benchmark×technique
@@ -19,7 +27,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -32,6 +42,7 @@ import (
 	"dvr/internal/service/api"
 	"dvr/internal/service/client"
 	"dvr/internal/stats"
+	"dvr/internal/trace"
 	"dvr/internal/workloads"
 )
 
@@ -40,6 +51,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit raw result rows as JSON instead of tables")
 	server := flag.String("server", "", "run matrix experiments (fig7, fig8) against this dvrd server instead of in-process")
 	ckptDir := flag.String("checkpoint-dir", "", "journal matrix cells (fig7, fig8) to this directory so a killed run resumes instead of restarting")
+	traceDir := flag.String("trace", "", "write one Perfetto trace-event JSON per matrix cell (fig7, fig8) to this directory")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -120,9 +132,9 @@ func main() {
 			emit(map[string]interface{}{"ooo": ooo, "vr": vr}, render)
 		case "fig7":
 			techs := append([]experiments.Technique{experiments.TechOoO}, experiments.AllTechniques...)
-			if *server != "" || *ckptDir != "" {
+			if *server != "" || *ckptDir != "" || *traceDir != "" {
 				specs := suite().All()
-				m, err := matrixVia(*server, *ckptDir, specs, techs, cfg)
+				m, err := matrixVia(*server, *ckptDir, *traceDir, specs, techs, cfg)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "dvrbench:", err)
 					os.Exit(1)
@@ -135,9 +147,9 @@ func main() {
 			emit(rows, render)
 		case "fig8":
 			techs := append([]experiments.Technique{experiments.TechOoO}, experiments.Fig8Variants...)
-			if *server != "" || *ckptDir != "" {
+			if *server != "" || *ckptDir != "" || *traceDir != "" {
 				specs := suite().All()
-				m, err := matrixVia(*server, *ckptDir, specs, techs, cfg)
+				m, err := matrixVia(*server, *ckptDir, *traceDir, specs, techs, cfg)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "dvrbench:", err)
 					os.Exit(1)
@@ -157,6 +169,11 @@ func main() {
 		case "fig11":
 			rows, render := experiments.Fig11(suite().All(), cfg)
 			emit(rows, render)
+		case "intervals":
+			if err := intervalsReport(os.Stdout, suite(), cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "dvrbench:", err)
+				os.Exit(1)
+			}
 		case "fig12":
 			s := gapSuite(*quick)
 			specs := append(s.GAP, suite().HPCDB...)
@@ -208,17 +225,129 @@ func main() {
 }
 
 // matrixVia routes a benchmark × technique matrix through whichever
-// durable path the flags picked: a dvrd server (-server) or a local
-// checkpoint directory (-checkpoint-dir). The two are mutually exclusive
-// — the server has its own checkpoint directory.
-func matrixVia(server, ckptDir string, specs []workloads.Spec, techs []experiments.Technique, cfg cpu.Config) (map[string]map[experiments.Technique]cpu.Result, error) {
-	if server != "" && ckptDir != "" {
-		return nil, fmt.Errorf("-server and -checkpoint-dir are mutually exclusive (the server checkpoints on its own -cache-dir)")
+// special path the flags picked: a dvrd server (-server), a local
+// checkpoint directory (-checkpoint-dir), or per-cell Perfetto tracing
+// (-trace). The three are mutually exclusive — the server has its own
+// checkpoint directory, and tracing forces sequential in-process runs.
+func matrixVia(server, ckptDir, traceDir string, specs []workloads.Spec, techs []experiments.Technique, cfg cpu.Config) (map[string]map[experiments.Technique]cpu.Result, error) {
+	set := 0
+	for _, f := range []string{server, ckptDir, traceDir} {
+		if f != "" {
+			set++
+		}
 	}
-	if server != "" {
+	if set > 1 {
+		return nil, fmt.Errorf("-server, -checkpoint-dir and -trace are mutually exclusive")
+	}
+	switch {
+	case server != "":
 		return serverMatrix(server, specs, techs, cfg)
+	case traceDir != "":
+		return tracedMatrix(traceDir, specs, techs, cfg)
 	}
 	return durableMatrix(ckptDir, specs, techs, cfg)
+}
+
+// tracedMatrix runs the matrix in-process, one cell at a time, each with
+// an event recorder attached, and writes one Perfetto trace-event JSON
+// per cell to <dir>/<bench>-<tech>.json. Cells run sequentially so each
+// recording reflects one undisturbed run. Tracing is observational: the
+// returned matrix is bit-identical to an untraced run's.
+func tracedMatrix(dir string, specs []workloads.Spec, techs []experiments.Technique, cfg cpu.Config) (map[string]map[experiments.Technique]cpu.Result, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := make(map[string]map[experiments.Technique]cpu.Result, len(specs))
+	for _, sp := range specs {
+		row := make(map[experiments.Technique]cpu.Result, len(techs))
+		for _, tech := range techs {
+			rec := trace.New(trace.Config{Events: 65536})
+			res, err := experiments.RunTraced(context.Background(), sp, tech, cfg, rec)
+			if err != nil {
+				return nil, fmt.Errorf("cell %s-%s: %w", sp.Name, tech, err)
+			}
+			path := filepath.Join(dir, fmt.Sprintf("%s-%s.json", sp.Name, tech))
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			werr := rec.WritePerfetto(f, fmt.Sprintf("%s (%s)", sp.Name, tech))
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return nil, fmt.Errorf("cell %s-%s: %w", sp.Name, tech, werr)
+			}
+			row[tech] = res
+		}
+		m[sp.Name] = row
+	}
+	// To stderr so -json output stays parseable.
+	fmt.Fprintf(os.Stderr, "[trace: wrote %d Perfetto files to %s]\n", len(specs)*len(techs), dir)
+	return m, nil
+}
+
+// intervalTechs are the techniques the intervals subcommand samples: the
+// baseline and the two runahead designs the paper's time-series figures
+// contrast.
+var intervalTechs = []experiments.Technique{experiments.TechOoO, experiments.TechVR, experiments.TechDVR}
+
+// intervalsReport runs the suite with the interval sampler attached and
+// prints one line per cell — IPC and MLP sparklines over ~16 intervals —
+// followed by a consistency line. Consistency means the sampled series
+// sums back to the end-of-run Result exactly: interval instruction deltas
+// total res.Instructions and the last boundary lands on res.Cycles. A
+// mismatch is an error (the CI trace-smoke job greps for the OK line).
+func intervalsReport(w io.Writer, s experiments.Suite, cfg cpu.Config) error {
+	specs := s.All()
+	cells, bad := 0, 0
+	fmt.Fprintf(w, "Interval telemetry (%d cells; IPC and MLP sparklines)\n", len(specs)*len(intervalTechs))
+	for _, sp := range specs {
+		roi := sp.ROI
+		if roi == 0 {
+			roi = 300_000
+		}
+		// ~16 intervals per cell whatever its length.
+		every := roi / 16
+		if every < 1_000 {
+			every = 1_000
+		}
+		for _, tech := range intervalTechs {
+			rec := trace.New(trace.Config{IntervalEvery: every})
+			res, err := experiments.RunTraced(context.Background(), sp, tech, cfg, rec)
+			if err != nil {
+				return fmt.Errorf("cell %s-%s: %w", sp.Name, tech, err)
+			}
+			ivs := rec.Intervals()
+			var insts uint64
+			var lastCycle uint64
+			ipc := make([]float64, 0, len(ivs))
+			mlp := make([]float64, 0, len(ivs))
+			for _, iv := range ivs {
+				insts += iv.EndInst - iv.StartInst
+				lastCycle = iv.EndCycle
+				ipc = append(ipc, iv.IPC)
+				mlp = append(mlp, iv.MLP)
+			}
+			cells++
+			ok := insts == res.Instructions && lastCycle == res.Cycles
+			if !ok {
+				bad++
+			}
+			status := "ok"
+			if !ok {
+				status = fmt.Sprintf("MISMATCH insts=%d/%d cycles=%d/%d", insts, res.Instructions, lastCycle, res.Cycles)
+			}
+			fmt.Fprintf(w, "%-16s %-4s IPC %.3f %s  MLP %.2f %s  [%s]\n",
+				sp.Name, tech, res.IPC(), stats.Sparkline(ipc), res.MLP(), stats.Sparkline(mlp), status)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(w, "interval consistency: %d/%d cells MISMATCHED\n", bad, cells)
+		return fmt.Errorf("interval series disagree with end-of-run results in %d cell(s)", bad)
+	}
+	fmt.Fprintf(w, "interval consistency: OK (%d cells)\n", cells)
+	return nil
 }
 
 // durableMatrix runs the matrix in-process, one cell at a time, with each

@@ -9,6 +9,16 @@
 //
 //	dvrd [-addr :8377] [-workers N] [-queue N] [-cache N] [-cache-dir DIR]
 //	     [-checkpoint-every N] [-watchdog N] [-timeout 5m]
+//	     [-trace-interval N] [-log]
+//
+// Observability: every request gets an X-Request-ID and, with -log, a
+// structured JSON log line on stderr with span timings (queue wait →
+// simulate → encode). GET /metrics serves the counter snapshot as JSON
+// (default) or Prometheus text exposition under "Accept: text/plain",
+// including request-latency and queue-wait histograms. With
+// -trace-interval N every simulation samples IPC/MLP/prefetch telemetry
+// each N committed instructions; a finished async job's per-cell series
+// is served at GET /v1/jobs/{id}/trace.
 //
 // With -cache-dir and -checkpoint-every, running simulations journal
 // their state to <dir>/checkpoints and a dvrd killed mid-job resumes the
@@ -26,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,6 +58,8 @@ func main() {
 		watchdog = flag.Uint64("watchdog", 0, "abort any simulation that commits nothing for N cycles with a livelock error and forensics dump (0 = off)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
 		drain    = flag.Duration("drain", 2*time.Minute, "graceful-shutdown deadline")
+		traceIvl = flag.Uint64("trace-interval", 10_000, "sample interval telemetry every N committed instructions per simulation, served at /v1/jobs/{id}/trace (0 = off)")
+		logReqs  = flag.Bool("log", false, "log one structured JSON line per request to stderr")
 	)
 	flag.Parse()
 
@@ -55,14 +68,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	var logger *slog.Logger
+	if *logReqs {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+
 	srv := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheN,
-		CacheDir:        *cacheDir,
-		CheckpointEvery: *ckptN,
-		WatchdogCycles:  *watchdog,
-		DefaultTimeout:  *timeout,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheEntries:       *cacheN,
+		CacheDir:           *cacheDir,
+		CheckpointEvery:    *ckptN,
+		WatchdogCycles:     *watchdog,
+		DefaultTimeout:     *timeout,
+		Logger:             logger,
+		TraceIntervalEvery: *traceIvl,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

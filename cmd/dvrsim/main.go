@@ -5,6 +5,7 @@
 //
 //	dvrsim -bench bfs -input KR -tech dvr [-rob 350] [-roi 300000]
 //	dvrsim -bench bfs -tech dvr -checkpoint bfs.ckpt -resume [-watchdog 2000000]
+//	dvrsim -bench bfs -tech dvr -trace bfs.json -interval 10000 [-interval-out ivs.csv]
 //	dvrsim -list
 //
 // -checkpoint journals the run's full state every -checkpoint-every
@@ -12,6 +13,14 @@
 // -resume picks the run back up from the journal and finishes with
 // results bit-identical to an uninterrupted run. -watchdog aborts a run
 // that commits nothing for N cycles and dumps pipeline forensics.
+//
+// -trace writes a Perfetto / chrome://tracing JSON of the run (main
+// pipeline, runahead subthread and memory hierarchy as separate tracks);
+// -trace-events bounds its event ring. -interval samples IPC/MLP/prefetch
+// telemetry every N committed instructions and prints the interval table
+// with sparklines; -interval-out additionally dumps the series to a file
+// (.csv for CSV, anything else for JSON). Tracing is observational: the
+// printed Result is bit-identical with and without it.
 package main
 
 import (
@@ -33,6 +42,8 @@ import (
 	"dvr/internal/mem"
 	"dvr/internal/runahead"
 	"dvr/internal/service/api"
+	"dvr/internal/stats"
+	"dvr/internal/trace"
 	"dvr/internal/workloads"
 )
 
@@ -43,7 +54,11 @@ func main() {
 		techName  = flag.String("tech", "dvr", "technique: ooo,pre,imp,vr,dvr,dvr-offload,dvr-discovery,oracle")
 		rob       = flag.Int("rob", 350, "reorder-buffer size")
 		roi       = flag.Uint64("roi", 300_000, "timed instructions")
-		trace     = flag.Uint64("trace", 0, "print pipeline timing for the first N instructions")
+		pipeline  = flag.Uint64("pipeline", 0, "print pipeline timing for the first N instructions")
+		traceFile = flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON of the run to this file")
+		traceEvts = flag.Int("trace-events", 65536, "event-ring capacity for -trace (oldest events drop once full)")
+		interval  = flag.Uint64("interval", 0, "sample interval telemetry every N committed instructions and print the interval table (0 = off)")
+		ivOut     = flag.String("interval-out", "", "with -interval, also dump the series to this file (.csv = CSV, otherwise JSON)")
 		mshrs     = flag.Int("mshrs", 24, "L1-D MSHR count")
 		bwCycles  = flag.Uint64("bw", 5, "DRAM cycles per 64 B line (5 = 51.2 GB/s at 4 GHz)")
 		lanes     = flag.Int("lanes", 128, "DVR vectorization degree (dvr only; max 256)")
@@ -105,11 +120,19 @@ func main() {
 		runCustomLanes(spec, cfg, *lanes)
 		return
 	}
-	if *trace > 0 {
-		runTraced(spec, experiments.Technique(*techName), cfg, *trace)
+	if *pipeline > 0 {
+		runPipeline(spec, experiments.Technique(*techName), cfg, *pipeline)
 		return
 	}
-	res := runDurable(spec, experiments.Technique(*techName), cfg, *ckptFile, *ckptEvery, *resume, *watchdog)
+	var rec *trace.Recorder
+	if *traceFile != "" || *interval > 0 {
+		tc := trace.Config{IntervalEvery: *interval}
+		if *traceFile != "" {
+			tc.Events = *traceEvts
+		}
+		rec = trace.New(tc)
+	}
+	res := runDurable(spec, experiments.Technique(*techName), cfg, *ckptFile, *ckptEvery, *resume, *watchdog, rec)
 
 	fmt.Printf("benchmark    %s\n", res.Name)
 	fmt.Printf("technique    %s\n", res.Technique)
@@ -132,10 +155,77 @@ func main() {
 	fmt.Printf("prefetches   issued=%d useful@L1=%d @L2=%d @L3=%d late=%d unused-evict=%d\n",
 		st.TotalPrefIssued(), st.PrefUsefulAt[mem.LvlL1], st.PrefUsefulAt[mem.LvlL2], st.PrefUsefulAt[mem.LvlL3],
 		sum4(st.PrefLate), sum4(st.PrefUnusedEvict))
+	fmt.Printf("miss latency %.1f cycles avg (demand); commit held %.2f%% of cycles\n",
+		res.AvgDemandMissCycles, 100*res.CommitHoldFrac)
 	e := res.Engine
 	if e.Episodes > 0 || e.Prefetches > 0 {
 		fmt.Printf("engine       episodes=%d prefetches=%d vector-uops=%d discovery=%d nested=%d timeouts=%d avg-lanes=%.1f\n",
 			e.Episodes, e.Prefetches, e.VectorUops, e.DiscoveryModes, e.NestedModes, e.Timeouts, e.LanesVectorize)
+	}
+	if rec != nil {
+		emitTrace(rec, res, *traceFile, *interval, *ivOut)
+	}
+}
+
+// emitTrace writes the post-run telemetry the -trace/-interval flags asked
+// for: the Perfetto file, the interval table with sparklines, and the
+// optional CSV/JSON interval dump.
+func emitTrace(rec *trace.Recorder, res cpu.Result, traceFile string, interval uint64, ivOut string) {
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvrsim:", err)
+			os.Exit(1)
+		}
+		name := fmt.Sprintf("%s (%s)", res.Name, res.Technique)
+		if err := rec.WritePerfetto(f, name); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvrsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace        %s (%d events, %d dropped)\n", traceFile, len(rec.Events()), rec.Dropped())
+	}
+	ivs := rec.Intervals()
+	if interval > 0 && len(ivs) > 0 {
+		t := stats.NewTable(fmt.Sprintf("Interval telemetry (%d insts/interval)", interval),
+			"ivl", "insts", "cycles", "IPC", "MLP", "pf-acc", "pf-cov", "pf-time", "ra-occ", "stall")
+		var ipc, mlp []float64
+		for _, iv := range ivs {
+			t.AddRow(fmt.Sprintf("%d", iv.Index), fmt.Sprintf("%d", iv.EndInst-iv.StartInst),
+				fmt.Sprintf("%d", iv.EndCycle-iv.StartCycle), iv.IPC, iv.MLP,
+				iv.PrefAccuracy, iv.PrefCoverage, iv.PrefTimeliness, iv.RunaheadOccupancy, iv.ROBStallFrac)
+			ipc = append(ipc, iv.IPC)
+			mlp = append(mlp, iv.MLP)
+		}
+		fmt.Println()
+		fmt.Println(t.String())
+		fmt.Printf("IPC %s\nMLP %s\n", stats.Sparkline(ipc), stats.Sparkline(mlp))
+	}
+	if ivOut != "" {
+		f, err := os.Create(ivOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvrsim:", err)
+			os.Exit(1)
+		}
+		if strings.HasSuffix(ivOut, ".csv") {
+			err = trace.WriteIntervalsCSV(f, ivs)
+		} else {
+			err = trace.WriteDumpJSON(f, trace.Dump{
+				Bench: res.Name, Technique: res.Technique, IntervalInsts: interval, Intervals: ivs,
+			})
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvrsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("intervals    %s (%d intervals)\n", ivOut, len(ivs))
 	}
 }
 
@@ -143,8 +233,8 @@ func main() {
 // checkpoint journal (resumable with -resume after a kill, deleted on
 // success) and the retirement watchdog. A watchdog trip prints the typed
 // livelock error plus its forensics dump and exits 3.
-func runDurable(spec workloads.Spec, tech experiments.Technique, cfg cpu.Config, ckptFile string, every uint64, resume bool, watchdog uint64) cpu.Result {
-	opts := experiments.JobOpts{WatchdogBudget: watchdog}
+func runDurable(spec workloads.Spec, tech experiments.Technique, cfg cpu.Config, ckptFile string, every uint64, resume bool, watchdog uint64, rec *trace.Recorder) cpu.Result {
+	opts := experiments.JobOpts{WatchdogBudget: watchdog, Trace: rec}
 	if ckptFile != "" {
 		opts.CheckpointEvery = every
 		if resume {
@@ -218,8 +308,9 @@ func runCustomLanes(spec workloads.Spec, cfg cpu.Config, lanes int) {
 	fmt.Printf("prefetches   %d\n", res.Engine.Prefetches)
 }
 
-// runTraced replays the run with a pipeline-timing trace on stdout.
-func runTraced(spec workloads.Spec, tech experiments.Technique, cfg cpu.Config, n uint64) {
+// runPipeline replays the run with a pipeline-timing trace on stdout
+// (the -pipeline debugging aid; structured tracing is -trace/-interval).
+func runPipeline(spec workloads.Spec, tech experiments.Technique, cfg cpu.Config, n uint64) {
 	w := spec.Build()
 	fe := w.Frontend()
 	core := cpu.NewCore(cfg, fe)
@@ -230,7 +321,7 @@ func runTraced(spec workloads.Spec, tech experiments.Technique, cfg cpu.Config, 
 	case experiments.TechVR:
 		core.Attach(runahead.NewVR(fe, core.Hierarchy()))
 	default:
-		fmt.Fprintln(os.Stderr, "dvrsim: -trace supports ooo, vr and dvr")
+		fmt.Fprintln(os.Stderr, "dvrsim: -pipeline supports ooo, vr and dvr")
 		os.Exit(1)
 	}
 	fmt.Printf("%-6s %-4s %-28s %8s %8s %8s %8s %8s\n", "seq", "pc", "inst", "disp", "ready", "issue", "done", "commit")

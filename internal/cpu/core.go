@@ -8,6 +8,7 @@ import (
 	"dvr/internal/interp"
 	"dvr/internal/isa"
 	"dvr/internal/mem"
+	"dvr/internal/trace"
 )
 
 // Frontend supplies the dynamic instruction stream and can be forked to
@@ -26,6 +27,7 @@ type EngineStats struct {
 	DiscoveryModes uint64
 	NestedModes    uint64
 	Timeouts       uint64
+	BusyCycles     uint64  // cycles the runahead timeline was occupied
 	LanesVectorize float64 // average lanes per vectorization episode
 }
 
@@ -51,7 +53,11 @@ type Engine interface {
 // ResultSchemaVersion identifies the JSON encoding of Result. Bump it when
 // a field is added, removed or changes meaning, so cached and archived
 // results are never confused across encodings.
-const ResultSchemaVersion = 1
+//
+// v2: EngineStats.BusyCycles plus the derived prefetch-timeliness fields
+// (PrefLateTotal, PrefUnusedEvictTotal, AvgDemandMissCycles,
+// CommitHoldFrac) surfaced at the top level.
+const ResultSchemaVersion = 2
 
 // Result is the outcome of one simulation run.
 type Result struct {
@@ -79,6 +85,13 @@ type Result struct {
 
 	BranchLookups    uint64
 	BranchMispredict uint64
+
+	// Derived accuracy/timeliness totals, surfaced so figure code and API
+	// consumers stop re-deriving them from the per-source arrays in Mem.
+	PrefLateTotal        uint64  `json:"pref_late_total"`         // demand caught the prefetch in flight
+	PrefUnusedEvictTotal uint64  `json:"pref_unused_evict_total"` // prefetched lines evicted unused
+	AvgDemandMissCycles  float64 `json:"avg_demand_miss_cycles"`  // mean demand-miss latency
+	CommitHoldFrac       float64 `json:"commit_hold_frac"`        // fraction of cycles commit was held
 
 	Mem    mem.Stats
 	Engine EngineStats
@@ -158,6 +171,31 @@ type Core struct {
 	// first traceN instructions (debugging aid).
 	traceFn func(seq uint64, pc int, disp, ready, issue, done, commit uint64)
 	traceN  uint64
+
+	// trace, when set by Instrument, receives structured events and
+	// interval samples. traceEvery caches the sampling cadence so the
+	// commit loop's disabled path is a single integer compare.
+	trace      *trace.Recorder
+	traceEvery uint64
+}
+
+// Traceable is implemented by engines (and engine wrappers) that accept a
+// trace recorder. Instrument uses it to thread one Recorder through every
+// instrumented layer.
+type Traceable interface {
+	SetTracer(*trace.Recorder)
+}
+
+// Instrument attaches a trace recorder to the core, its memory hierarchy,
+// and the attached engine (when the engine is Traceable). Call after
+// Attach and before Run; a nil recorder detaches everything.
+func (c *Core) Instrument(r *trace.Recorder) {
+	c.trace = r
+	c.traceEvery = r.IntervalEvery()
+	c.hier.SetTracer(r)
+	if t, ok := c.engine.(Traceable); ok {
+		t.SetTracer(r)
+	}
 }
 
 // NewCore builds a core over the given frontend with a fresh memory
@@ -326,6 +364,10 @@ func (c *Core) RunWithOptions(ctx context.Context, maxInsts uint64, opts RunOpti
 			return Result{}, err
 		}
 	}
+	if c.traceEvery > 0 {
+		// Baseline sample: intervals are deltas between boundaries.
+		c.trace.Sample(startSeq, rs.lastCommit, c.traceCounters(rs))
+	}
 
 	for seq := startSeq; seq < maxInsts; seq++ {
 		if cancelCh != nil && seq%cancelCheckInterval == 0 {
@@ -347,6 +389,9 @@ func (c *Core) RunWithOptions(ctx context.Context, maxInsts uint64, opts RunOpti
 				runErr = err
 				break
 			}
+		}
+		if c.traceEvery > 0 && seq > startSeq && seq%c.traceEvery == 0 {
+			c.trace.Sample(seq, rs.lastCommit, c.traceCounters(rs))
 		}
 		di, ok := c.fe.Step()
 		if !ok {
@@ -388,6 +433,9 @@ func (c *Core) RunWithOptions(ctx context.Context, maxInsts uint64, opts RunOpti
 				}
 				if f > from {
 					rs.res.ROBStallCycles += f - from
+					if c.trace != nil {
+						c.trace.Emit(trace.EvROBStall, from, f, di.PC, 0, 0)
+					}
 					if c.engine != nil {
 						c.engine.OnROBStall(from, f)
 					}
@@ -453,6 +501,9 @@ func (c *Core) RunWithOptions(ctx context.Context, maxInsts uint64, opts RunOpti
 		if c.engine != nil {
 			if hold = c.engine.CommitBlockedUntil(); hold > cc {
 				rs.res.CommitHoldCycles += hold - cc
+				if c.trace != nil {
+					c.trace.Emit(trace.EvCommitHold, cc, hold, di.PC, 0, 0)
+				}
 				cc = hold
 			}
 		}
@@ -492,6 +543,12 @@ func (c *Core) RunWithOptions(ctx context.Context, maxInsts uint64, opts RunOpti
 		}
 	}
 
+	if c.traceEvery > 0 {
+		// Final sample, before FinishStats retires the MSHR file (Sample
+		// ignores a boundary that coincides with the last cadence sample).
+		c.trace.Sample(rs.res.Instructions, rs.lastCommit, c.traceCounters(rs))
+	}
+
 	res := rs.res
 	res.SchemaVersion = ResultSchemaVersion
 	res.Cycles = rs.lastCommit
@@ -506,5 +563,44 @@ func (c *Core) RunWithOptions(ctx context.Context, maxInsts uint64, opts RunOpti
 	} else {
 		res.Technique = "ooo"
 	}
+	res.PrefLateTotal = res.Mem.TotalPrefLate()
+	res.PrefUnusedEvictTotal = res.Mem.TotalPrefUnusedEvict()
+	if m := res.Mem.DemandMisses(); m > 0 {
+		res.AvgDemandMissCycles = float64(res.Mem.DemandMissCycles) / float64(m)
+	}
+	if res.Cycles > 0 {
+		res.CommitHoldFrac = float64(res.CommitHoldCycles) / float64(res.Cycles)
+	}
 	return res, runErr
+}
+
+// traceCounters composes the flat counter snapshot the interval sampler
+// diffs. Read-only: it must not perturb the simulation (in particular it
+// uses the non-mutating MSHR accessors, never FinishStats/MSHRInUse).
+func (c *Core) traceCounters(rs *runState) trace.Counters {
+	ms := &c.hier.Stats
+	cs := trace.Counters{
+		ROBStallCycles:   rs.res.ROBStallCycles,
+		CommitHoldCycles: rs.res.CommitHoldCycles,
+		DemandAccesses:   ms.Accesses[mem.SrcDemand],
+		DemandL1Hits:     ms.DemandHits[mem.LvlL1],
+		DemandDRAM:       ms.DemandHits[mem.LvlMem],
+		DemandMerged:     ms.DemandMerged,
+		DemandMissCycles: ms.DemandMissCycles,
+		PrefIssued:       ms.TotalPrefIssued(),
+		PrefUseful:       ms.TotalPrefUseful(),
+		PrefUsefulL1:     ms.PrefUsefulAt[mem.LvlL1],
+		PrefLate:         ms.TotalPrefLate(),
+		PrefUnusedEvict:  ms.TotalPrefUnusedEvict(),
+		MSHRBusyCycles:   c.hier.MSHRBusyCyclesAt(rs.lastCommit),
+		DRAMAccesses:     ms.TotalDRAM(),
+	}
+	if c.engine != nil {
+		es := c.engine.Stats()
+		cs.RunaheadEpisodes = es.Episodes
+		cs.RunaheadPrefetches = es.Prefetches
+		cs.RunaheadBusyCycles = es.BusyCycles
+		cs.VectorUops = es.VectorUops
+	}
+	return cs
 }

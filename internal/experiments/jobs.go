@@ -7,6 +7,7 @@ import (
 
 	"dvr/internal/cpu"
 	"dvr/internal/interp"
+	"dvr/internal/trace"
 	"dvr/internal/workloads"
 )
 
@@ -35,6 +36,11 @@ type JobOpts struct {
 	// chaos suite drives the watchdog without a real simulator bug. 0
 	// means run normally.
 	LivelockAfter uint64
+
+	// Trace, when non-nil, instruments the run with the recorder: typed
+	// events and interval samples per the recorder's Config. Tracing is
+	// observational — the Result is bit-identical with or without it.
+	Trace *trace.Recorder
 }
 
 // RunJob is RunE plus durability: optional resume from a snapshot,
@@ -69,6 +75,9 @@ func RunJob(ctx context.Context, spec workloads.Spec, tech Technique, cfg cpu.Co
 	if eng != nil {
 		core.Attach(eng)
 	}
+	if opts.Trace != nil {
+		core.Instrument(opts.Trace)
+	}
 	res, err := core.RunWithOptions(ctx, roiOf(spec), cpu.RunOptions{
 		Resume:          opts.Resume,
 		CheckpointEvery: opts.CheckpointEvery,
@@ -79,6 +88,12 @@ func RunJob(ctx context.Context, spec workloads.Spec, tech Technique, cfg cpu.Co
 	res.Technique = string(tech)
 	simInsts.Add(res.Instructions)
 	return res, err
+}
+
+// RunTraced is RunE with a trace recorder attached: the telemetry entry
+// point for the CLIs and tests.
+func RunTraced(ctx context.Context, spec workloads.Spec, tech Technique, cfg cpu.Config, rec *trace.Recorder) (cpu.Result, error) {
+	return RunJob(ctx, spec, tech, cfg, JobOpts{Trace: rec})
 }
 
 // livelockHold is the commit-block cycle a wedged engine reports: far
@@ -181,7 +196,16 @@ func (e *livelockEngine) Stats() cpu.EngineStats {
 	return cpu.EngineStats{}
 }
 
+// SetTracer implements cpu.Traceable by forwarding to the wrapped engine,
+// so Core.Instrument reaches the real engine through the fault wrapper.
+func (e *livelockEngine) SetTracer(r *trace.Recorder) {
+	if t, ok := e.inner.(cpu.Traceable); ok {
+		t.SetTracer(r)
+	}
+}
+
 var (
 	_ cpu.Engine      = (*livelockEngine)(nil)
 	_ cpu.EngineState = (*livelockEngine)(nil)
+	_ cpu.Traceable   = (*livelockEngine)(nil)
 )

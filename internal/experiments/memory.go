@@ -49,6 +49,10 @@ type Fig10Row struct {
 	// thread and from runahead mode, normalized to the baseline total.
 	Main     map[Technique]float64
 	Runahead map[Technique]float64
+	// Unused is the technique's prefetched-but-never-demanded lines
+	// (evicted unused, any prefetch source), normalized the same way —
+	// the wasted share of the traffic above.
+	Unused map[Technique]float64
 }
 
 // Fig10 reproduces Figure 10 (accuracy and coverage): total main-memory
@@ -68,26 +72,31 @@ func Fig10(specs []workloads.Spec, cfg cpu.Config) (rows []Fig10Row, render func
 			Bench:    sp.Name,
 			Main:     make(map[Technique]float64),
 			Runahead: make(map[Technique]float64),
+			Unused:   make(map[Technique]float64),
 		}
 		for _, tech := range []Technique{TechVR, TechDVR} {
-			st := m[sp.Name][tech].Mem
+			res := m[sp.Name][tech]
+			st := res.Mem
 			row.Main[tech] = float64(st.DRAMAccesses[mem.SrcDemand]+st.DRAMAccesses[mem.SrcStridePF]) / base
 			row.Runahead[tech] = float64(st.DRAMAccesses[mem.SrcRunahead]) / base
+			row.Unused[tech] = float64(res.PrefUnusedEvictTotal) / base
 		}
 		rows = append(rows, row)
 	}
 	render = func() string {
 		t := stats.NewTable("Figure 10: DRAM accesses normalized to OoO total",
-			"bench", "vr-main", "vr-runahead", "vr-total", "dvr-main", "dvr-runahead", "dvr-total")
+			"bench", "vr-main", "vr-runahead", "vr-total", "vr-unused",
+			"dvr-main", "dvr-runahead", "dvr-total", "dvr-unused")
 		var vrTot, dvrTot []float64
 		for _, r := range rows {
 			vt := r.Main[TechVR] + r.Runahead[TechVR]
 			dt := r.Main[TechDVR] + r.Runahead[TechDVR]
-			t.AddRow(r.Bench, r.Main[TechVR], r.Runahead[TechVR], vt, r.Main[TechDVR], r.Runahead[TechDVR], dt)
+			t.AddRow(r.Bench, r.Main[TechVR], r.Runahead[TechVR], vt, r.Unused[TechVR],
+				r.Main[TechDVR], r.Runahead[TechDVR], dt, r.Unused[TechDVR])
 			vrTot = append(vrTot, vt)
 			dvrTot = append(dvrTot, dt)
 		}
-		t.AddRow("mean", "", "", stats.Mean(vrTot), "", "", stats.Mean(dvrTot))
+		t.AddRow("mean", "", "", stats.Mean(vrTot), "", "", "", stats.Mean(dvrTot), "")
 		return t.String()
 	}
 	return rows, render
@@ -98,6 +107,11 @@ func Fig10(specs []workloads.Spec, cfg cpu.Config) (rows []Fig10Row, render func
 type Fig11Row struct {
 	Bench               string
 	L1, L2, L3, OffChip float64
+	// AvgMissCycles and CommitHoldFrac come straight from the schema-v2
+	// Result fields (no ad hoc recomputation): mean demand-miss latency
+	// under DVR and the fraction of cycles commit was held.
+	AvgMissCycles  float64
+	CommitHoldFrac float64
 }
 
 // Fig11 reproduces Figure 11 (timeliness): most runahead-prefetched lines
@@ -114,20 +128,22 @@ func Fig11(specs []workloads.Spec, cfg cpu.Config) (rows []Fig11Row, render func
 		l1 := float64(st.PrefUsefulAt[mem.LvlL1])
 		l2 := float64(st.PrefUsefulAt[mem.LvlL2])
 		l3 := float64(st.PrefUsefulAt[mem.LvlL3])
-		off := float64(st.PrefLate[mem.SrcRunahead] + st.PrefUnusedEvict[mem.SrcRunahead])
+		off := float64(st.PrefOffChip(mem.SrcRunahead))
 		total := l1 + l2 + l3 + off
 		if total == 0 {
 			total = 1
 		}
 		rows = append(rows, Fig11Row{
 			Bench: sp.Name, L1: l1 / total, L2: l2 / total, L3: l3 / total, OffChip: off / total,
+			AvgMissCycles:  res[i].AvgDemandMissCycles,
+			CommitHoldFrac: res[i].CommitHoldFrac,
 		})
 	}
 	render = func() string {
 		t := stats.NewTable("Figure 11: timeliness of DVR prefetches (fraction found per level)",
-			"bench", "L1", "L2", "L3", "off-chip")
+			"bench", "L1", "L2", "L3", "off-chip", "avg-miss-cyc", "hold-frac")
 		for _, r := range rows {
-			t.AddRow(r.Bench, r.L1, r.L2, r.L3, r.OffChip)
+			t.AddRow(r.Bench, r.L1, r.L2, r.L3, r.OffChip, r.AvgMissCycles, r.CommitHoldFrac)
 		}
 		return t.String()
 	}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/trace"
+)
+
+// TestTracedBitIdentity is the tentpole's correctness contract: attaching
+// a fully enabled recorder (event ring + interval sampler) must not
+// change the simulation. Canonical results are compared byte-for-byte
+// against untraced runs across the techniques that exercise every
+// instrumented path (ROB stalls, runahead episodes, discovery, vector
+// batches, prefetch issue/late/useless).
+func TestTracedBitIdentity(t *testing.T) {
+	specs := QuickSuite().All()
+	if len(specs) > 3 {
+		specs = specs[:3]
+	}
+	cfg := cpu.DefaultConfig()
+	for _, sp := range specs {
+		for _, tech := range []Technique{TechOoO, TechVR, TechDVR} {
+			plain, err := RunE(context.Background(), sp, tech, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s untraced: %v", sp.Name, tech, err)
+			}
+			rec := trace.New(trace.Config{Events: 4096, IntervalEvery: 5_000})
+			traced, err := RunTraced(context.Background(), sp, tech, cfg, rec)
+			if err != nil {
+				t.Fatalf("%s/%s traced: %v", sp.Name, tech, err)
+			}
+			a, _ := json.Marshal(plain.Canonical())
+			b, _ := json.Marshal(traced.Canonical())
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s/%s: traced result differs from untraced:\n%s\n%s", sp.Name, tech, a, b)
+			}
+			if tech != TechOoO && len(rec.Events()) == 0 {
+				t.Errorf("%s/%s: traced run recorded no events", sp.Name, tech)
+			}
+		}
+	}
+}
+
+// TestIntervalConsistency: the sampled series must tile the run exactly —
+// interval instruction deltas sum to Result.Instructions and the last
+// boundary lands on Result.Cycles (what `dvrbench intervals` asserts).
+func TestIntervalConsistency(t *testing.T) {
+	specs := QuickSuite().All()
+	if len(specs) > 2 {
+		specs = specs[:2]
+	}
+	cfg := cpu.DefaultConfig()
+	for _, sp := range specs {
+		for _, tech := range []Technique{TechOoO, TechDVR} {
+			rec := trace.New(trace.Config{IntervalEvery: 7_000})
+			res, err := RunTraced(context.Background(), sp, tech, cfg, rec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sp.Name, tech, err)
+			}
+			ivs := rec.Intervals()
+			if len(ivs) == 0 {
+				t.Fatalf("%s/%s: no intervals sampled", sp.Name, tech)
+			}
+			var insts, mshrSum uint64
+			for i, iv := range ivs {
+				if iv.EndInst <= iv.StartInst || iv.EndCycle < iv.StartCycle {
+					t.Errorf("%s/%s interval %d: bad bounds %+v", sp.Name, tech, i, iv)
+				}
+				if i > 0 && (iv.StartInst != ivs[i-1].EndInst || iv.StartCycle != ivs[i-1].EndCycle) {
+					t.Errorf("%s/%s interval %d: not contiguous with previous", sp.Name, tech, i)
+				}
+				insts += iv.EndInst - iv.StartInst
+				mshrSum += iv.Delta.MSHRBusyCycles
+			}
+			if insts != res.Instructions {
+				t.Errorf("%s/%s: interval insts sum %d, Result.Instructions %d", sp.Name, tech, insts, res.Instructions)
+			}
+			if last := ivs[len(ivs)-1].EndCycle; last != res.Cycles {
+				t.Errorf("%s/%s: last interval ends at cycle %d, Result.Cycles %d", sp.Name, tech, last, res.Cycles)
+			}
+			// The interval integral counts in-flight misses only up to the
+			// last commit, so it lower-bounds the end-of-run busy total.
+			if mshrSum > res.Mem.MSHRBusyCycles {
+				t.Errorf("%s/%s: interval MSHR busy sum %d exceeds run total %d", sp.Name, tech, mshrSum, res.Mem.MSHRBusyCycles)
+			}
+		}
+	}
+}
+
+// TestTracedRunPerfettoByteStable: two traced runs of the same cell must
+// render byte-identical Perfetto documents (the recording itself is
+// deterministic, not just the Result).
+func TestTracedRunPerfettoByteStable(t *testing.T) {
+	sp := QuickSuite().All()[0]
+	cfg := cpu.DefaultConfig()
+	render := func() []byte {
+		rec := trace.New(trace.Config{Events: 4096, IntervalEvery: 5_000})
+		if _, err := RunTraced(context.Background(), sp, TechDVR, cfg, rec); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.WritePerfetto(&buf, sp.Name); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("repeated traced runs rendered different Perfetto bytes")
+	}
+	if !json.Valid(a) {
+		t.Error("Perfetto output is not valid JSON")
+	}
+}

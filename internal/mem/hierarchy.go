@@ -1,5 +1,7 @@
 package mem
 
+import "dvr/internal/trace"
+
 // Config sizes the whole hierarchy. DefaultConfig reproduces Table 1.
 type Config struct {
 	L1D CacheConfig
@@ -73,7 +75,15 @@ type Hierarchy struct {
 	// observer, when set, sees every demand load at execution time (the
 	// point where an L1-D-level prefetcher like IMP trains and triggers).
 	observer func(pc int, addr uint64, now uint64)
+
+	// tr, when set, receives prefetch-lifecycle events and MSHR-occupancy
+	// samples. Strictly observational: every hook reads state the access
+	// path already computed, so traced runs stay bit-identical.
+	tr *trace.Recorder
 }
+
+// SetTracer attaches a trace recorder (nil detaches).
+func (h *Hierarchy) SetTracer(r *trace.Recorder) { h.tr = r }
 
 // Observe registers an L1-D access observer.
 func (h *Hierarchy) Observe(fn func(pc int, addr uint64, now uint64)) { h.observer = fn }
@@ -155,6 +165,9 @@ func (h *Hierarchy) Prefetch(addr uint64, now uint64, src Source) Result {
 	res := h.access(addr, now, false, src)
 	if !res.Rejected {
 		h.Stats.PrefIssued[src]++
+		if h.tr != nil {
+			h.tr.Emit(trace.EvPrefetchIssue, now, res.Done, -1, uint64(src), uint64(res.Level))
+		}
 	}
 	return res
 }
@@ -168,6 +181,9 @@ func (h *Hierarchy) RunaheadAccess(addr uint64, now uint64, src Source) Result {
 	res := h.access(addr, now, false, src)
 	if res.Level != LvlL1 && !res.Merged {
 		h.Stats.PrefIssued[src]++
+		if h.tr != nil {
+			h.tr.Emit(trace.EvPrefetchIssue, now, res.Done, -1, uint64(src), uint64(res.Level))
+		}
 	}
 	return res
 }
@@ -199,6 +215,9 @@ func (h *Hierarchy) access(addr uint64, now uint64, write bool, src Source) Resu
 		if src == SrcDemand && e.src.IsPrefetch() && e.start > now {
 			overtake = true
 			h.Stats.PrefLate[e.src]++
+			if h.tr != nil {
+				h.tr.Emit(trace.EvPrefetchLate, now, 0, -1, uint64(e.src), 0)
+			}
 			h.clearPrefTag(h.l1d, line)
 			h.clearPrefTag(h.l2, line)
 			h.clearPrefTag(h.l3, line)
@@ -210,6 +229,9 @@ func (h *Hierarchy) access(addr uint64, now uint64, write bool, src Source) Resu
 				if e.src.IsPrefetch() {
 					// A demand arrived before the prefetch completed: late.
 					h.Stats.PrefLate[e.src]++
+					if h.tr != nil {
+						h.tr.Emit(trace.EvPrefetchLate, now, 0, -1, uint64(e.src), 0)
+					}
 					h.clearPrefTag(h.l1d, line)
 					h.clearPrefTag(h.l2, line)
 					h.clearPrefTag(h.l3, line)
@@ -300,6 +322,9 @@ func (h *Hierarchy) access(addr uint64, now uint64, write bool, src Source) Resu
 		h.Stats.DemandMissCycles += done - now
 	}
 	h.mshr.allocate(line, start, done, src)
+	if h.tr != nil {
+		h.tr.MSHROccupancy(now, h.mshr.occupancyAt(now))
+	}
 	return Result{Done: done, Level: level}
 }
 
@@ -326,6 +351,9 @@ func (h *Hierarchy) evict(victim cacheLine, fromL3 bool) {
 	}
 	if fromL3 && victim.prefetch {
 		h.Stats.PrefUnusedEvict[victim.prefSrc]++
+		if h.tr != nil {
+			h.tr.Emit(trace.EvPrefetchUseless, h.lastCycle, 0, -1, uint64(victim.prefSrc), 0)
+		}
 	}
 }
 
@@ -382,3 +410,48 @@ func (s Stats) TotalDRAM() uint64 {
 	}
 	return t
 }
+
+// TotalPrefLate sums late prefetches (demand caught them in flight) across
+// sources.
+func (s Stats) TotalPrefLate() uint64 {
+	var t uint64
+	for src := Source(0); src < numSources; src++ {
+		t += s.PrefLate[src]
+	}
+	return t
+}
+
+// TotalPrefUnusedEvict sums prefetched lines evicted unused across sources.
+func (s Stats) TotalPrefUnusedEvict() uint64 {
+	var t uint64
+	for src := Source(0); src < numSources; src++ {
+		t += s.PrefUnusedEvict[src]
+	}
+	return t
+}
+
+// PrefOffChip counts src's prefetches the main thread observed beyond the
+// LLC: caught in flight (late) or evicted unused — the "off-chip" class of
+// the Figure 11 timeliness split.
+func (s Stats) PrefOffChip(src Source) uint64 {
+	return s.PrefLate[src] + s.PrefUnusedEvict[src]
+}
+
+// DemandMisses counts demand accesses not satisfied by the L1-D (including
+// merges into in-flight misses) — the denominator for the mean demand-miss
+// latency.
+func (s Stats) DemandMisses() uint64 {
+	var t uint64
+	for l := LvlL2; l < numLevels; l++ {
+		t += s.DemandHits[l]
+	}
+	return t + s.DemandMerged
+}
+
+// MSHRBusyCyclesAt returns the MLP occupancy integral through cycle now
+// without mutating the MSHR file — safe to call mid-run from trace
+// sampling, unlike FinishStats/MSHRInUse which retire entries.
+func (h *Hierarchy) MSHRBusyCyclesAt(now uint64) uint64 { return h.mshr.busyAt(now) }
+
+// MSHROccupancyAt counts misses in flight at cycle now, read-only.
+func (h *Hierarchy) MSHROccupancyAt(now uint64) int { return h.mshr.occupancyAt(now) }

@@ -121,3 +121,37 @@ func (m *mshrFile) inUse(now uint64) int {
 	m.retire(now)
 	return len(m.entries)
 }
+
+// occupancyAt counts entries still in flight at cycle now WITHOUT retiring
+// anything. Trace sampling must not call retire: lookup treats any resident
+// entry as pending regardless of its done cycle, and access timestamps can
+// run behind the commit cycle a sampler observes, so an extra retire here
+// would change prefetch-drop decisions and break traced/untraced
+// bit-identity.
+func (m *mshrFile) occupancyAt(now uint64) int {
+	n := 0
+	for i := range m.entries {
+		if m.entries[i].e.done > now {
+			n++
+		}
+	}
+	return n
+}
+
+// busyAt returns the occupancy integral through cycle now without mutating
+// the file: cycles accumulated by past retirements plus the portion of each
+// resident entry's in-flight window that falls at or before now.
+func (m *mshrFile) busyAt(now uint64) uint64 {
+	total := m.busyCycles
+	for i := range m.entries {
+		e := m.entries[i].e
+		end := e.done
+		if end > now {
+			end = now
+		}
+		if end > e.start {
+			total += end - e.start
+		}
+	}
+	return total
+}

@@ -9,6 +9,7 @@ import (
 	"dvr/internal/isa"
 	"dvr/internal/mem"
 	"dvr/internal/runahead"
+	"dvr/internal/trace"
 )
 
 // IMP is the Indirect Memory Prefetcher: it sits at the L1-D, detects
@@ -35,7 +36,12 @@ type IMP struct {
 	degree  int
 
 	stats cpu.EngineStats
+	tr    *trace.Recorder
 }
+
+// SetTracer implements cpu.Traceable. Issue/late/useless events flow
+// through the hierarchy's tracer; IMP itself reports pattern confirmations.
+func (p *IMP) SetTracer(r *trace.Recorder) { p.tr = r }
 
 type impLastVal struct {
 	pc  int
@@ -123,8 +129,13 @@ func (p *IMP) observe(pc int, addr uint64, cycle uint64) {
 			}
 			if pat.base == base {
 				pat.conf++
-				if pat.conf >= 3 {
+				if pat.conf >= 3 && !pat.confirmed {
 					pat.confirmed = true
+					coeff := k.coeff
+					if coeff < 0 {
+						coeff = -coeff
+					}
+					p.tr.Emit(trace.EvPatternConfirm, cycle, 0, pc, uint64(coeff), 0)
 				}
 			} else if !pat.confirmed {
 				pat.base = base

@@ -4,6 +4,7 @@ import (
 	"dvr/internal/cpu"
 	"dvr/internal/interp"
 	"dvr/internal/mem"
+	"dvr/internal/trace"
 )
 
 // Oracle is the hypothetical technique of the evaluation: it knows all
@@ -17,7 +18,12 @@ type Oracle struct {
 	committed uint64
 	queue     []uint64
 	stats     cpu.EngineStats
+	tr        *trace.Recorder
 }
+
+// SetTracer implements cpu.Traceable. The Oracle's activity is visible via
+// the hierarchy's prefetch-issue events; nothing extra to emit here.
+func (o *Oracle) SetTracer(r *trace.Recorder) { o.tr = r }
 
 // NewOracle clones the frontend at its current state and keeps the clone
 // `lookahead` instructions ahead of the main thread's commit point.

@@ -5,6 +5,7 @@ import (
 	"dvr/internal/interp"
 	"dvr/internal/isa"
 	"dvr/internal/mem"
+	"dvr/internal/trace"
 )
 
 // Options selects which of the paper's mechanisms the vector-runahead
@@ -86,6 +87,23 @@ type Vector struct {
 
 	stats    cpu.EngineStats
 	lanesSum uint64
+
+	// tr receives episode/discovery/vector-batch events; nil when tracing
+	// is off (every emit is nil-safe).
+	tr *trace.Recorder
+}
+
+// SetTracer implements cpu.Traceable.
+func (v *Vector) SetTracer(r *trace.Recorder) { v.tr = r }
+
+// noteEpisode accounts one finished episode: subthread occupancy for the
+// stats and a spawn/terminate event pair for the tracer.
+func (v *Vector) noteEpisode(pc int, start, end uint64, lanes int, reason uint64) {
+	if end > start {
+		v.stats.BusyCycles += end - start
+	}
+	v.tr.Emit(trace.EvRunaheadSpawn, start, end, pc, uint64(lanes), reason)
+	v.tr.Emit(trace.EvRunaheadEnd, end, 0, pc, uint64(lanes), reason)
 }
 
 // NewVector builds a vector-runahead engine over the core's frontend
@@ -144,7 +162,7 @@ func (v *Vector) OnROBStall(from, to uint64) {
 		return
 	}
 	res := discoveryResult{stridePC: e.PC, stride: e.Stride, flrPC: -1, lanes: v.opt.Lanes, backBranch: -1}
-	end := v.spawn(res, e.PrevAddr, from)
+	end := v.spawn(res, e.PrevAddr, from, trace.ReasonStall)
 	v.busyUntil = end
 	// Delayed termination: the core stays in runahead mode until the
 	// vectorized chain completes, stalling commit past the stall window.
@@ -179,9 +197,12 @@ func (v *Vector) OnCommit(di interp.DynInst, cycle uint64) {
 		if done {
 			v.disc = nil
 			v.stats.DiscoveryModes++
+			var spawnable uint64
 			if res.hasChain() && res.lanes > 0 {
 				v.pending = &res
+				spawnable = 1
 			}
+			v.tr.Emit(trace.EvDiscoveryEnd, cycle, 0, res.stridePC, uint64(res.lanes), spawnable)
 		}
 		return
 	}
@@ -192,7 +213,7 @@ func (v *Vector) OnCommit(di interp.DynInst, cycle uint64) {
 		if di.PC == v.pending.stridePC && in.Op.IsLoad() {
 			res := *v.pending
 			v.pending = nil
-			v.busyUntil = v.spawn(res, di.Addr, cycle)
+			v.busyUntil = v.spawn(res, di.Addr, cycle, trace.ReasonStride)
 		}
 		return
 	}
@@ -205,17 +226,19 @@ func (v *Vector) OnCommit(di interp.DynInst, cycle uint64) {
 		v.disc = newDiscovery(di.PC, rptEntry.Stride, v.regs)
 		v.disc.seedTaint(in.Dst)
 		v.disc.started = true
+		v.tr.Emit(trace.EvDiscoveryStart, cycle, 0, di.PC, 0, 0)
 		return
 	}
 	// No Discovery Mode (offload variant): vectorize immediately from this
 	// striding load by the full degree.
 	res := discoveryResult{stridePC: di.PC, stride: rptEntry.Stride, flrPC: -1, lanes: v.opt.Lanes, backBranch: -1}
-	v.busyUntil = v.spawn(res, di.Addr, cycle)
+	v.busyUntil = v.spawn(res, di.Addr, cycle, trace.ReasonStride)
 }
 
 // spawn launches one vector-runahead episode from the striding load at
-// baseAddr and returns the cycle at which the subthread finishes.
-func (v *Vector) spawn(res discoveryResult, baseAddr uint64, cycle uint64) uint64 {
+// baseAddr and returns the cycle at which the subthread finishes. reason
+// records what triggered it (trace.ReasonStall / trace.ReasonStride).
+func (v *Vector) spawn(res discoveryResult, baseAddr uint64, cycle uint64, reason uint64) uint64 {
 	lanes := res.lanes
 	if lanes > v.opt.Lanes {
 		lanes = v.opt.Lanes
@@ -227,11 +250,13 @@ func (v *Vector) spawn(res discoveryResult, baseAddr uint64, cycle uint64) uint6
 
 	if v.opt.Nested && res.lanes < v.opt.NestedThreshold && res.backBranch >= 0 {
 		if end, ok := v.nestedSpawn(res, cycle); ok {
+			v.noteEpisode(res.stridePC, cycle, end, lanes, trace.ReasonNested)
 			return end
 		}
 	}
 
 	run := newVecRun(v.prog, v.fmem, v.hier, v.vecConfig(), newVecState(v.regs, lanes), cycle)
+	run.tr = v.tr
 	run.rpt = v.rpt
 	run.laneOffset = 1
 	override := new(laneVec)
@@ -252,6 +277,7 @@ func (v *Vector) spawn(res discoveryResult, baseAddr uint64, cycle uint64) uint6
 		stopBefore:   -1,
 	})
 	v.collect(run, lanes)
+	v.noteEpisode(res.stridePC, cycle, run.cursor, lanes, reason)
 	return run.cursor
 }
 
@@ -278,6 +304,7 @@ func (v *Vector) nestedSpawn(res discoveryResult, cycle uint64) (uint64, bool) {
 	cfg := v.vecConfig()
 	cfg.Reconverge = false
 	run := newVecRun(v.prog, v.fmem, v.hier, cfg, newVecState(v.regs, outerLanes), cycle)
+	run.tr = v.tr
 	run.rpt = v.rpt
 	run.laneOffset = 0
 	outerPC := run.scalarSkip(res.backBranch+1, v.rpt, innerPC)
@@ -312,6 +339,7 @@ func (v *Vector) nestedSpawn(res discoveryResult, cycle uint64) (uint64, bool) {
 		return run.cursor, true // prefetches issued; treat as a (short) episode
 	}
 	v.stats.NestedModes++
+	v.tr.Emit(trace.EvNestedSpawn, run.cursor, 0, innerPC, uint64(outerLanes), 0)
 
 	// Phase C: at the inner striding load, read the vectorized loop-bound
 	// registers, compute per-invocation trip counts, and expand into up to
@@ -395,6 +423,7 @@ func (v *Vector) nestedSpawn(res discoveryResult, cycle uint64) (uint64, bool) {
 	}
 
 	inner := newVecRun(v.prog, v.fmem, v.hier, v.vecConfig(), st, run.cursor)
+	inner.tr = v.tr
 	inner.steps = run.steps
 	flr := res.flrPC
 	if res.divergent {

@@ -5,6 +5,7 @@ import (
 	"dvr/internal/interp"
 	"dvr/internal/isa"
 	"dvr/internal/mem"
+	"dvr/internal/trace"
 )
 
 // PRE is Precise Runahead Execution (Naithani et al., HPCA '20): on a
@@ -22,7 +23,11 @@ type PRE struct {
 	maxUops int
 
 	stats cpu.EngineStats
+	tr    *trace.Recorder
 }
+
+// SetTracer implements cpu.Traceable.
+func (p *PRE) SetTracer(r *trace.Recorder) { p.tr = r }
 
 // NewPRE builds a PRE engine over the core's frontend and hierarchy.
 func NewPRE(fe cpu.Frontend, hier *mem.Hierarchy, width int) *PRE {
@@ -54,6 +59,10 @@ func (p *PRE) OnROBStall(from, to uint64) {
 		return
 	}
 	p.stats.Episodes++
+	// PRE occupies the recycled backend for exactly the stall window.
+	p.stats.BusyCycles += to - from
+	p.tr.Emit(trace.EvRunaheadSpawn, from, to, -1, 0, trace.ReasonStall)
+	p.tr.Emit(trace.EvRunaheadEnd, to, 0, -1, 0, trace.ReasonStall)
 	it := p.fe.Clone()
 
 	budget := int(to-from) * p.width

@@ -4,6 +4,7 @@ import (
 	"dvr/internal/interp"
 	"dvr/internal/isa"
 	"dvr/internal/mem"
+	"dvr/internal/trace"
 )
 
 // laneVec holds one value per scalar-equivalent lane.
@@ -115,6 +116,9 @@ type vecRun struct {
 	prefetches uint64
 	timedOut   bool
 	stackDrops int
+
+	// tr receives vector-batch spans and reconvergence instants (nil-safe).
+	tr *trace.Recorder
 }
 
 type reconvEntry struct {
@@ -156,14 +160,23 @@ func (v *vecRun) popGroup(pc *int) bool {
 		}
 		v.st.active = e.mask
 		*pc = e.pc
+		v.tr.Emit(trace.EvReconverge, v.cursor, 0, e.pc, uint64(e.mask.Count()), 0)
 		return true
 	}
 	return false
 }
 
-// exec runs vectorized execution according to opts. It mutates the
-// subthread state; the caller reads cursor/steps/prefetches afterwards.
+// exec runs vectorized execution according to opts, wrapping the batch in
+// a vector-batch trace span. It mutates the subthread state; the caller
+// reads cursor/steps/prefetches afterwards.
 func (v *vecRun) exec(opts execOpts) execOutcome {
+	start := v.cursor
+	out := v.execLoop(opts)
+	v.tr.Emit(trace.EvVectorBatch, start, v.cursor, opts.startPC, uint64(v.st.lanes), 0)
+	return out
+}
+
+func (v *vecRun) execLoop(opts execOpts) execOutcome {
 	pc := opts.startPC
 	firstInst := true
 	for {

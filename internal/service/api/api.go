@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"dvr/internal/cpu"
+	"dvr/internal/trace"
 	"dvr/internal/workloads"
 )
 
@@ -131,6 +132,32 @@ type JobStatus struct {
 	Batch *BatchResponse `json:"batch,omitempty"`
 }
 
+// JobTrace is the interval telemetry of a finished async job.
+// GET /v1/jobs/{id}/trace. It is only available when the server runs with
+// interval tracing enabled (dvrd -trace-interval); cells whose telemetry
+// has aged out of the trace store carry Missing instead of Intervals.
+type JobTrace struct {
+	JobID string `json:"job_id"`
+	// IntervalInsts is the sampling cadence (committed instructions per
+	// interval) the server was configured with.
+	IntervalInsts uint64 `json:"interval_insts"`
+	// Cells is row-major like BatchResponse.Cells.
+	Cells []CellTrace `json:"cells"`
+}
+
+// CellTrace is one cell's interval series, keyed by the cell's content
+// address (the same Key as SimResponse).
+type CellTrace struct {
+	Key       string `json:"key"`
+	Bench     string `json:"bench"`
+	Technique string `json:"technique"`
+	// Missing is set when the cell's telemetry is not in the trace store
+	// (tracing disabled, evicted, or the cell was served from a result
+	// cache populated before tracing was enabled).
+	Missing   bool             `json:"missing,omitempty"`
+	Intervals []trace.Interval `json:"intervals,omitempty"`
+}
+
 // Error is the JSON body of every non-2xx response (and of failed batch
 // cells). Code classifies the failure for programmatic handling; see
 // DESIGN.md's "failure model" section for the full table.
@@ -199,4 +226,10 @@ type Metrics struct {
 	// portion simulated since server start by the uptime.
 	SimInstructions uint64  `json:"sim_instructions"`
 	SimMIPS         float64 `json:"sim_mips"`
+
+	// RequestsTotal counts HTTP requests served (all routes);
+	// TracesStored counts cell interval-series currently held by the
+	// trace store (zero unless the server runs with -trace-interval).
+	RequestsTotal uint64 `json:"requests_total"`
+	TracesStored  int    `json:"traces_stored"`
 }

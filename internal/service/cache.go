@@ -103,8 +103,11 @@ type resultCache struct {
 	dir   string
 	fs    faults.FS
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	// hits/misses live under mu (not as atomics) so a /metrics snapshot
+	// reads a consistent pair: hits+misses always equals the lookups
+	// completed at snapshot time, never a torn in-between.
+	hits    uint64
+	misses  uint64
 	corrupt atomic.Uint64 // spill entries quarantined (startup scan + reads)
 
 	health SpillHealth
@@ -148,18 +151,37 @@ func (c *resultCache) Get(key string) (cpu.Result, bool) {
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
 		res := el.Value.(*cacheEntry).res
+		c.hits++
 		c.mu.Unlock()
-		c.hits.Add(1)
 		return res, true
 	}
 	c.mu.Unlock()
 	if res, ok := c.readSpill(key); ok {
 		c.admit(key, res)
-		c.hits.Add(1)
+		c.count(true)
 		return res, true
 	}
-	c.misses.Add(1)
+	c.count(false)
 	return cpu.Result{}, false
+}
+
+// count records one lookup outcome under mu (the in-memory hit path
+// increments inline while it already holds the lock).
+func (c *resultCache) count(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+}
+
+// counters snapshots (hits, misses) as one consistent pair.
+func (c *resultCache) counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }
 
 // Peek is Get without touching the hit/miss counters — for internal

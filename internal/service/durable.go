@@ -10,6 +10,7 @@ import (
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
 	"dvr/internal/service/api"
+	"dvr/internal/trace"
 	"dvr/internal/workloads"
 )
 
@@ -31,6 +32,14 @@ func (s *Server) simulate(ctx context.Context, key string, spec workloads.Spec, 
 	opts := experiments.JobOpts{
 		WatchdogBudget: s.cfg.WatchdogCycles,
 		LivelockAfter:  s.cfg.Faults.LivelockAfter(key),
+	}
+	var rec *trace.Recorder
+	if s.cfg.TraceIntervalEvery > 0 {
+		// Interval-only recorder (no event ring): per-cell telemetry for
+		// GET /v1/jobs/{id}/trace. Observational — the result is
+		// bit-identical with or without it.
+		rec = trace.New(trace.Config{IntervalEvery: s.cfg.TraceIntervalEvery})
+		opts.Trace = rec
 	}
 	if s.ckpts != nil {
 		if st, err := s.ckpts.Load(key); err == nil {
@@ -70,6 +79,12 @@ func (s *Server) simulate(ctx context.Context, key string, spec workloads.Spec, 
 		// never a correctness requirement: drop it and run from scratch.
 		_ = s.ckpts.Remove(key)
 		opts.Resume = nil
+		if rec != nil {
+			// Fresh recorder: the aborted attempt must not pollute the
+			// from-scratch run's series.
+			rec = trace.New(trace.Config{IntervalEvery: s.cfg.TraceIntervalEvery})
+			opts.Trace = rec
+		}
 		res, err = experiments.RunJob(ctx, spec, experiments.Technique(tech), cfg, opts)
 	}
 	var le *cpu.LivelockError
@@ -86,6 +101,9 @@ func (s *Server) simulate(ctx context.Context, key string, spec workloads.Spec, 
 	if err == nil && s.ckpts != nil {
 		// Job complete; the result is the cache's to keep now.
 		_ = s.ckpts.Remove(key)
+	}
+	if err == nil && rec != nil {
+		s.traces.Put(key, rec.Intervals())
 	}
 	return res, err
 }

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dvr/internal/service/api"
+)
+
+// Request observability: every request gets a server-assigned ID (echoed
+// as X-Request-ID and threaded through the context), a structured slog
+// line with span timings (queue wait → simulate → encode), and a sample
+// in the request-duration histogram. GET /metrics serves the same
+// snapshot as JSON (default; the CI smoke pipes it through a JSON parser)
+// or Prometheus text exposition under "Accept: text/plain".
+
+// spans accumulates the phase timings of one request. Batch requests fan
+// out to many cells, so the adders take a lock and sum: the logged
+// queue_wait and sim spans are totals across the request's cells.
+type spans struct {
+	mu        sync.Mutex
+	queueWait time.Duration
+	sim       time.Duration
+	encode    time.Duration
+}
+
+func (sp *spans) addQueueWait(d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.queueWait += d
+	sp.mu.Unlock()
+}
+
+func (sp *spans) addSim(d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.sim += d
+	sp.mu.Unlock()
+}
+
+func (sp *spans) addEncode(d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.encode += d
+	sp.mu.Unlock()
+}
+
+func (sp *spans) snapshot() (queueWait, sim, encode time.Duration) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.queueWait, sp.sim, sp.encode
+}
+
+type ctxKey int
+
+const (
+	ctxKeyReqID ctxKey = iota
+	ctxKeySpans
+)
+
+// RequestID returns the server-assigned request ID threaded through ctx
+// ("" outside an instrumented request).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyReqID).(string)
+	return id
+}
+
+func spansFrom(ctx context.Context) *spans {
+	sp, _ := ctx.Value(ctxKeySpans).(*spans)
+	return sp
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the routed handler with per-request observability:
+// ID assignment, span accumulation, the duration histogram, the request
+// counter, and one structured log line per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := context.WithValue(r.Context(), ctxKeyReqID, reqID)
+		sp := &spans{}
+		ctx = context.WithValue(ctx, ctxKeySpans, sp)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		dur := time.Since(start)
+		s.reqTotal.Add(1)
+		s.reqHist.observe(dur)
+		qw, sim, enc := sp.snapshot()
+		s.logger.Info("request",
+			"id", reqID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.code,
+			"duration_ms", ms(dur),
+			"queue_wait_ms", ms(qw),
+			"sim_ms", ms(sim),
+			"encode_ms", ms(enc),
+		)
+	})
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// writeJSONTimed is writeJSON plus encode-span accounting, for handlers
+// whose response body is the expensive part (full batch matrices).
+func writeJSONTimed(ctx context.Context, w http.ResponseWriter, code int, v any) {
+	start := time.Now()
+	writeJSON(w, code, v)
+	spansFrom(ctx).addEncode(time.Since(start))
+}
+
+// wantsPrometheus decides the /metrics representation: Prometheus text
+// only when the client explicitly asks for text (a scraper's
+// "Accept: text/plain"); everything else — no header, */*, JSON — gets
+// the JSON snapshot, which existing tooling parses.
+func wantsPrometheus(accept string) bool {
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "application/openmetrics-text")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		writePrometheus(w, m, s.reqHist, s.queueHist)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// handleJobTrace serves the interval telemetry of a finished async job:
+// one series per cell, looked up in the trace store by the cell's cache
+// key. GET /v1/jobs/{id}/trace.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound, Error: fmt.Sprintf("service: unknown job %q", id)})
+		return
+	}
+	if s.traces == nil {
+		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound,
+			Error: "service: interval tracing is disabled (start dvrd with -trace-interval)"})
+		return
+	}
+	st := j.status()
+	if st.State != api.JobDone || st.Batch == nil {
+		writeJSON(w, http.StatusConflict, api.Error{Code: api.CodeBadRequest,
+			Error: fmt.Sprintf("service: job %q is %s; trace is available once it is done", id, st.State)})
+		return
+	}
+	out := api.JobTrace{JobID: id, IntervalInsts: s.cfg.TraceIntervalEvery}
+	for _, c := range st.Batch.Cells {
+		ct := api.CellTrace{Key: c.Key, Bench: c.Result.Name, Technique: c.Result.Technique}
+		if ivs, ok := s.traces.Get(c.Key); ok {
+			ct.Intervals = ivs
+		} else {
+			ct.Missing = true
+		}
+		out.Cells = append(out.Cells, ct)
+	}
+	writeJSONTimed(r.Context(), w, http.StatusOK, out)
+}

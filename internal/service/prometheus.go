@@ -1,0 +1,101 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dvr/internal/service/api"
+)
+
+// Prometheus text exposition, hand-rolled (the repo takes no dependencies):
+// GET /metrics with "Accept: text/plain" renders the same snapshot the JSON
+// body carries, as gauges and counters, plus the two latency histograms
+// (request duration and queue wait) that only exist in this format.
+
+// latencyBounds are the histogram bucket upper bounds in seconds. They
+// span network-fast cache hits (~ms) through full simulations (~minutes).
+var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// histogram is a fixed-bucket duration histogram safe for concurrent
+// observation. Buckets are non-cumulative atomics; the cumulative form
+// Prometheus wants is computed at exposition time, so observe() on the
+// hot request path is one atomic add (plus one for the sum).
+type histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last bucket is +Inf
+	sumUS  atomic.Uint64   // total observed microseconds
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumUS.Add(uint64(d.Microseconds()))
+}
+
+// write renders the histogram in Prometheus text format under name.
+func (h *histogram) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(float64(h.sumUS.Load())/1e6))
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writePrometheus renders one metrics snapshot as Prometheus text. The
+// scalar series mirror the JSON api.Metrics fields one-for-one so the two
+// formats never disagree about what the server is doing.
+func writePrometheus(w io.Writer, m api.Metrics, reqHist, queueHist *histogram) {
+	gauge := func(name string, v float64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(v))
+	}
+	counter := func(name string, v uint64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	gauge("dvrd_uptime_seconds", m.UptimeSeconds)
+	gauge("dvrd_workers", float64(m.Workers))
+	gauge("dvrd_busy_workers", float64(m.BusyWorkers))
+	gauge("dvrd_queue_depth", float64(m.QueueDepth))
+	gauge("dvrd_cache_entries", float64(m.CacheEntries))
+	counter("dvrd_cache_hits_total", m.CacheHits)
+	counter("dvrd_cache_misses_total", m.CacheMisses)
+	gauge("dvrd_cache_hit_rate", m.CacheHitRate)
+	counter("dvrd_single_flight_shared_total", m.SingleFlightShared)
+	counter("dvrd_single_flight_retries_total", m.SingleFlightRetries)
+	gauge("dvrd_jobs_active", float64(m.JobsActive))
+	gauge("dvrd_jobs_done", float64(m.JobsDone))
+	counter("dvrd_panics_recovered_total", m.PanicsRecovered)
+	counter("dvrd_shed_total", m.ShedTotal)
+	counter("dvrd_spill_quarantined_total", m.SpillQuarantined)
+	counter("dvrd_checkpoints_written_total", m.CheckpointsWritten)
+	counter("dvrd_checkpoints_resumed_total", m.CheckpointsResumed)
+	counter("dvrd_checkpoint_write_errors_total", m.CheckpointWriteErrors)
+	counter("dvrd_checkpoints_quarantined_total", m.CheckpointsQuarantined)
+	counter("dvrd_watchdog_trips_total", m.WatchdogTrips)
+	counter("dvrd_sim_instructions_total", m.SimInstructions)
+	gauge("dvrd_sim_mips", m.SimMIPS)
+	counter("dvrd_requests_total", m.RequestsTotal)
+	gauge("dvrd_traces_stored", float64(m.TracesStored))
+	reqHist.write(w, "dvrd_request_duration_seconds")
+	queueHist.write(w, "dvrd_queue_wait_seconds")
+}

@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"runtime"
@@ -72,6 +74,18 @@ type Config struct {
 	BaseEntries int
 	// Faults injects scripted failures (chaos tests); nil means none.
 	Faults *faults.Injector
+	// Logger receives one structured line per request (id, status, span
+	// timings); nil discards them.
+	Logger *slog.Logger
+	// TraceIntervalEvery, when nonzero, attaches an interval sampler to
+	// every simulation (one sample per N committed instructions) and keeps
+	// each cell's series in the trace store, served at
+	// GET /v1/jobs/{id}/trace. 0 disables tracing. Tracing is
+	// observational: results are bit-identical either way.
+	TraceIntervalEvery uint64
+	// TraceEntries bounds the in-memory trace store; 0 means 1024. With
+	// CacheDir set, series also spill to <dir>/traces/.
+	TraceEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +104,12 @@ func (c Config) withDefaults() Config {
 	if c.BaseEntries <= 0 {
 		c.BaseEntries = 32
 	}
+	if c.TraceEntries <= 0 {
+		c.TraceEntries = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -107,6 +127,16 @@ type Server struct {
 	// ckptHealth is its startup scan.
 	ckpts      *checkpoint.Store
 	ckptHealth checkpoint.Health
+
+	// traces holds per-cell interval telemetry (nil when tracing is
+	// disabled); logger, reqSeq and the histograms back the request
+	// observability layer (observe.go).
+	traces    *traceStore
+	logger    *slog.Logger
+	reqSeq    atomic.Uint64
+	reqTotal  atomic.Uint64
+	reqHist   *histogram
+	queueHist *histogram
 
 	start      time.Time
 	startInsts uint64
@@ -130,8 +160,18 @@ func New(cfg Config) *Server {
 		pool:       newPool(cfg.Workers, cfg.QueueDepth),
 		jobs:       newJobStore(),
 		bases:      newBaseCache(cfg.BaseEntries),
+		logger:     cfg.Logger,
+		reqHist:    newHistogram(latencyBounds),
+		queueHist:  newHistogram(latencyBounds),
 		start:      time.Now(),
 		startInsts: experiments.SimInstructions(),
+	}
+	if cfg.TraceIntervalEvery > 0 {
+		traceDir := ""
+		if cfg.CacheDir != "" {
+			traceDir = filepath.Join(cfg.CacheDir, "traces")
+		}
+		s.traces = newTraceStore(cfg.TraceEntries, traceDir, cfg.Faults.Filesystem())
 	}
 	if cfg.CacheDir != "" && cfg.CheckpointEvery > 0 {
 		store, err := checkpoint.NewStore(filepath.Join(cfg.CacheDir, "checkpoints"), cfg.Faults.Filesystem())
@@ -154,15 +194,18 @@ func (s *Server) SpillHealth() SpillHealth { return s.cache.Health() }
 // jobs found journaled at boot; the server resumes them in the background.
 func (s *Server) CheckpointHealth() checkpoint.Health { return s.ckptHealth }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler, wrapped in the request
+// observability middleware (request IDs, span log lines, the duration
+// histogram).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /"+api.Version+"/sim", s.handleSim)
 	mux.HandleFunc("POST /"+api.Version+"/batch", s.handleBatch)
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
 }
 
 // Shutdown drains the server: it waits for every async job to finish,
@@ -319,12 +362,21 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 			out    cpu.Result
 			runErr error
 		)
+		enqueued := time.Now()
 		task := func() {
+			// Queue wait = admission to worker pickup: the span and
+			// histogram the capacity dashboards watch.
+			wait := time.Since(enqueued)
+			s.queueHist.observe(wait)
+			sp := spansFrom(ctx)
+			sp.addQueueWait(wait)
 			// The fault hook runs inside the worker so scripted panics
 			// and slowdowns exercise the same recover/occupancy paths a
 			// real simulator bug would.
 			s.cfg.Faults.Sim(key)
+			simStart := time.Now()
 			out, runErr = s.simulate(ctx, key, runSpec, tech, cfg)
+			sp.addSim(time.Since(simStart))
 		}
 		var err error
 		if adm == admitShed {
@@ -460,7 +512,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONTimed(r.Context(), w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -506,7 +558,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, *batch)
+	writeJSONTimed(r.Context(), w, http.StatusOK, *batch)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -523,14 +575,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
-}
-
-// Metrics snapshots the service counters.
+// Metrics snapshots the service counters. The cache pair is read under
+// the cache lock and the clock is read once, so one snapshot is
+// internally consistent (handleMetrics serves it as JSON or Prometheus
+// text; see observe.go).
 func (s *Server) Metrics() api.Metrics {
-	uptime := time.Since(s.start).Seconds()
-	hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
+	now := time.Now()
+	uptime := now.Sub(s.start).Seconds()
+	hits, misses := s.cache.counters()
 	hitRate := 0.0
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
@@ -570,6 +622,9 @@ func (s *Server) Metrics() api.Metrics {
 		CheckpointWriteErrors:  s.ckptErrors.Load(),
 		CheckpointsQuarantined: ckptQuarantined,
 		WatchdogTrips:          s.watchdogTrips.Load(),
+
+		RequestsTotal: s.reqTotal.Load(),
+		TracesStored:  s.traces.Len(),
 	}
 }
 

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"path/filepath"
+	"sync"
+
+	"dvr/internal/faults"
+	"dvr/internal/trace"
+)
+
+// traceStore holds per-cell interval telemetry keyed by the cell's cache
+// key: a bounded in-memory LRU with an optional best-effort disk spill
+// under <cacheDir>/traces/<key>.json, mirroring the result cache's
+// discipline (evicted or restarted-over entries come back from disk; a
+// corrupt or missing file is a miss, never an error). Telemetry is
+// observational, so nothing here seals or quarantines — the worst a bad
+// byte can do is make a trace unavailable.
+type traceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *traceEntry
+	items map[string]*list.Element
+	dir   string
+	fs    faults.FS
+}
+
+type traceEntry struct {
+	key string
+	ivs []trace.Interval
+}
+
+func newTraceStore(capacity int, dir string, fsys faults.FS) *traceStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if fsys == nil {
+		fsys = faults.OS()
+	}
+	if dir != "" {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
+			dir = ""
+		}
+	}
+	return &traceStore{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+		dir:   dir,
+		fs:    fsys,
+	}
+}
+
+// Put stores one cell's interval series, in memory and (best-effort) on
+// disk.
+func (t *traceStore) Put(key string, ivs []trace.Interval) {
+	if t == nil {
+		return
+	}
+	t.admit(key, ivs)
+	t.writeSpill(key, ivs)
+}
+
+// Get returns the stored series for key, consulting memory then disk.
+func (t *traceStore) Get(key string) ([]trace.Interval, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	if el, ok := t.items[key]; ok {
+		t.order.MoveToFront(el)
+		ivs := el.Value.(*traceEntry).ivs
+		t.mu.Unlock()
+		return ivs, true
+	}
+	t.mu.Unlock()
+	if ivs, ok := t.readSpill(key); ok {
+		t.admit(key, ivs)
+		return ivs, true
+	}
+	return nil, false
+}
+
+// Len returns the number of in-memory entries (nil-safe for /metrics).
+func (t *traceStore) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.order.Len()
+}
+
+func (t *traceStore) admit(key string, ivs []trace.Interval) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.items[key]; ok {
+		el.Value.(*traceEntry).ivs = ivs
+		t.order.MoveToFront(el)
+		return
+	}
+	t.items[key] = t.order.PushFront(&traceEntry{key: key, ivs: ivs})
+	for t.order.Len() > t.cap {
+		el := t.order.Back()
+		t.order.Remove(el)
+		delete(t.items, el.Value.(*traceEntry).key)
+	}
+}
+
+func (t *traceStore) spillPath(key string) string {
+	return filepath.Join(t.dir, key+".json")
+}
+
+func (t *traceStore) readSpill(key string) ([]trace.Interval, bool) {
+	if t.dir == "" {
+		return nil, false
+	}
+	data, err := t.fs.ReadFile(t.spillPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var ivs []trace.Interval
+	if err := json.Unmarshal(data, &ivs); err != nil {
+		return nil, false
+	}
+	return ivs, true
+}
+
+func (t *traceStore) writeSpill(key string, ivs []trace.Interval) {
+	if t.dir == "" {
+		return
+	}
+	data, err := json.Marshal(ivs)
+	if err != nil {
+		return
+	}
+	tmp, err := t.fs.CreateTemp(t.dir, key+".*.tmp")
+	if err != nil {
+		return
+	}
+	if err := t.fs.WriteFile(tmp, data, 0o644); err != nil {
+		_ = t.fs.Remove(tmp)
+		return
+	}
+	if err := t.fs.Rename(tmp, t.spillPath(key)); err != nil {
+		_ = t.fs.Remove(tmp)
+	}
+}

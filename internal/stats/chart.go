@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -24,7 +25,10 @@ func NewBarChart(title string) *BarChart { return &BarChart{Title: title, Width:
 // Add appends one bar.
 func (c *BarChart) Add(label string, value float64) { c.rows = append(c.rows, barRow{label, value}) }
 
-// String renders the chart; bars are scaled to the maximum value.
+// String renders the chart; bars are scaled to the maximum value. Negative
+// values clamp to a zero-width bar but are flagged in the value column
+// (a silently empty bar reads as zero), and NaN values render as "NaN"
+// rather than poisoning the scale.
 func (c *BarChart) String() string {
 	width := c.Width
 	if width <= 0 {
@@ -33,7 +37,7 @@ func (c *BarChart) String() string {
 	maxVal := 0.0
 	labelW := 0
 	for _, r := range c.rows {
-		if r.value > maxVal {
+		if r.value > maxVal { // NaN compares false: it never sets the scale
 			maxVal = r.value
 		}
 		if len(r.label) > labelW {
@@ -48,15 +52,59 @@ func (c *BarChart) String() string {
 		maxVal = 1
 	}
 	for _, r := range c.rows {
-		n := int(r.value / maxVal * float64(width))
-		if n < 0 {
-			n = 0
+		switch {
+		case math.IsNaN(r.value):
+			fmt.Fprintf(&b, "%-*s |%s NaN\n", labelW, r.label, strings.Repeat(" ", width))
+		case r.value < 0:
+			fmt.Fprintf(&b, "%-*s |%s %.3f (<0, clamped)\n", labelW, r.label,
+				strings.Repeat(" ", width), r.value)
+		default:
+			n := int(r.value / maxVal * float64(width))
+			if n > width {
+				n = width
+			}
+			if r.value > 0 && n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "%-*s |%s%s %.3f\n", labelW, r.label,
+				strings.Repeat("#", n), strings.Repeat(" ", width-n), r.value)
 		}
-		if r.value > 0 && n == 0 {
-			n = 1
+	}
+	return b.String()
+}
+
+// sparkGlyphs are the eight block heights of a unicode sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a one-line unicode sparkline scaled to
+// [min, max]. NaN values render as a space; a flat series renders at the
+// lowest glyph.
+func Sparkline(xs []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
 		}
-		fmt.Fprintf(&b, "%-*s |%s%s %.3f\n", labelW, r.label,
-			strings.Repeat("#", n), strings.Repeat(" ", width-n), r.value)
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		switch {
+		case math.IsNaN(x):
+			b.WriteByte(' ')
+		case hi == lo:
+			b.WriteRune(sparkGlyphs[0])
+		default:
+			n := int((x - lo) / (hi - lo) * float64(len(sparkGlyphs)))
+			if n >= len(sparkGlyphs) {
+				n = len(sparkGlyphs) - 1
+			}
+			if n < 0 {
+				n = 0
+			}
+			b.WriteRune(sparkGlyphs[n])
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// Satellite coverage for the BarChart edge cases that used to misrender:
+// negative values silently drew as zero and NaN poisoned the scale.
+
+func TestBarChartNegativeValueIsFlagged(t *testing.T) {
+	c := NewBarChart("neg")
+	c.Add("good", 2.0)
+	c.Add("bad", -1.5)
+	out := c.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want title + 2 rows:\n%s", len(lines), out)
+	}
+	bad := lines[2]
+	if strings.Contains(bad, "#") {
+		t.Errorf("negative row drew a bar: %q", bad)
+	}
+	if !strings.Contains(bad, "(<0, clamped)") {
+		t.Errorf("negative row not flagged: %q", bad)
+	}
+	// The negative value must not shrink or grow the positive row's bar.
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("positive row lost its bar: %q", lines[1])
+	}
+}
+
+func TestBarChartNaN(t *testing.T) {
+	c := NewBarChart("nan")
+	c.Add("nan", math.NaN())
+	c.Add("one", 1.0)
+	out := c.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[1], "NaN") {
+		t.Errorf("NaN row not labelled: %q", lines[1])
+	}
+	if strings.Contains(lines[1], "#") {
+		t.Errorf("NaN row drew a bar: %q", lines[1])
+	}
+	// NaN must not poison the scale: the 1.0 row is the maximum and gets a
+	// full-width bar.
+	if got := strings.Count(lines[2], "#"); got != 40 {
+		t.Errorf("scale poisoned by NaN: value-1.0 bar is %d chars, want 40", got)
+	}
+}
+
+func TestBarChartAllZeroOrNegative(t *testing.T) {
+	c := NewBarChart("zero")
+	c.Add("a", 0)
+	c.Add("b", -2)
+	out := c.String() // must not divide by zero or panic
+	if !strings.Contains(out, "0.000") || !strings.Contains(out, "(<0, clamped)") {
+		t.Errorf("unexpected render:\n%s", out)
+	}
+}
+
+func TestBarChartOverMaxClamps(t *testing.T) {
+	// Width guard: a value equal to the max renders exactly Width chars.
+	c := NewBarChart("")
+	c.Width = 10
+	c.Add("x", 5)
+	out := c.String()
+	if got := strings.Count(out, "#"); got != 10 {
+		t.Errorf("max-value bar is %d chars, want 10:\n%s", got, out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if got := utf8.RuneCountInString(s); got != 8 {
+		t.Fatalf("sparkline has %d runes, want 8: %q", got, s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("min/max glyphs wrong: %q", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("monotone series rendered non-monotone: %q", s)
+		}
+	}
+}
+
+func TestSparklineFlatAndNaN(t *testing.T) {
+	if s := Sparkline([]float64{2, 2, 2}); s != "▁▁▁" {
+		t.Errorf("flat series = %q, want lowest glyphs", s)
+	}
+	s := Sparkline([]float64{1, math.NaN(), 3})
+	runes := []rune(s)
+	if len(runes) != 3 || runes[1] != ' ' {
+		t.Errorf("NaN not rendered as space: %q", s)
+	}
+	if s := Sparkline(nil); s != "" {
+		t.Errorf("empty series = %q, want empty", s)
+	}
+}

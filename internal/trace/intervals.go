@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Interval-dump sinks: CSV for spreadsheets, JSON for tooling. Both are
+// deterministic byte-for-byte for identical interval series.
+
+// Dump bundles an interval series with the identity of the run it came
+// from; it is the JSON wire/file format for interval telemetry.
+type Dump struct {
+	Bench         string     `json:"bench"`
+	Technique     string     `json:"technique"`
+	IntervalInsts uint64     `json:"interval_insts"`
+	Intervals     []Interval `json:"intervals"`
+}
+
+// csvHeader lists the flattened columns WriteIntervalsCSV emits.
+var csvHeader = []string{
+	"index", "start_inst", "end_inst", "start_cycle", "end_cycle",
+	"ipc", "mlp", "pref_accuracy", "pref_coverage", "pref_timeliness",
+	"pref_late_frac", "runahead_occupancy", "rob_stall_frac",
+	"mshr_high_water", "pref_issued", "pref_useful", "dram_accesses",
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// WriteIntervalsCSV writes the series as CSV with a fixed header row.
+func WriteIntervalsCSV(w io.Writer, ivs []Interval) error {
+	for i, col := range csvHeader {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := io.WriteString(w, sep+col); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, iv := range ivs {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%d,%d,%d,%d\n",
+			iv.Index, iv.StartInst, iv.EndInst, iv.StartCycle, iv.EndCycle,
+			fmtF(iv.IPC), fmtF(iv.MLP), fmtF(iv.PrefAccuracy), fmtF(iv.PrefCoverage),
+			fmtF(iv.PrefTimeliness), fmtF(iv.PrefLateFrac), fmtF(iv.RunaheadOccupancy),
+			fmtF(iv.ROBStallFrac), iv.MSHRHighWater,
+			iv.Delta.PrefIssued, iv.Delta.PrefUseful, iv.Delta.DRAMAccesses)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDumpJSON writes an indented Dump document.
+func WriteDumpJSON(w io.Writer, d Dump) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Perfetto / Chrome trace-event sink. The layout maps the simulator onto
+// three tracks of one process:
+//
+//	tid 1 "main pipeline"      ROB-stall and commit-hold spans
+//	tid 2 "runahead subthread" episode/vector-batch spans, discovery and
+//	                           reconvergence instants
+//	tid 3 "memory hierarchy"   prefetch issue spans, late/useless instants
+//
+// plus a process-scoped "mshr_high_water" counter. Cycles are written as
+// microsecond timestamps (1 cycle == 1 µs), which keeps Perfetto's zoom
+// ruler meaningful without a custom clock.
+//
+// Output is deterministic byte-for-byte for identical recordings: events
+// are struct-encoded in ring order and args maps are marshalled by
+// encoding/json, which sorts keys.
+
+const (
+	perfettoPID = 1
+
+	tidMain     = 1
+	tidRunahead = 2
+	tidMemory   = 3
+)
+
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func span(name string, ev Event, tid int, args map[string]any) perfettoEvent {
+	dur := uint64(0)
+	if ev.End > ev.Cycle {
+		dur = ev.End - ev.Cycle
+	}
+	return perfettoEvent{Name: name, Ph: "X", Ts: ev.Cycle, Dur: &dur, Pid: perfettoPID, Tid: tid, Args: args}
+}
+
+func instant(name string, ev Event, tid int, args map[string]any) perfettoEvent {
+	return perfettoEvent{Name: name, Ph: "i", Ts: ev.Cycle, Pid: perfettoPID, Tid: tid, S: "t", Args: args}
+}
+
+func convertEvent(ev Event) perfettoEvent {
+	name := ev.Kind.String()
+	switch ev.Kind {
+	case EvRunaheadSpawn:
+		return span("runahead-episode", ev, tidRunahead, map[string]any{
+			"pc": ev.PC, "lanes": ev.Arg, "reason": ReasonString(ev.Arg2),
+		})
+	case EvRunaheadEnd:
+		return instant(name, ev, tidRunahead, map[string]any{"pc": ev.PC, "reason": ReasonString(ev.Arg2)})
+	case EvDiscoveryStart:
+		return instant(name, ev, tidRunahead, map[string]any{"pc": ev.PC})
+	case EvDiscoveryEnd:
+		return instant(name, ev, tidRunahead, map[string]any{"pc": ev.PC, "lanes": ev.Arg, "spawnable": ev.Arg2 == 1})
+	case EvNestedSpawn:
+		return instant(name, ev, tidRunahead, map[string]any{"pc": ev.PC, "outer_lanes": ev.Arg})
+	case EvVectorBatch:
+		return span(name, ev, tidRunahead, map[string]any{"pc": ev.PC, "lanes": ev.Arg})
+	case EvReconverge:
+		return instant(name, ev, tidRunahead, map[string]any{"pc": ev.PC, "lanes": ev.Arg})
+	case EvROBStall:
+		return span(name, ev, tidMain, map[string]any{"pc": ev.PC})
+	case EvCommitHold:
+		return span(name, ev, tidMain, map[string]any{"pc": ev.PC})
+	case EvPrefetchIssue:
+		return span(name, ev, tidMemory, map[string]any{"src": SourceString(ev.Arg), "level": ev.Arg2})
+	case EvPrefetchLate, EvPrefetchUseless:
+		return instant(name, ev, tidMemory, map[string]any{"src": SourceString(ev.Arg)})
+	case EvMSHRHighWater:
+		return perfettoEvent{Name: "mshr_high_water", Ph: "C", Ts: ev.Cycle, Pid: perfettoPID,
+			Args: map[string]any{"in_flight": ev.Arg}}
+	case EvPatternConfirm:
+		return instant(name, ev, tidMemory, map[string]any{"pc": ev.PC, "coeff": ev.Arg})
+	}
+	return instant(name, ev, tidMain, nil)
+}
+
+// WritePerfetto writes the ring contents as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing). name labels the process.
+func (r *Recorder) WritePerfetto(w io.Writer, name string) error {
+	meta := []perfettoEvent{
+		{Name: "process_name", Ph: "M", Pid: perfettoPID,
+			Args: map[string]any{"name": name}},
+		{Name: "thread_name", Ph: "M", Pid: perfettoPID, Tid: tidMain,
+			Args: map[string]any{"name": "main pipeline"}},
+		{Name: "thread_name", Ph: "M", Pid: perfettoPID, Tid: tidRunahead,
+			Args: map[string]any{"name": "runahead subthread"}},
+		{Name: "thread_name", Ph: "M", Pid: perfettoPID, Tid: tidMemory,
+			Args: map[string]any{"name": "memory hierarchy"}},
+	}
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	writeOne := func(pe perfettoEvent) error {
+		b, err := json.Marshal(pe)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err = fmt.Fprintf(w, "%s%s", sep, b)
+		return err
+	}
+	for _, pe := range meta {
+		if err := writeOne(pe); err != nil {
+			return err
+		}
+	}
+	for _, ev := range r.Events() {
+		if err := writeOne(convertEvent(ev)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n],\"otherData\":{\"dropped_events\":%d}}\n", r.Dropped())
+	return err
+}
