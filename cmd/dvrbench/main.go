@@ -52,6 +52,14 @@ func main() {
 	server := flag.String("server", "", "run matrix experiments (fig7, fig8) against this dvrd server instead of in-process")
 	ckptDir := flag.String("checkpoint-dir", "", "journal matrix cells (fig7, fig8) to this directory so a killed run resumes instead of restarting")
 	traceDir := flag.String("trace", "", "write one Perfetto trace-event JSON per matrix cell (fig7, fig8) to this directory")
+	sampled := flag.Bool("sampled", false, "fig7/fig8/perf: project results from phase-representative windows instead of timing full ROIs")
+	sWindow := flag.Uint64("sample-window", 0, "with -sampled, profiling window length in instructions (0 = auto from ROI)")
+	sWarmup := flag.Uint64("warmup", 0, "with -sampled, timed-but-discarded warmup per measured window (0 = one window)")
+	sPhases := flag.Int("sample-phases", 0, "with -sampled, maximum phase clusters (0 = default)")
+	sReps := flag.Int("sample-reps", 0, "with -sampled, representative windows timed per phase (0 = one)")
+	fidROI := flag.Uint64("fidelity-roi", 2_000_000, "fidelity: ROI the quick-suite benchmarks are stretched to")
+	fidTol := flag.Float64("fidelity-tol", 0.02, "fidelity: max mean per-technique h-mean speedup error")
+	fidMin := flag.Float64("fidelity-min-speedup", 5, "fidelity: min exact/sampled suite wall-clock ratio")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -100,6 +108,18 @@ func main() {
 	if *quick {
 		suite = experiments.QuickSuite
 	}
+	so := experiments.SampleOptions{
+		WindowInsts: *sWindow,
+		WarmupInsts: *sWarmup,
+		MaxPhases:   *sPhases,
+		Replicates:  *sReps,
+	}
+	if *sampled && (*server != "" || *ckptDir != "" || *traceDir != "") {
+		// Sampling replaces the exact single-run path those modes wrap; the
+		// dvrd server takes sampling via the API instead (SimRequest.Sampling).
+		fmt.Fprintln(os.Stderr, "dvrbench: -sampled cannot be combined with -server, -checkpoint-dir or -trace")
+		os.Exit(1)
+	}
 
 	emit := func(rows interface{}, render func() string) {
 		if *jsonOut {
@@ -132,6 +152,17 @@ func main() {
 			emit(map[string]interface{}{"ooo": ooo, "vr": vr}, render)
 		case "fig7":
 			techs := append([]experiments.Technique{experiments.TechOoO}, experiments.AllTechniques...)
+			if *sampled {
+				specs := suite().All()
+				m, err := experiments.MatrixSampled(context.Background(), specs, techs, cfg, so)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dvrbench:", err)
+					os.Exit(1)
+				}
+				rows, render := experiments.Fig7FromMatrix(specs, m)
+				emit(rows, render)
+				break
+			}
 			if *server != "" || *ckptDir != "" || *traceDir != "" {
 				specs := suite().All()
 				m, err := matrixVia(*server, *ckptDir, *traceDir, specs, techs, cfg)
@@ -147,6 +178,17 @@ func main() {
 			emit(rows, render)
 		case "fig8":
 			techs := append([]experiments.Technique{experiments.TechOoO}, experiments.Fig8Variants...)
+			if *sampled {
+				specs := suite().All()
+				m, err := experiments.MatrixSampled(context.Background(), specs, techs, cfg, so)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dvrbench:", err)
+					os.Exit(1)
+				}
+				rows, render := experiments.Fig8FromMatrix(specs, m)
+				emit(rows, render)
+				break
+			}
 			if *server != "" || *ckptDir != "" || *traceDir != "" {
 				specs := suite().All()
 				m, err := matrixVia(*server, *ckptDir, *traceDir, specs, techs, cfg)
@@ -187,6 +229,24 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("wrote BENCH_perf.json")
+			if *sampled {
+				// BENCH_perf.json stays exact-only (its schema is the
+				// regression guard's input); -sampled appends a wall-clock
+				// comparison of the two suite paths.
+				exactDur, sampDur, err := suiteWallClock(suite().All(), cfg, so)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dvrbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("suite wall-clock: exact %s, sampled %s (%.1fx)\n",
+					exactDur.Round(time.Millisecond), sampDur.Round(time.Millisecond),
+					float64(exactDur)/float64(sampDur))
+			}
+		case "fidelity":
+			if err := fidelityReport(os.Stdout, *fidROI, so, *fidTol, *fidMin, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "dvrbench:", err)
+				os.Exit(1)
+			}
 		case "ablation":
 			specs := suite().All()
 			if *quick {
@@ -532,6 +592,94 @@ func perfRows(s experiments.Suite, cfg cpu.Config) ([]perfRow, func() string) {
 		return t.String()
 	}
 	return rows, render
+}
+
+// suiteWallClock times the full Figure 7 matrix both ways — exact
+// (MatrixE) and sampled (MatrixSampled) — over pre-built workloads, so the
+// ratio measures simulation work, not graph construction. Sampled runs
+// first: both paths then start from identically cold simulator state, and
+// any process-level warmup (JIT-ish map growth, allocator steady state)
+// favours the exact side, making the reported ratio conservative.
+func suiteWallClock(specs []workloads.Spec, cfg cpu.Config, so experiments.SampleOptions) (exact, sampled time.Duration, err error) {
+	for _, sp := range specs {
+		sp.Build()
+	}
+	techs := append([]experiments.Technique{experiments.TechOoO}, experiments.AllTechniques...)
+	t0 := time.Now()
+	if _, err = experiments.MatrixSampled(context.Background(), specs, techs, cfg, so); err != nil {
+		return 0, 0, err
+	}
+	sampled = time.Since(t0)
+	t1 := time.Now()
+	if _, err = experiments.MatrixE(context.Background(), specs, techs, cfg); err != nil {
+		return 0, 0, err
+	}
+	exact = time.Since(t1)
+	return exact, sampled, nil
+}
+
+// fidelityReport is the sampled-simulation acceptance gate: it stretches
+// the quick suite to a full-length ROI, renders Figure 7's per-technique
+// h-mean speedups from an exact matrix and from a sampled one, and fails
+// if the mean relative error exceeds tol or the exact/sampled wall-clock
+// ratio falls below minSpeed. CI runs it as the sampled-fidelity job; the
+// error metric is over h-means (the figure's headline numbers), where
+// independent per-benchmark projection noise largely cancels.
+func fidelityReport(w io.Writer, roi uint64, so experiments.SampleOptions, tol, minSpeed float64, cfg cpu.Config) error {
+	specs := experiments.QuickSuite().All()
+	for i := range specs {
+		specs[i] = specs[i].WithROI(roi)
+	}
+	for _, sp := range specs {
+		sp.Build()
+	}
+	techs := append([]experiments.Technique{experiments.TechOoO}, experiments.AllTechniques...)
+	t0 := time.Now()
+	sm, err := experiments.MatrixSampled(context.Background(), specs, techs, cfg, so)
+	if err != nil {
+		return err
+	}
+	sampDur := time.Since(t0)
+	t1 := time.Now()
+	em, err := experiments.MatrixE(context.Background(), specs, techs, cfg)
+	if err != nil {
+		return err
+	}
+	exactDur := time.Since(t1)
+
+	hmean := func(m map[string]map[experiments.Technique]cpu.Result, tech experiments.Technique) float64 {
+		var sp []float64
+		for _, s := range specs {
+			sp = append(sp, experiments.Speedup(m[s.Name][experiments.TechOoO], m[s.Name][tech]))
+		}
+		return stats.HarmonicMean(sp)
+	}
+	t := stats.NewTable(fmt.Sprintf("Sampled fidelity (%d benchmarks, ROI %d)", len(specs), roi),
+		"tech", "exact h-mean", "sampled h-mean", "error")
+	var sumErr float64
+	for _, tech := range experiments.AllTechniques {
+		he, hs := hmean(em, tech), hmean(sm, tech)
+		e := (hs - he) / he
+		if e < 0 {
+			e = -e
+		}
+		sumErr += e
+		t.AddRow(string(tech), he, hs, fmt.Sprintf("%.2f%%", 100*e))
+	}
+	meanErr := sumErr / float64(len(experiments.AllTechniques))
+	ratio := float64(exactDur) / float64(sampDur)
+	fmt.Fprintln(w, t.String())
+	fmt.Fprintf(w, "mean h-mean speedup error: %.2f%% (tolerance %.2f%%)\n", 100*meanErr, 100*tol)
+	fmt.Fprintf(w, "suite wall-clock: exact %s, sampled %s (%.1fx, minimum %.1fx)\n",
+		exactDur.Round(time.Millisecond), sampDur.Round(time.Millisecond), ratio, minSpeed)
+	if meanErr > tol {
+		return fmt.Errorf("fidelity: mean speedup error %.2f%% exceeds tolerance %.2f%%", 100*meanErr, 100*tol)
+	}
+	if ratio < minSpeed {
+		return fmt.Errorf("fidelity: wall-clock ratio %.1fx below minimum %.1fx", ratio, minSpeed)
+	}
+	fmt.Fprintln(w, "fidelity: OK")
+	return nil
 }
 
 // writePerfJSON writes the perf rows as indented JSON, the machine-readable

@@ -62,6 +62,11 @@ func main() {
 		mshrs     = flag.Int("mshrs", 24, "L1-D MSHR count")
 		bwCycles  = flag.Uint64("bw", 5, "DRAM cycles per 64 B line (5 = 51.2 GB/s at 4 GHz)")
 		lanes     = flag.Int("lanes", 128, "DVR vectorization degree (dvr only; max 256)")
+		sampled   = flag.Bool("sampled", false, "sampled simulation: phase-profile the ROI, time one representative window per phase, extrapolate")
+		sWindow   = flag.Uint64("sample-window", 0, "with -sampled, profiling window length in instructions (0 = auto from ROI)")
+		sWarmup   = flag.Uint64("warmup", 0, "with -sampled, timed-but-discarded warmup instructions before each measured window (0 = one window)")
+		sPhases   = flag.Int("sample-phases", 0, "with -sampled, maximum phase clusters (0 = default)")
+		sReps     = flag.Int("sample-reps", 0, "with -sampled, representative windows timed per phase (0 = one)")
 		list      = flag.Bool("list", false, "list benchmarks and techniques")
 		ckptFile  = flag.String("checkpoint", "", "journal the run's state to this file so it can be resumed after a kill")
 		ckptEvery = flag.Uint64("checkpoint-every", 100_000, "committed instructions between checkpoints (with -checkpoint)")
@@ -132,7 +137,30 @@ func main() {
 		}
 		rec = trace.New(tc)
 	}
-	res := runDurable(spec, experiments.Technique(*techName), cfg, *ckptFile, *ckptEvery, *resume, *watchdog, rec)
+	var res cpu.Result
+	if *sampled {
+		// Sampling replaces the single timed run with a profile + replay
+		// pipeline; the durability and tracing machinery observe one
+		// continuous run and have nothing coherent to attach to.
+		if *ckptFile != "" || *resume || *traceFile != "" || *interval > 0 {
+			fmt.Fprintln(os.Stderr, "dvrsim: -sampled cannot be combined with -checkpoint, -resume, -trace or -interval")
+			os.Exit(1)
+		}
+		so := experiments.SampleOptions{
+			WindowInsts: *sWindow,
+			WarmupInsts: *sWarmup,
+			MaxPhases:   *sPhases,
+			Replicates:  *sReps,
+		}
+		var err error
+		res, err = experiments.RunSampled(context.Background(), spec, experiments.Technique(*techName), cfg, so)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvrsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		res = runDurable(spec, experiments.Technique(*techName), cfg, *ckptFile, *ckptEvery, *resume, *watchdog, rec)
+	}
 
 	fmt.Printf("benchmark    %s\n", res.Name)
 	fmt.Printf("technique    %s\n", res.Technique)
@@ -140,6 +168,13 @@ func main() {
 	fmt.Printf("cycles       %d\n", res.Cycles)
 	fmt.Printf("IPC          %.4f\n", res.IPC())
 	fmt.Printf("host time    %.1f ms (%.2f simMIPS)\n", float64(res.HostNS)/1e6, res.SimMIPS())
+	if sp := res.Sampled; sp != nil {
+		fmt.Printf("sampled      %d phases over %d windows of %d insts (warmup %d)\n",
+			sp.Phases, sp.Windows, sp.WindowInsts, sp.WarmupInsts)
+		fmt.Printf("             timed %d of %d insts (%.1fx detail saving), cycles CI95 ±%.2f%%\n",
+			sp.SimulatedInsts, sp.ProfiledInsts,
+			float64(sp.ProfiledInsts)/float64(sp.SimulatedInsts), 100*sp.CyclesCI95Rel)
+	}
 	fmt.Printf("MLP          %.2f MSHRs/cycle\n", res.MLP())
 	fmt.Printf("ROB stall    %.1f%%\n", 100*res.ROBStallFrac())
 	fmt.Printf("commit hold  %d cycles (delayed termination)\n", res.CommitHoldCycles)

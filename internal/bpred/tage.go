@@ -68,6 +68,15 @@ type Predictor struct {
 	histLen   []int
 	allocFail int
 
+	// Memoized foldHistory values per table for the current ghist (folds
+	// depend only on ghist, and several geometric lengths clamp to the same
+	// effective 64 bits). Derived state: never snapshotted, rebuilt lazily
+	// whenever ghist moves away from foldG.
+	foldIdx []uint64
+	foldTag []uint64
+	foldG   uint64
+	foldOK  bool
+
 	// Stats
 	Lookups     uint64
 	Mispredicts uint64
@@ -79,6 +88,8 @@ func New(cfg Config) *Predictor {
 		cfg:     cfg,
 		bimodal: make([]int8, 1<<cfg.BimodalBits),
 		histLen: cfg.HistLengths,
+		foldIdx: make([]uint64, len(cfg.HistLengths)),
+		foldTag: make([]uint64, len(cfg.HistLengths)),
 	}
 	p.tables = make([][]taggedEntry, len(cfg.HistLengths))
 	for i := range p.tables {
@@ -100,14 +111,80 @@ func (p *Predictor) foldHistory(length, bits int) uint64 {
 	return folded
 }
 
+// refold refreshes the memoized per-table folds when ghist has moved.
+// Update advances ghist one bit at a time, so the common case shifts each
+// fold incrementally (foldStep) instead of re-folding from scratch; any
+// other movement (first use, Restore) recomputes. Lengths sorted
+// shortest-first let consecutive tables with the same effective (clamped)
+// length share one computation.
+func (p *Predictor) refold() {
+	if p.foldOK && p.foldG == p.ghist {
+		return
+	}
+	ib, tb := p.cfg.TableBits, p.cfg.TagBits-1
+	if p.foldOK && p.ghist&^1 == p.foldG<<1 {
+		b := p.ghist & 1
+		prev := -1
+		for t, l := range p.histLen {
+			if l > 64 {
+				l = 64
+			}
+			if t > 0 && l == prev {
+				p.foldIdx[t] = p.foldIdx[t-1]
+				p.foldTag[t] = p.foldTag[t-1]
+			} else {
+				out := p.foldG >> uint(l-1) & 1
+				p.foldIdx[t] = foldStep(p.foldIdx[t], out, b, l, ib)
+				p.foldTag[t] = foldStep(p.foldTag[t], out, b, l, tb)
+			}
+			prev = l
+		}
+		p.foldG = p.ghist
+		return
+	}
+	prev := -1
+	for t, l := range p.histLen {
+		if l > 64 {
+			l = 64
+		}
+		if t > 0 && l == prev {
+			p.foldIdx[t] = p.foldIdx[t-1]
+			p.foldTag[t] = p.foldTag[t-1]
+		} else {
+			p.foldIdx[t] = p.foldHistory(l, ib)
+			p.foldTag[t] = p.foldHistory(l, tb)
+		}
+		prev = l
+	}
+	p.foldG = p.ghist
+	p.foldOK = true
+}
+
+// foldStep advances one chunk-XOR fold by a single history shift: with
+// history h' = (h<<1|b) & mask(length), every bit of h moves up one
+// position inside its width-`bits` chunk, the bits at each chunk top wrap
+// to bit 0 of the next chunk (their XOR is f's top bit), bit length-1 of
+// h (`out`) leaves the window, and b enters at bit 0. The result is
+// bit-identical to foldHistory(length, bits) over h'.
+func foldStep(f, out, b uint64, length, bits int) uint64 {
+	if length <= 0 || bits <= 0 {
+		return 0
+	}
+	f ^= out << uint((length-1)%bits)
+	f = f<<1 | b
+	return (f ^ f>>uint(bits)) & (1<<uint(bits) - 1)
+}
+
 func (p *Predictor) index(table int, pc uint64) uint64 {
 	bits := p.cfg.TableBits
-	f := p.foldHistory(p.histLen[table], bits)
+	p.refold()
+	f := p.foldIdx[table]
 	return (pc ^ (pc >> uint(bits)) ^ f ^ (f << 1)) & ((1 << uint(bits)) - 1)
 }
 
 func (p *Predictor) tag(table int, pc uint64) uint16 {
-	f := p.foldHistory(p.histLen[table], p.cfg.TagBits-1)
+	p.refold()
+	f := p.foldTag[table]
 	return uint16((pc ^ (pc >> 5) ^ f) & ((1 << uint(p.cfg.TagBits)) - 1))
 }
 
@@ -205,4 +282,15 @@ func b2u(b bool) uint64 {
 		return 1
 	}
 	return 0
+}
+
+// Warm trains the predictor on one resolved branch without touching the
+// Lookups/Mispredicts counters. The sampled-simulation replayer replays a
+// recorded functional branch trace through Warm before timing a window,
+// so the tables carry history while the accuracy statistics stay clean
+// for the window's boundary delta.
+func (p *Predictor) Warm(pc uint64, taken bool) {
+	l, m := p.Lookups, p.Mispredicts
+	p.Update(pc, taken)
+	p.Lookups, p.Mispredicts = l, m
 }

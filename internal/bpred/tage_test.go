@@ -162,3 +162,66 @@ func TestZeroValueConfigSafe(t *testing.T) {
 		t.Errorf("lookups = %d", p.Lookups)
 	}
 }
+
+// The memoized incremental fold (foldStep fast path in refold) must stay
+// bit-identical to folding the raw history from scratch after every
+// single-bit ghist advance — the path every Update and Warm takes.
+func TestIncrementalFoldMatchesScratch(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 4096; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		p.Update(rng>>33, rng&1 == 0)
+		p.refold()
+		for tbl, l := range p.histLen {
+			if want := p.foldHistory(l, p.cfg.TableBits); p.foldIdx[tbl] != want {
+				t.Fatalf("step %d table %d: incremental index fold %#x, scratch %#x", i, tbl, p.foldIdx[tbl], want)
+			}
+			if want := p.foldHistory(l, p.cfg.TagBits-1); p.foldTag[tbl] != want {
+				t.Fatalf("step %d table %d: incremental tag fold %#x, scratch %#x", i, tbl, p.foldTag[tbl], want)
+			}
+		}
+	}
+}
+
+// An arbitrary ghist jump (what Restore does) must force the full
+// recompute path, not reuse stale incremental folds.
+func TestFoldRecomputeAfterHistoryJump(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		p.Update(uint64(i)*31, i%3 == 0)
+	}
+	p.ghist = 0xdeadbeefcafef00d // simulate a snapshot restore
+	p.refold()
+	for tbl, l := range p.histLen {
+		if want := p.foldHistory(l, p.cfg.TableBits); p.foldIdx[tbl] != want {
+			t.Fatalf("table %d: fold stale after history jump: %#x, want %#x", tbl, p.foldIdx[tbl], want)
+		}
+	}
+}
+
+// Warm trains exactly like Update but leaves the accuracy counters alone:
+// functional warming must shape predictor state without polluting the
+// timed segment's statistics.
+func TestWarmTrainsWithoutCounting(t *testing.T) {
+	a, b := New(DefaultConfig()), New(DefaultConfig())
+	pattern := func(i int) (uint64, bool) { return uint64(i%7) * 64, i%5 != 0 }
+	for i := 0; i < 2000; i++ {
+		pc, taken := pattern(i)
+		a.Update(pc, taken)
+		b.Warm(pc, taken)
+	}
+	if b.Lookups != 0 || b.Mispredicts != 0 {
+		t.Errorf("Warm counted: %d lookups, %d mispredicts", b.Lookups, b.Mispredicts)
+	}
+	// Same trained state: identical predictions on the pattern's future.
+	for i := 2000; i < 2200; i++ {
+		pc, _ := pattern(i)
+		if a.Predict(pc) != b.Predict(pc) {
+			t.Fatalf("step %d: warmed predictor diverges from updated one", i)
+		}
+		_, taken := pattern(i)
+		a.Update(pc, taken)
+		b.Update(pc, taken)
+	}
+}

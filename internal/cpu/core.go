@@ -57,7 +57,11 @@ type Engine interface {
 // v2: EngineStats.BusyCycles plus the derived prefetch-timeliness fields
 // (PrefLateTotal, PrefUnusedEvictTotal, AvgDemandMissCycles,
 // CommitHoldFrac) surfaced at the top level.
-const ResultSchemaVersion = 2
+//
+// v3: the optional Sampled provenance block (internal/sampling): a result
+// projected from phase-representative windows declares how it was
+// produced instead of masquerading as an exact run.
+const ResultSchemaVersion = 3
 
 // Result is the outcome of one simulation run.
 type Result struct {
@@ -95,6 +99,14 @@ type Result struct {
 
 	Mem    mem.Stats
 	Engine EngineStats
+
+	// Sampled, when non-nil, marks the result as a sampled-simulation
+	// projection (phase-weighted extrapolation from representative
+	// windows, internal/sampling) rather than an exact run, and carries
+	// the sampling provenance: window geometry, phase count, warmup, and
+	// the error model's confidence half-width. Exact runs leave it nil,
+	// so their JSON encoding is unchanged.
+	Sampled *SampledProvenance `json:"sampled,omitempty"`
 }
 
 // Canonical returns the deterministic form of the result: HostNS — the
@@ -209,6 +221,15 @@ func NewCore(cfg Config, fe Frontend) *Core {
 	}
 }
 
+// NewCoreWith builds a core around a caller-provided hierarchy and
+// predictor. The sampled-simulation replayer (internal/sampling) reuses
+// one hierarchy allocation across windows — mem.Hierarchy.Reset, then
+// trace-driven warming — because constructing the Table 1 L3 dominates
+// the cost of a short replay; behavior is otherwise identical to NewCore.
+func NewCoreWith(cfg Config, fe Frontend, h *mem.Hierarchy, bp *bpred.Predictor) *Core {
+	return &Core{cfg: cfg, hier: h, bp: bp, fe: fe}
+}
+
 // Hierarchy exposes the memory hierarchy (engines attach to it).
 func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
 
@@ -272,6 +293,17 @@ type RunOptions struct {
 	// with a *LivelockError carrying a ForensicsDump of the stuck
 	// pipeline.
 	WatchdogBudget uint64
+
+	// StatsBoundaryAt, when nonzero, calls StatsBoundaryFn once at the
+	// committed-instruction boundary before instruction StatsBoundaryAt,
+	// passing the same fully populated stats view of the run so far that a
+	// Snapshot's Res carries. Unlike checkpointing it copies no
+	// architectural state and works with any frontend or engine; the
+	// sampled-simulation replayer (internal/sampling) subtracts the
+	// boundary stats from the final Result to isolate a measurement window
+	// from its warmup prefix.
+	StatsBoundaryAt uint64
+	StatsBoundaryFn func(Result)
 }
 
 // runState is the complete mutable state of one cycle-loop run, grouped so
@@ -379,6 +411,9 @@ func (c *Core) RunWithOptions(ctx context.Context, maxInsts uint64, opts RunOpti
 			if runErr != nil {
 				break
 			}
+		}
+		if opts.StatsBoundaryAt > 0 && seq == opts.StatsBoundaryAt && opts.StatsBoundaryFn != nil {
+			opts.StatsBoundaryFn(c.boundaryRes(rs))
 		}
 		if opts.CheckpointEvery > 0 && seq > startSeq && seq%opts.CheckpointEvery == 0 {
 			snap, err := c.snapshot(rs, seq)

@@ -1,0 +1,88 @@
+package cpu
+
+// SampledProvenance records how a sampled-simulation projection was
+// produced: the window geometry the functional profile used, the phases
+// k-means found, the warmup policy, and the error model's output. It
+// rides inside Result (Result.Sampled) so a projected result is
+// self-describing — consumers (the dvrd cache, figure renderers, archived
+// JSON) can always tell a projection from an exact run and reconstruct
+// the sampling parameters that shaped it. Everything here is
+// deterministic; provenance participates in Canonical comparisons.
+type SampledProvenance struct {
+	// WindowInsts is the profile window length in committed instructions;
+	// Windows is how many windows the functional pass produced (the last
+	// one may be shorter when the ROI is not a multiple, or when the
+	// program halted early).
+	WindowInsts uint64 `json:"window_insts"`
+	Windows     int    `json:"windows"`
+
+	// Phases is the number of non-empty clusters; PhaseWeights is each
+	// phase's share of the functionally executed instructions, in cluster
+	// order (sums to 1 up to rounding).
+	Phases       int       `json:"phases"`
+	PhaseWeights []float64 `json:"phase_weights"`
+
+	// WarmupInsts is the detailed-warmup budget per representative window,
+	// rounded up to whole windows (windows closer to the start get the
+	// prefix that exists). Cache and branch-predictor state is continuously
+	// functionally warmed between timed segments, so there is no separate
+	// functional-warming knob to record. Replicates is how many windows per
+	// phase were timing-simulated.
+	WarmupInsts uint64 `json:"warmup_insts"`
+	Replicates  int    `json:"replicates"`
+
+	// ProfiledInsts is the instruction count of the functional profiling
+	// pass (the projection's denominator); SimulatedInsts is the total the
+	// timing core actually ran, warmup included — the ratio of the two is
+	// the detailed-simulation saving.
+	ProfiledInsts  uint64 `json:"profiled_insts"`
+	SimulatedInsts uint64 `json:"simulated_insts"`
+
+	// CyclesCI95Rel is the 95% confidence half-width on projected Cycles,
+	// relative to the projection, from per-phase replicate CPI spread. It
+	// is 0 when Replicates is 1 (no spread information, not certainty).
+	CyclesCI95Rel float64 `json:"cycles_ci95_rel"`
+}
+
+// Sub returns s - o field-wise: the engine activity that happened after
+// the boundary o was captured. LanesVectorize is a per-episode average,
+// not a counter; the window's value is recovered from the lane totals the
+// averages imply.
+func (s EngineStats) Sub(o EngineStats) EngineStats {
+	d := EngineStats{
+		Episodes:       s.Episodes - o.Episodes,
+		Prefetches:     s.Prefetches - o.Prefetches,
+		VectorUops:     s.VectorUops - o.VectorUops,
+		DiscoveryModes: s.DiscoveryModes - o.DiscoveryModes,
+		NestedModes:    s.NestedModes - o.NestedModes,
+		Timeouts:       s.Timeouts - o.Timeouts,
+		BusyCycles:     s.BusyCycles - o.BusyCycles,
+	}
+	if d.Episodes > 0 {
+		lanes := s.LanesVectorize*float64(s.Episodes) - o.LanesVectorize*float64(o.Episodes)
+		if lanes > 0 {
+			d.LanesVectorize = lanes / float64(d.Episodes)
+		}
+	}
+	return d
+}
+
+// AddScaled accumulates f*o into s. Counters accumulate in float and are
+// rounded by the caller's final pass; LanesVectorize accumulates as a
+// lane total (episodes-weighted) that the extrapolator normalizes once
+// every phase has been added (see sampling.extrapolate).
+func (s *EngineStats) AddScaled(o EngineStats, f float64) {
+	s.Episodes += scaleU64(o.Episodes, f)
+	s.Prefetches += scaleU64(o.Prefetches, f)
+	s.VectorUops += scaleU64(o.VectorUops, f)
+	s.DiscoveryModes += scaleU64(o.DiscoveryModes, f)
+	s.NestedModes += scaleU64(o.NestedModes, f)
+	s.Timeouts += scaleU64(o.Timeouts, f)
+	s.BusyCycles += scaleU64(o.BusyCycles, f)
+	s.LanesVectorize += o.LanesVectorize * float64(o.Episodes) * f
+}
+
+// scaleU64 scales a counter by f with round-to-nearest.
+func scaleU64(v uint64, f float64) uint64 {
+	return uint64(float64(v)*f + 0.5)
+}

@@ -96,6 +96,14 @@ type Snapshot struct {
 
 // snapshot captures the full simulation state at the boundary before
 // instruction seq.
+//
+// Res is stamped as a fully populated stats view of the run so far: on
+// top of the counters the cycle loop maintains, the fields RunWithOptions
+// normally fills at run end (Cycles, Mem, branch totals, Engine) carry
+// their boundary values. Resume overwrites all of them at its own run
+// end, so this is invisible to the durability path; the sampled-
+// simulation engine depends on it to delta a window's contribution out of
+// a warmup-prefixed replay (final Result minus boundary Res).
 func (c *Core) snapshot(rs *runState, seq uint64) (*Snapshot, error) {
 	fs, ok := c.fe.(FrontendState)
 	if !ok {
@@ -103,7 +111,7 @@ func (c *Core) snapshot(rs *runState, seq uint64) (*Snapshot, error) {
 	}
 	s := &Snapshot{
 		Seq:        seq,
-		Res:        rs.res,
+		Res:        c.boundaryRes(rs),
 		RegReady:   slices.Clone(rs.regReady[:]),
 		CommitRing: slices.Clone(rs.commitRing),
 		IQ:         slices.Clone(rs.iq.h),
@@ -138,6 +146,23 @@ func (c *Core) snapshot(rs *runState, seq uint64) (*Snapshot, error) {
 		s.Engine = &EngineSnapshot{Name: c.engine.Name(), State: raw}
 	}
 	return s, nil
+}
+
+// boundaryRes is the fully populated stats view of the run so far: on top
+// of the counters the cycle loop maintains, the fields RunWithOptions
+// normally fills at run end (Cycles, Mem, branch totals, Engine) carry
+// their boundary values. Snapshots embed it as Res; the stats-boundary
+// hook (RunOptions.StatsBoundaryFn) hands it out on its own.
+func (c *Core) boundaryRes(rs *runState) Result {
+	bres := rs.res
+	bres.Cycles = rs.lastCommit
+	bres.Mem = c.hier.Stats
+	bres.BranchLookups = c.bp.Lookups
+	bres.BranchMispredict = c.bp.Mispredicts
+	if c.engine != nil {
+		bres.Engine = c.engine.Stats()
+	}
+	return bres
 }
 
 // checkpointable reports whether the core as currently assembled can

@@ -104,6 +104,55 @@ func TestKillResumeBitIdentity(t *testing.T) {
 	}
 }
 
+// TestSnapshotSeededTailBitIdentity pins the property the sampled
+// replayer's warmup path relies on: a snapshot captured at an ARBITRARY
+// commit boundary — not just a round checkpoint cadence — restored into a
+// completely fresh core reproduces the tail of the uninterrupted run
+// bit-identically. Boundaries include the first committed instruction and
+// awkward primes that never align with any internal cadence.
+func TestSnapshotSeededTailBitIdentity(t *testing.T) {
+	spec := QuickSuite().GAP[0]
+	cfg := cpu.DefaultConfig()
+	for _, tech := range []Technique{TechOoO, TechDVR} {
+		full, err := RunJob(context.Background(), spec, tech, cfg, JobOpts{})
+		if err != nil {
+			t.Fatalf("%s uninterrupted: %v", tech, err)
+		}
+		for _, boundary := range []uint64{1, 4_999, 13_337} {
+			t.Run(fmt.Sprintf("%s/at-%d", tech, boundary), func(t *testing.T) {
+				var snap *cpu.Snapshot
+				_, err := RunJob(context.Background(), spec, tech, cfg, JobOpts{
+					// CheckpointEvery == boundary makes the first checkpoint
+					// land exactly on the arbitrary boundary; the scripted
+					// kill stops the donor run there.
+					CheckpointEvery: boundary,
+					Checkpoint: func(s *cpu.Snapshot) error {
+						if s.Seq == boundary {
+							snap = s
+							return errKilled
+						}
+						return nil
+					},
+				})
+				if !errors.Is(err, errKilled) {
+					t.Fatalf("donor run returned %v, want scripted kill", err)
+				}
+				if snap == nil || snap.Seq != boundary {
+					t.Fatalf("no snapshot at boundary %d", boundary)
+				}
+				resumed, err := RunJob(context.Background(), spec, tech, cfg, JobOpts{Resume: snap})
+				if err != nil {
+					t.Fatalf("seeded run: %v", err)
+				}
+				if got, want := resumed.Canonical(), full.Canonical(); got != want {
+					t.Errorf("tail from boundary %d diverges from uninterrupted run:\n got %+v\nwant %+v",
+						boundary, got, want)
+				}
+			})
+		}
+	}
+}
+
 // TestResumeRejectsMismatchedCore verifies the restore path refuses a
 // snapshot taken under a different configuration or technique instead of
 // restoring garbage.

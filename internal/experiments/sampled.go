@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvr/internal/cpu"
+	"dvr/internal/interp"
+	"dvr/internal/mem"
+	"dvr/internal/sampling"
+	"dvr/internal/workloads"
+)
+
+// SampleOptions are the sampled-simulation knobs exposed to callers (CLI
+// flags, the dvrd API). Zero values pick the ROI-scaled auto defaults —
+// see sampling.Options for the policy. The ROI itself is not an option:
+// it comes from the spec, exactly as in exact runs.
+type SampleOptions struct {
+	WindowInsts uint64
+	WarmupInsts uint64
+	MaxPhases   int
+	Replicates  int
+}
+
+func (o SampleOptions) options(roi uint64) sampling.Options {
+	return sampling.Options{
+		ROI:         roi,
+		WindowInsts: o.WindowInsts,
+		WarmupInsts: o.WarmupInsts,
+		MaxPhases:   o.MaxPhases,
+		Replicates:  o.Replicates,
+	}
+}
+
+// RunSampled is RunE's sampled-simulation counterpart: it projects the
+// full-ROI result for one benchmark under one technique from
+// phase-representative windows instead of simulating the whole ROI. The
+// result carries Sampled provenance and must never be cached under an
+// exact run's key (see service.CacheKeySampled).
+func RunSampled(ctx context.Context, spec workloads.Spec, tech Technique, cfg cpu.Config, so SampleOptions) (cpu.Result, error) {
+	if _, err := ParseTechnique(string(tech)); err != nil {
+		return cpu.Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return cpu.Result{}, err
+	}
+	base, err := buildWorkload(spec)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	plan, err := sampling.NewPlan(base, so.options(roiOf(spec)))
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	return replayPlan(ctx, plan, spec, tech, cfg)
+}
+
+// replayPlan projects one technique from a prepared plan. Plans are
+// technique-independent; Matrix-style callers build one per spec and
+// replay it per technique — the profile and boundary-capture passes are
+// the bulk of a single projection's cost.
+func replayPlan(ctx context.Context, plan *sampling.Plan, spec workloads.Spec, tech Technique, cfg cpu.Config) (cpu.Result, error) {
+	hostStart := time.Now()
+	build := func(fe *interp.Interp, w *workloads.Workload, h *mem.Hierarchy) (cpu.Engine, error) {
+		return buildEngine(tech, fe, w, h, cfg)
+	}
+	res, err := plan.Replay(ctx, cfg, build)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	res.Name = spec.Name
+	res.Technique = string(tech)
+	res.HostNS = time.Since(hostStart).Nanoseconds()
+	// Throughput accounting counts what the timing core actually ran, not
+	// the projected total — that is the whole point of sampling.
+	simInsts.Add(res.Sampled.SimulatedInsts)
+	return res, nil
+}
+
+// MatrixSampled is MatrixE's sampled counterpart: every (spec, technique)
+// cell projected from a shared per-spec sampling.Plan, cells run in
+// parallel (Plan.Replay is safe for concurrent use).
+func MatrixSampled(ctx context.Context, specs []workloads.Spec, techs []Technique, cfg cpu.Config, so SampleOptions) (map[string]map[Technique]cpu.Result, error) {
+	for _, tech := range techs {
+		if _, err := ParseTechnique(string(tech)); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type cell struct {
+		spec workloads.Spec
+		tech Technique
+	}
+	var cells []cell
+	for _, sp := range specs {
+		for _, tech := range techs {
+			cells = append(cells, cell{sp, tech})
+		}
+	}
+	type lazyPlan struct {
+		once sync.Once
+		plan *sampling.Plan
+		err  error
+		left atomic.Int32 // cells yet to replay; the plan is dropped at 0
+	}
+	plans := make(map[string]*lazyPlan, len(specs))
+	for _, c := range cells {
+		if plans[c.spec.Name] == nil {
+			plans[c.spec.Name] = &lazyPlan{}
+		}
+		plans[c.spec.Name].left.Add(1)
+	}
+	results := make([]cpu.Result, len(cells))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cells[i]
+				lp := plans[c.spec.Name]
+				lp.once.Do(func() {
+					var base *workloads.Workload
+					base, lp.err = buildWorkload(c.spec)
+					if lp.err == nil {
+						lp.plan, lp.err = sampling.NewPlan(base, so.options(roiOf(c.spec)))
+					}
+				})
+				var out cpu.Result
+				err := lp.err
+				if err == nil {
+					out, err = replayPlan(ctx, lp.plan, c.spec, c.tech, cfg)
+				}
+				if lp.left.Add(-1) == 0 {
+					// Row complete: a plan holds the spec's recorded event
+					// streams and boundary snapshots — tens of MB at full
+					// ROIs — so keeping all specs' plans alive would make
+					// peak memory scale with the suite instead of the
+					// worker count.
+					lp.plan = nil
+				}
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					continue
+				}
+				results[i] = out
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := make(map[string]map[Technique]cpu.Result, len(specs))
+	i := 0
+	for _, sp := range specs {
+		row := make(map[Technique]cpu.Result, len(techs))
+		for _, tech := range techs {
+			row[tech] = results[i]
+			i++
+		}
+		out[sp.Name] = row
+	}
+	return out, nil
+}

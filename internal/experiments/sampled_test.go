@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/workloads"
+)
+
+// RunSampled must be deterministic: two projections of the same cell are
+// byte-identical on the canonical result, provenance included.
+func TestRunSampledDeterministic(t *testing.T) {
+	sp := quickSpec()
+	cfg := cpu.DefaultConfig()
+	run := func() cpu.Result {
+		res, err := RunSampled(context.Background(), sp, TechDVR, cfg, SampleOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	a, _ := json.Marshal(r1.Canonical())
+	b, _ := json.Marshal(r2.Canonical())
+	if !bytes.Equal(a, b) {
+		t.Errorf("sampled runs not byte-identical:\n%s\n%s", a, b)
+	}
+	sp2 := r1.Sampled
+	if sp2 == nil {
+		t.Fatal("no Sampled provenance")
+	}
+	if sp2.Phases == 0 || sp2.Windows == 0 || sp2.SimulatedInsts == 0 {
+		t.Errorf("implausible provenance: %+v", sp2)
+	}
+	if sp2.SimulatedInsts >= sp2.ProfiledInsts {
+		t.Errorf("sampling saved nothing: simulated %d of %d profiled insts",
+			sp2.SimulatedInsts, sp2.ProfiledInsts)
+	}
+	if r1.Name != sp.Name || r1.Technique != string(TechDVR) {
+		t.Errorf("result labels wrong: %q/%q", r1.Name, r1.Technique)
+	}
+}
+
+// RunSampled validates its inputs the same way RunE does.
+func TestRunSampledRejectsBadInputs(t *testing.T) {
+	sp := quickSpec()
+	cfg := cpu.DefaultConfig()
+	if _, err := RunSampled(context.Background(), sp, Technique("warp-drive"), cfg, SampleOptions{}); err == nil {
+		t.Error("unknown technique accepted")
+	}
+	bad := cfg
+	bad.ROBSize = 0
+	if _, err := RunSampled(context.Background(), sp, TechOoO, bad, SampleOptions{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// MatrixSampled fills every cell with a sampled projection and matches
+// RunSampled cell-for-cell (the shared per-spec plan must not leak state
+// across techniques).
+func TestMatrixSampledMatchesRunSampled(t *testing.T) {
+	sp := quickSpec()
+	cfg := cpu.DefaultConfig()
+	techs := []Technique{TechOoO, TechDVR}
+	m, err := MatrixSampled(context.Background(), []workloads.Spec{sp}, techs, cfg, SampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || len(m[sp.Name]) != 2 {
+		t.Fatalf("matrix shape wrong: %v", m)
+	}
+	for _, tech := range techs {
+		cell := m[sp.Name][tech]
+		if cell.Sampled == nil {
+			t.Fatalf("%s cell missing Sampled provenance", tech)
+		}
+		solo, err := RunSampled(context.Background(), sp, tech, cfg, SampleOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(cell.Canonical())
+		b, _ := json.Marshal(solo.Canonical())
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: matrix cell differs from solo projection:\n%s\n%s", tech, a, b)
+		}
+	}
+}
+
+// A sampled projection of a quick cell lands near its exact counterpart.
+// The tight suite-level bound lives in `dvrbench fidelity`; this guards
+// the plumbing (scaling, weights, warmup deltas) against gross breakage.
+func TestRunSampledNearExact(t *testing.T) {
+	sp := quickSpec()
+	cfg := cpu.DefaultConfig()
+	exact, err := RunE(context.Background(), sp, TechOoO, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := RunSampled(context.Background(), sp, TechOoO, cfg, SampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Instructions != exact.Instructions {
+		t.Errorf("projected instruction total %d, exact %d", sampled.Instructions, exact.Instructions)
+	}
+	rel := float64(int64(sampled.Cycles)-int64(exact.Cycles)) / float64(exact.Cycles)
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.10 {
+		t.Errorf("projected cycles %d off exact %d by %.1f%%", sampled.Cycles, exact.Cycles, 100*rel)
+	}
+}

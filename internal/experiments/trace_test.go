@@ -8,6 +8,7 @@ import (
 
 	"dvr/internal/cpu"
 	"dvr/internal/trace"
+	"dvr/internal/workloads"
 )
 
 // TestTracedBitIdentity is the tentpole's correctness contract: attaching
@@ -88,6 +89,78 @@ func TestIntervalConsistency(t *testing.T) {
 				t.Errorf("%s/%s: interval MSHR busy sum %d exceeds run total %d", sp.Name, tech, mshrSum, res.Mem.MSHRBusyCycles)
 			}
 		}
+	}
+}
+
+// TestIntervalPartialFinal is the regression test for the interval-sampler
+// edge case where the run length is not a multiple of IntervalEvery: the
+// final partial interval must still be emitted so the series tiles the run
+// exactly. Covers the exact-multiple case (no empty trailing interval), a
+// cadence longer than the whole run (one interval), and a program that
+// halts before its ROI (the partial tail is cut at the real halt point).
+func TestIntervalPartialFinal(t *testing.T) {
+	bfs := quickSpec() // ROI 30_000
+	cases := []struct {
+		name  string
+		spec  workloads.Spec
+		every uint64
+		// wantLast is the expected instruction length of the final
+		// interval; 0 means "derive from the run" (early-halt case).
+		wantLast uint64
+	}{
+		{"partial-final", bfs, 7_000, 30_000 % 7_000},
+		{"exact-multiple", bfs, 10_000, 10_000},
+		{"cadence-beyond-roi", bfs, 100_000, 30_000},
+		{"early-halt", workloads.Spec{Name: "bfs_halt", Build: bfs.Build, ROI: 50_000_000}, 7_000, 0},
+	}
+	cfg := cpu.DefaultConfig()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := trace.New(trace.Config{IntervalEvery: tc.every})
+			res, err := RunTraced(context.Background(), tc.spec, TechOoO, cfg, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.name == "early-halt" && res.Instructions >= tc.spec.ROI {
+				t.Fatalf("workload did not halt early (%d insts); case is vacuous", res.Instructions)
+			}
+			ivs := rec.Intervals()
+			if len(ivs) == 0 {
+				t.Fatal("no intervals sampled")
+			}
+			want := (res.Instructions + tc.every - 1) / tc.every
+			if uint64(len(ivs)) != want {
+				t.Errorf("got %d intervals for %d insts at cadence %d, want %d",
+					len(ivs), res.Instructions, tc.every, want)
+			}
+			var insts uint64
+			for i, iv := range ivs {
+				if iv.EndInst <= iv.StartInst {
+					t.Fatalf("interval %d is empty or inverted: %+v", i, iv)
+				}
+				if i > 0 && (iv.StartInst != ivs[i-1].EndInst || iv.StartCycle != ivs[i-1].EndCycle) {
+					t.Fatalf("interval %d not contiguous with previous", i)
+				}
+				insts += iv.EndInst - iv.StartInst
+			}
+			if insts != res.Instructions {
+				t.Errorf("interval insts sum %d does not tile Result.Instructions %d", insts, res.Instructions)
+			}
+			if last := ivs[len(ivs)-1]; last.EndCycle != res.Cycles {
+				t.Errorf("last interval ends at cycle %d, Result.Cycles %d", last.EndCycle, res.Cycles)
+			}
+			wantLast := tc.wantLast
+			if wantLast == 0 {
+				wantLast = res.Instructions % tc.every
+				if wantLast == 0 {
+					wantLast = tc.every
+				}
+			}
+			last := ivs[len(ivs)-1]
+			if got := last.EndInst - last.StartInst; got != wantLast {
+				t.Errorf("final interval spans %d insts, want %d", got, wantLast)
+			}
+		})
 	}
 }
 

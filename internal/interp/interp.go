@@ -172,3 +172,25 @@ func (it *Interp) Run(max uint64) uint64 {
 	}
 	return n
 }
+
+// RunWith executes at most max instructions (all of them if max <= 0),
+// invoking fn on each executed instruction, and returns the number
+// executed. It is the profiling entry point of the sampled-simulation
+// engine: a functional pass over the stream that observes PCs, branch
+// outcomes and effective addresses at interpreter speed, without paying
+// for a DynInst slice.
+func (it *Interp) RunWith(max uint64, fn func(DynInst)) uint64 {
+	if fn == nil {
+		return it.Run(max)
+	}
+	var n uint64
+	for max <= 0 || n < max {
+		di, ok := it.Step()
+		if !ok {
+			break
+		}
+		fn(di)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package mem
+
+import "dvr/internal/calendar"
+
+// Warm and Reset are the sampled-simulation support surface: the replayer
+// (internal/sampling) reconstructs approximate cache state from a recorded
+// functional access trace before timing a representative window, and
+// reuses one hierarchy allocation (the L3 tag/meta arrays dominate
+// construction cost) across windows.
+
+// Warm touches the line holding addr as a demand access with only the
+// state a future access can observe — residency, LRU recency, dirty bits.
+// No timing, MSHR, DRAM, prefetcher or statistics side effects: warming
+// traffic must be invisible in the replayed window's boundary-delta
+// statistics. Victims evicted by warming fills are dropped without
+// accounting for the same reason.
+func (h *Hierarchy) Warm(addr uint64, write bool) {
+	line := lineOf(addr)
+	if h.l1d.lookup(line) == nil {
+		switch {
+		case h.l2.lookup(line) != nil:
+			h.l1d.install(line, SrcDemand)
+		case h.l3.lookup(line) != nil:
+			h.l1d.install(line, SrcDemand)
+			h.l2.install(line, SrcDemand)
+		default:
+			h.l1d.install(line, SrcDemand)
+			h.l2.install(line, SrcDemand)
+			h.l3.install(line, SrcDemand)
+		}
+	}
+	if write {
+		h.markDirty(line)
+	}
+}
+
+// BeginSegment clears the transient timing state — DRAM calendar, MSHR
+// entries, stride-prefetcher streams, the cycle high-water mark — while
+// keeping cache contents, dirty bits and the monotone statistics
+// integrals. The sampled replayer calls it before each timed segment:
+// segment cycle clocks restart at zero, so bookings left from an earlier
+// segment would otherwise alias into the new segment's epochs as ghost
+// bandwidth contention. MSHR busy cycles keep accumulating so the
+// boundary-delta statistics never go backwards.
+func (h *Hierarchy) BeginSegment() {
+	h.mshr.entries = h.mshr.entries[:0]
+	h.dram.reset()
+	if h.stride != nil {
+		h.stride.reset()
+	}
+	h.lastCycle = 0
+}
+
+// Reset returns the hierarchy to its freshly constructed state without
+// reallocating the backing arrays. Observers and tracers are detached.
+func (h *Hierarchy) Reset() {
+	h.l1d.reset()
+	h.l2.reset()
+	h.l3.reset()
+	h.mshr.reset()
+	h.dram.reset()
+	if h.stride != nil {
+		h.stride.reset()
+	}
+	h.Stats = Stats{}
+	h.lastCycle = 0
+	h.observer = nil
+	h.tr = nil
+}
+
+// reset empties the cache. Only the tag array is cleared: every probe
+// path checks tags first, and install overwrites a way's meta before any
+// read of it, so the stale meta entries are unreachable — which is what
+// makes reset ~6x cheaper than reallocating (the L3 meta array is 5 MB).
+func (c *cache) reset() {
+	clear(c.tags)
+	c.useClock = 0
+}
+
+func (m *mshrFile) reset() {
+	m.entries = m.entries[:0]
+	m.busyCycles = 0
+}
+
+func (d *dramSched) reset() {
+	d.cal.Import(calendar.State{})
+}
+
+func (p *stridePrefetcher) reset() {
+	clear(p.streams)
+	p.clock = 0
+}

@@ -1,0 +1,112 @@
+package sampling
+
+import "slices"
+
+// kmeansMaxIter bounds Lloyd iterations. Window counts are small (tens to
+// low hundreds), so convergence is near-immediate; the bound only guards
+// against oscillation on degenerate inputs.
+const kmeansMaxIter = 50
+
+// kmeans clusters the signature vectors into at most k groups and returns
+// the per-point cluster index. It is fully deterministic — no RNG:
+//
+//   - Initialization is farthest-first traversal seeded at point 0; ties
+//     on distance pick the lowest index. If fewer than k distinct points
+//     exist, fewer centers are seeded.
+//   - Assignment ties pick the lowest cluster index.
+//   - A cluster left empty by reassignment keeps its previous centroid
+//     (it may recapture points on a later iteration); callers drop any
+//     cluster still empty at the end.
+func kmeans(points [][]float64, k, maxIter int) []int {
+	n := len(points)
+	assign := make([]int, n)
+	if n == 0 || k <= 1 {
+		return assign
+	}
+	if k > n {
+		k = n
+	}
+
+	centers := make([][]float64, 0, k)
+	centers = append(centers, slices.Clone(points[0]))
+	minDist := make([]float64, n)
+	for i := range points {
+		minDist[i] = dist2(points[i], centers[0])
+	}
+	for len(centers) < k {
+		best, bestD := -1, 0.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			break // every point coincides with an existing center
+		}
+		c := slices.Clone(points[best])
+		centers = append(centers, c)
+		for i := range points {
+			if d := dist2(points[i], c); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	k = len(centers)
+
+	dim := len(points[0])
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	counts := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, dist2(p, centers[0])
+			for c := 1; c < k; c++ {
+				if d := dist2(p, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for c := range sums {
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				continue // keep the stale centroid
+			}
+			for j := range centers[c] {
+				centers[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+// dist2 is squared Euclidean distance.
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

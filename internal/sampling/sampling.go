@@ -1,0 +1,513 @@
+// Package sampling implements phase-detected sampled simulation: project
+// a full-run cpu.Result from detailed timing simulation of a few
+// representative instruction windows instead of the whole ROI.
+//
+// The pipeline is SimPoint-shaped, with memory-access-vector features
+// alongside the classic code signature:
+//
+//  1. Profile: a functional pass (interp, ~15x faster than the timing
+//     core) executes the ROI once, slicing it into fixed-length windows
+//     and collecting one signature per window — a hashed basic-block
+//     vector (committed-PC histogram) concatenated with a
+//     memory-access vector (touched-page histogram), each L1-normalized.
+//  2. Cluster: deterministic k-means groups the windows into phases;
+//     each phase's weight is its share of the executed instructions.
+//  3. Prepare: a second functional pass freezes the architectural state
+//     (registers + a copy-on-write view of memory) at every window
+//     boundary a replay will start from, and records the memory-line and
+//     branch-outcome streams of the windows leading up to it.
+//  4. Replay, per technique: for each phase, the window(s) nearest the
+//     centroid are timing-simulated. Caches and the branch predictor are
+//     first warmed from the recorded functional streams
+//     (mem.Hierarchy.Warm, bpred.Predictor.Warm), then a detailed-warmup
+//     prefix runs on the timing core with a checkpoint at the window
+//     boundary (cpu.Snapshot), and the window's contribution is the
+//     final-minus-boundary delta — warmup primes state without polluting
+//     the measurement.
+//  5. Extrapolate: the full-run Result is the phase-weighted combination
+//     of the window deltas. Architectural counts (instructions, loads,
+//     stores, branches) come exactly from the functional pass;
+//     microarchitectural counters are scaled; a 95% confidence
+//     half-width (internal/stats) from replicate spread and a
+//     cpu.SampledProvenance block ride along.
+//
+// A Plan is built once per workload and replayed once per technique (the
+// profile, clustering and boundary states are technique-independent);
+// concurrent Replay calls on one Plan are safe. Everything is
+// deterministic: the same workload, config and options produce a
+// byte-identical canonical Result.
+package sampling
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dvr/internal/cpu"
+	"dvr/internal/interp"
+	"dvr/internal/isa"
+	"dvr/internal/mem"
+	"dvr/internal/workloads"
+)
+
+// BuildEngine constructs the technique engine for a replay over a freshly
+// assembled frontend/workload/hierarchy (nil engine means the OoO
+// baseline). The experiments package supplies its technique registry
+// through this hook, which keeps sampling free of a dependency on it.
+type BuildEngine func(fe *interp.Interp, w *workloads.Workload, h *mem.Hierarchy) (cpu.Engine, error)
+
+// Options shape a sampled run. The zero value of every field picks an
+// auto default, scaled to the ROI.
+type Options struct {
+	// ROI is the timed instruction budget being projected. Required.
+	ROI uint64
+	// WindowInsts is the profile window length; 0 picks
+	// max(1000, ROI/64) capped at 50000. The final window is partial when
+	// the ROI is not a multiple (or the program halts early).
+	WindowInsts uint64
+	// WarmupInsts is the detailed warmup: instructions run on the timing
+	// core (and discarded via boundary delta) before each representative
+	// window, re-engaging the technique engine and the in-flight memory
+	// state. Rounded up to whole windows (replays start at window
+	// boundaries); 0 picks one window. Windows at the ROI start get the
+	// prefix that exists — window 0 runs as cold as the exact run does.
+	//
+	// Cache and branch-predictor warming is not an option: replays run in
+	// window order over one hierarchy and one predictor, functionally
+	// warming every gap between timed segments from the recorded stream,
+	// so that state tracks the exact run continuously from the ROI start.
+	WarmupInsts uint64
+	// MaxPhases caps the k-means cluster count; 0 means 8.
+	MaxPhases int
+	// Replicates is how many windows per phase are timing-simulated
+	// (nearest the centroid first); 0 means 1. With two or more, the
+	// replicate CPI spread feeds the confidence interval.
+	Replicates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.WindowInsts == 0 {
+		// ROI/64 keeps short ROIs from collapsing into a handful of
+		// windows; the 5k cap keeps the timed-simulation cost (phases ×
+		// replicates × windows) constant as the ROI grows, which is where
+		// the wall-clock saving comes from.
+		w := o.ROI / 64
+		if w < 1_000 {
+			w = 1_000
+		}
+		if w > 5_000 {
+			w = 5_000
+		}
+		o.WindowInsts = w
+	}
+	if o.WarmupInsts == 0 {
+		o.WarmupInsts = o.WindowInsts
+	}
+	if o.MaxPhases <= 0 {
+		o.MaxPhases = 8
+	}
+	if o.Replicates <= 0 {
+		o.Replicates = 1
+	}
+	return o
+}
+
+// ceilWins converts an instruction budget to whole windows.
+func ceilWins(insts, winLen uint64) int {
+	return int((insts + winLen - 1) / winLen)
+}
+
+// Signature geometry: one histogram half for code (hashed committed PCs),
+// one for memory (hashed touched pages), L1-normalized per half so window
+// length does not dominate distance.
+const (
+	sigDim    = 32 // buckets per half
+	pageShift = 12 // 4 KiB pages, matching interp.Memory's page size
+	bbvSalt   = 0x9e3779b97f4a7c15
+	mavSalt   = 0xd1b54a32d192ed03
+)
+
+// window is one profile window: its position and architectural counts
+// (exact, from the functional pass) plus its phase signature.
+type window struct {
+	start    uint64 // committed-instruction offset from the ROI start
+	insts    uint64
+	loads    uint64
+	stores   uint64
+	branches uint64
+	sig      []float64
+}
+
+// profTotals are the exact architectural totals of the functional pass —
+// the fields of the projected Result that need no extrapolation.
+type profTotals struct {
+	insts    uint64
+	loads    uint64
+	stores   uint64
+	branches uint64
+}
+
+// boundary is the frozen architectural state at a window start: the
+// walker's register file plus the copy-on-write memory view it stopped
+// writing at that instant. Replays fork the view (reads share pages,
+// writes stay private), so one boundary serves any number of concurrent
+// replays.
+type boundary struct {
+	mem *interp.Memory
+	st  interp.State
+	seq uint64
+}
+
+// wtrace is one window's recorded functional streams for warming:
+// memory events pack addr<<1|store, branch events pack pc<<1|taken.
+// Consecutive same-line memory events are deduplicated at record time
+// (sequential scans touch each 64-byte line many times): dropping a
+// duplicate preserves the relative LRU order of distinct lines and the
+// dirty bits Warm would set, so the warmed state is identical and the
+// stream is severalfold shorter. A store following a recorded load to
+// the same line is still kept for its dirty bit.
+type wtrace struct {
+	mem []uint64
+	br  []uint64
+}
+
+// segment is one timed excursion of a replay: fork the frozen state at
+// window start, run windows [start, bwin] on the timing core (the prefix
+// [start, bwin-1] is detailed warmup, subtracted via stats boundary), and
+// attribute window bwin's delta to phase. Segments are in ascending
+// window order and never overlap — when a representative window directly
+// follows the previous timed segment, the carried-over state replaces
+// detailed warmup.
+type segment struct {
+	start int // first timed window
+	bwin  int // the measured (representative) window
+	phase int // index into phases, for delta attribution
+}
+
+// Plan is a workload's sampled-simulation plan: windows, phases, the
+// replay schedule with its frozen boundary states and warming traces.
+// Build it once with NewPlan, then Replay once per technique; a Plan is
+// immutable after construction and safe for concurrent Replay calls.
+type Plan struct {
+	opts     Options
+	winLen   uint64
+	warmWins int // detailed warmup, whole windows
+	template workloads.Workload
+	wins     []window
+	phases   []phase
+	segs     []segment
+	tot      profTotals
+	caps     map[int]boundary
+	recs     map[int]wtrace
+}
+
+// NewPlan profiles, clusters and prepares replay state for base under
+// opts. base is forked internally and never mutated.
+func NewPlan(base *workloads.Workload, opts Options) (*Plan, error) {
+	if opts.ROI == 0 {
+		return nil, errors.New("sampling: Options.ROI is required")
+	}
+	opts = opts.withDefaults()
+
+	wins, tot := profile(base, opts.ROI, opts.WindowInsts)
+	if tot.insts == 0 {
+		return nil, fmt.Errorf("sampling: %s executed no instructions in the ROI", base.Name)
+	}
+	sigs := make([][]float64, len(wins))
+	for i := range wins {
+		sigs[i] = wins[i].sig
+	}
+	k := opts.MaxPhases
+	if k > len(wins) {
+		k = len(wins)
+	}
+	assign := kmeans(sigs, k, kmeansMaxIter)
+	phases := buildPhases(wins, sigs, assign, opts.Replicates)
+
+	p := &Plan{
+		opts:     opts,
+		winLen:   opts.WindowInsts,
+		warmWins: ceilWins(opts.WarmupInsts, opts.WindowInsts),
+		wins:     wins,
+		phases:   phases,
+		tot:      tot,
+	}
+	p.schedule()
+	p.prepare(base)
+	return p, nil
+}
+
+// schedule lays the phases' representative windows out as the ascending,
+// non-overlapping timed segments a replay executes. Each representative
+// gets up to warmWins windows of detailed warmup in front of it, clipped
+// where the previous segment already timed those windows (the carried
+// state is better than a warmup) and at the ROI start.
+func (p *Plan) schedule() {
+	for pi, ph := range p.phases {
+		for _, r := range ph.reps {
+			p.segs = append(p.segs, segment{bwin: r, phase: pi})
+		}
+	}
+	sort.Slice(p.segs, func(i, j int) bool { return p.segs[i].bwin < p.segs[j].bwin })
+	pos := 0 // first window not yet covered by a timed segment
+	for i := range p.segs {
+		s := &p.segs[i]
+		s.start = s.bwin - p.warmWins
+		if s.start < pos {
+			s.start = pos
+		}
+		pos = s.bwin + 1
+	}
+}
+
+// prepare is the second functional pass: walk the stream once more,
+// freezing boundary state at every segment start and recording the
+// warming streams of every window between timed segments.
+func (p *Plan) prepare(base *workloads.Workload) {
+	needCap := make(map[int]bool)
+	needRec := make(map[int]bool)
+	maxWin := -1
+	pos := 0
+	for _, s := range p.segs {
+		needCap[s.start] = true
+		for j := pos; j < s.start; j++ {
+			needRec[j] = true
+		}
+		pos = s.bwin + 1
+		maxWin = s.bwin
+	}
+
+	wk := base.Fork()
+	it := interp.New(wk.Prog, wk.Mem)
+	if wk.Skip > 0 {
+		it.Run(wk.Skip)
+	}
+	p.caps = make(map[int]boundary, len(needCap))
+	p.recs = make(map[int]wtrace, len(needRec))
+	for i := 0; i <= maxWin; i++ {
+		if needCap[i] {
+			// Freeze the walker's memory: hand the frozen view to the
+			// boundary and continue on a fresh fork of it, so nothing
+			// written after this instant is visible through the boundary.
+			frozen := wk.Mem
+			wk.Mem = frozen.Fork()
+			it.Mem = wk.Mem
+			p.caps[i] = boundary{mem: frozen, st: it.St, seq: it.Seq}
+		}
+		if needRec[i] {
+			tr := wtrace{}
+			lastLine := ^uint64(0)
+			lastWrite := false
+			it.RunWith(p.wins[i].insts, func(di interp.DynInst) {
+				op := di.Inst.Op
+				switch {
+				case op.IsLoad():
+					if line := di.Addr / mem.LineSize; line != lastLine {
+						tr.mem = append(tr.mem, di.Addr<<1)
+						lastLine, lastWrite = line, false
+					}
+				case op.IsStore():
+					if line := di.Addr / mem.LineSize; line != lastLine || !lastWrite {
+						tr.mem = append(tr.mem, di.Addr<<1|1)
+						lastLine, lastWrite = line, true
+					}
+				case op.IsBranch():
+					ev := uint64(di.PC) << 1
+					if di.Taken {
+						ev |= 1
+					}
+					tr.br = append(tr.br, ev)
+				}
+			})
+			p.recs[i] = tr
+		} else {
+			it.RunWith(p.wins[i].insts, nil)
+		}
+	}
+	p.template = *wk // Prog/Sym/Skip/...; Mem is replaced per replay
+}
+
+// profile runs the functional pass over a fork of base: fast-forward the
+// untimed skip, then execute up to roi instructions slicing the stream
+// into winLen-instruction windows. The final partial window (roi not a
+// multiple, or early halt) is kept with its actual length.
+func profile(base *workloads.Workload, roi, winLen uint64) ([]window, profTotals) {
+	wk := base.Fork()
+	it := interp.New(wk.Prog, wk.Mem)
+	if wk.Skip > 0 {
+		it.Run(wk.Skip)
+	}
+	var (
+		wins   []window
+		tot    profTotals
+		cur    window
+		counts = make([]float64, 2*sigDim)
+		seen   = make(map[uint64]struct{}) // cache lines touched so far
+		ft     float64                     // accesses to never-before-seen lines
+	)
+	flush := func() {
+		if cur.insts == 0 {
+			return
+		}
+		// The last signature element is the window's first-touch fraction:
+		// the share of its memory accesses that hit a cache line no earlier
+		// window touched. Basic-block and page histograms cannot tell a
+		// cold-start window from a warm one executing the same code, and a
+		// warm representative standing in for cold mass is the dominant
+		// projection error on short regions — compulsory-miss behaviour has
+		// to be part of the phase signature.
+		sig := normalizeSig(counts)
+		if acc := cur.loads + cur.stores; acc > 0 {
+			sig = append(sig, ft/float64(acc))
+		} else {
+			sig = append(sig, 0)
+		}
+		cur.sig = sig
+		wins = append(wins, cur)
+		cur = window{start: tot.insts}
+		counts = make([]float64, 2*sigDim)
+		ft = 0
+	}
+	touch := func(addr uint64) {
+		line := addr / mem.LineSize
+		if _, ok := seen[line]; !ok {
+			seen[line] = struct{}{}
+			ft++
+		}
+	}
+	it.RunWith(roi, func(di interp.DynInst) {
+		counts[bbvBucket(di.PC)]++
+		op := di.Inst.Op
+		switch {
+		case op.IsLoad():
+			cur.loads++
+			tot.loads++
+			counts[sigDim+mavBucket(di.Addr>>pageShift)]++
+			touch(di.Addr)
+		case op.IsStore():
+			cur.stores++
+			tot.stores++
+			counts[sigDim+mavBucket(di.Addr>>pageShift)]++
+			touch(di.Addr)
+		case op.IsBranch():
+			cur.branches++
+			tot.branches++
+		}
+		cur.insts++
+		tot.insts++
+		if cur.insts == winLen {
+			flush()
+		}
+	})
+	flush()
+	return wins, tot
+}
+
+func bbvBucket(pc int) int {
+	return int(isa.Mix64(uint64(pc)^bbvSalt) % sigDim)
+}
+
+func mavBucket(page uint64) int {
+	return int(isa.Mix64(page^mavSalt) % sigDim)
+}
+
+// normalizeSig L1-normalizes each half of the raw bucket counts, so the
+// code and memory distributions contribute equal weight regardless of the
+// window's instruction mix or length.
+func normalizeSig(counts []float64) []float64 {
+	out := make([]float64, len(counts))
+	half := len(counts) / 2
+	for _, part := range [][2]int{{0, half}, {half, len(counts)}} {
+		var l1 float64
+		for _, v := range counts[part[0]:part[1]] {
+			l1 += v
+		}
+		if l1 == 0 {
+			continue
+		}
+		for i := part[0]; i < part[1]; i++ {
+			out[i] = counts[i] / l1
+		}
+	}
+	return out
+}
+
+// Run is the single-technique convenience: NewPlan + Replay. Callers
+// projecting several techniques over one workload should build the Plan
+// once and Replay per technique — the profile and preparation passes are
+// technique-independent and dominate the cost of a single projection.
+func Run(ctx context.Context, base *workloads.Workload, cfg cpu.Config, build BuildEngine, opts Options) (cpu.Result, error) {
+	hostStart := time.Now()
+	plan, err := NewPlan(base, opts)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	res, err := plan.Replay(ctx, cfg, build)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	res.HostNS = time.Since(hostStart).Nanoseconds()
+	return res, nil
+}
+
+// phase is one cluster: the windows that will be timing-simulated for it
+// (nearest the centroid first) and the instruction mass it represents.
+type phase struct {
+	reps  []int // window indices to replay
+	insts uint64
+}
+
+// buildPhases turns a k-means assignment into replay plans: per non-empty
+// cluster, the exact centroid over its members, the members sorted by
+// distance to it (index as tie-break, so the plan is deterministic), and
+// the cluster's instruction mass.
+func buildPhases(wins []window, sigs [][]float64, assign []int, replicates int) []phase {
+	k := 0
+	for _, a := range assign {
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	members := make([][]int, k)
+	for i, a := range assign {
+		members[a] = append(members[a], i)
+	}
+	var phases []phase
+	for _, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		centroid := make([]float64, len(sigs[m[0]]))
+		var insts uint64
+		for _, wi := range m {
+			insts += wins[wi].insts
+			for j, v := range sigs[wi] {
+				centroid[j] += v
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(len(m))
+		}
+		// Selection sort of the first `replicates` members by (distance,
+		// index): cheap, fully deterministic, no float-sort subtleties.
+		order := append([]int(nil), m...)
+		n := replicates
+		if n > len(order) {
+			n = len(order)
+		}
+		for i := 0; i < n; i++ {
+			best := i
+			bestD := dist2(sigs[order[best]], centroid)
+			for j := i + 1; j < len(order); j++ {
+				if d := dist2(sigs[order[j]], centroid); d < bestD || (d == bestD && order[j] < order[best]) {
+					best, bestD = j, d
+				}
+			}
+			order[i], order[best] = order[best], order[i]
+		}
+		phases = append(phases, phase{reps: order[:n], insts: insts})
+	}
+	return phases
+}

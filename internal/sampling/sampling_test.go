@@ -1,0 +1,216 @@
+package sampling
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/graphgen"
+	"dvr/internal/interp"
+	"dvr/internal/mem"
+	"dvr/internal/workloads"
+)
+
+func testSpec(t *testing.T, roi uint64) workloads.Spec {
+	t.Helper()
+	g := graphgen.Kronecker(12, 8, 7)
+	return workloads.Spec{
+		Name:  "bfs_t",
+		Build: func() *workloads.Workload { return workloads.BFS(g) },
+		ROI:   roi,
+	}
+}
+
+func TestKmeansSeparatesObviousClusters(t *testing.T) {
+	pts := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{10, 10}, {10.1, 10}, {10, 10.1},
+	}
+	assign := kmeans(pts, 2, kmeansMaxIter)
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Errorf("low cluster split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Errorf("high cluster split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Errorf("clusters merged: %v", assign)
+	}
+}
+
+func TestKmeansDeterministic(t *testing.T) {
+	pts := make([][]float64, 40)
+	for i := range pts {
+		pts[i] = []float64{float64(i % 7), float64((i * i) % 5), float64(i % 3)}
+	}
+	a := kmeans(pts, 5, kmeansMaxIter)
+	for trial := 0; trial < 3; trial++ {
+		b := kmeans(pts, 5, kmeansMaxIter)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: assignment diverged at %d: %d vs %d", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestKmeansDegenerate(t *testing.T) {
+	same := [][]float64{{1, 2}, {1, 2}, {1, 2}}
+	for _, a := range kmeans(same, 3, kmeansMaxIter) {
+		if a != 0 {
+			t.Errorf("identical points split across clusters")
+		}
+	}
+	if got := kmeans(nil, 4, kmeansMaxIter); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	one := kmeans([][]float64{{3}}, 8, kmeansMaxIter)
+	if len(one) != 1 || one[0] != 0 {
+		t.Errorf("single point: %v", one)
+	}
+}
+
+// Windows must tile the functional stream exactly: contiguous starts, all
+// full-length except possibly the last, totals matching the pass.
+func TestProfileWindowsTile(t *testing.T) {
+	sp := testSpec(t, 10_500) // deliberately not a multiple of the window
+	const winLen = 1_000
+	wins, tot := profile(sp.Build(), sp.ROI, winLen)
+	if tot.insts != sp.ROI {
+		t.Fatalf("profiled %d insts, want ROI %d", tot.insts, sp.ROI)
+	}
+	var sum uint64
+	for i, w := range wins {
+		if w.start != sum {
+			t.Errorf("window %d starts at %d, want %d", i, w.start, sum)
+		}
+		if i < len(wins)-1 && w.insts != winLen {
+			t.Errorf("window %d has %d insts, want %d", i, w.insts, winLen)
+		}
+		if w.insts == 0 {
+			t.Errorf("window %d is empty", i)
+		}
+		if got := w.loads + w.stores + w.branches; got > w.insts {
+			t.Errorf("window %d op counts %d exceed insts %d", i, got, w.insts)
+		}
+		sum += w.insts
+	}
+	if sum != tot.insts {
+		t.Errorf("windows cover %d insts, pass executed %d", sum, tot.insts)
+	}
+	if want := (sp.ROI + winLen - 1) / winLen; uint64(len(wins)) != want {
+		t.Errorf("%d windows, want %d", len(wins), want)
+	}
+	if last := wins[len(wins)-1]; last.insts != sp.ROI%winLen {
+		t.Errorf("final partial window has %d insts, want %d", last.insts, sp.ROI%winLen)
+	}
+}
+
+func TestNormalizeSigHalves(t *testing.T) {
+	counts := make([]float64, 2*sigDim)
+	counts[3] = 3
+	counts[7] = 1
+	counts[sigDim+2] = 8
+	sig := normalizeSig(counts)
+	var code, memv float64
+	for i := 0; i < sigDim; i++ {
+		code += sig[i]
+		memv += sig[sigDim+i]
+	}
+	if math.Abs(code-1) > 1e-12 || math.Abs(memv-1) > 1e-12 {
+		t.Errorf("halves not L1-normalized: code=%v mem=%v", code, memv)
+	}
+	if sig[3] != 0.75 || sig[7] != 0.25 || sig[sigDim+2] != 1 {
+		t.Errorf("unexpected normalized values: %v %v %v", sig[3], sig[7], sig[sigDim+2])
+	}
+}
+
+// Two sampled runs of the same workload/config/options must be
+// byte-identical after Canonical — the determinism contract callers
+// (cache keys, CI) rely on.
+func TestRunDeterministic(t *testing.T) {
+	sp := testSpec(t, 20_000)
+	cfg := cpu.DefaultConfig()
+	opts := Options{ROI: sp.ROI, WindowInsts: 2_000, Replicates: 2}
+	run := func() []byte {
+		res, err := Run(context.Background(), sp.Build(), cfg, func(_ *interp.Interp, _ *workloads.Workload, _ *mem.Hierarchy) (cpu.Engine, error) {
+			return nil, nil
+		}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Errorf("sampled runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+// A sampled projection of the OoO baseline should land near the exact
+// run: same architectural totals, IPC within a loose tolerance (the tight
+// 2% gate lives in dvrbench fidelity over the real quick suite).
+func TestRunProjectionNearExact(t *testing.T) {
+	sp := testSpec(t, 30_000)
+	cfg := cpu.DefaultConfig()
+
+	base := sp.Build()
+	wk := base.Fork()
+	core := cpu.NewCore(cfg, wk.Frontend())
+	exact, err := core.RunContext(context.Background(), sp.ROI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(context.Background(), base, cfg, func(_ *interp.Interp, _ *workloads.Workload, _ *mem.Hierarchy) (cpu.Engine, error) {
+		return nil, nil
+	}, Options{ROI: sp.ROI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampled == nil {
+		t.Fatal("projection carries no provenance")
+	}
+	if res.Instructions != exact.Instructions || res.Loads != exact.Loads ||
+		res.Stores != exact.Stores || res.Branches != exact.Branches {
+		t.Errorf("architectural totals differ: sampled {i=%d l=%d s=%d b=%d} exact {i=%d l=%d s=%d b=%d}",
+			res.Instructions, res.Loads, res.Stores, res.Branches,
+			exact.Instructions, exact.Loads, exact.Stores, exact.Branches)
+	}
+	if rel := math.Abs(res.IPC()-exact.IPC()) / exact.IPC(); rel > 0.15 {
+		t.Errorf("projected IPC %.4f vs exact %.4f (%.1f%% off)", res.IPC(), exact.IPC(), rel*100)
+	}
+	p := res.Sampled
+	if p.SimulatedInsts >= sp.ROI {
+		t.Errorf("simulated %d insts, no saving over ROI %d", p.SimulatedInsts, sp.ROI)
+	}
+	if p.ProfiledInsts != sp.ROI {
+		t.Errorf("profiled %d, want %d", p.ProfiledInsts, sp.ROI)
+	}
+	if p.Phases < 1 || p.Phases > 8 || len(p.PhaseWeights) != p.Phases {
+		t.Errorf("phases=%d weights=%v", p.Phases, p.PhaseWeights)
+	}
+	var wsum float64
+	for _, w := range p.PhaseWeights {
+		wsum += w
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Errorf("phase weights sum to %v", wsum)
+	}
+}
+
+func TestRunRequiresROI(t *testing.T) {
+	sp := testSpec(t, 10_000)
+	_, err := Run(context.Background(), sp.Build(), cpu.DefaultConfig(), func(_ *interp.Interp, _ *workloads.Workload, _ *mem.Hierarchy) (cpu.Engine, error) {
+		return nil, nil
+	}, Options{})
+	if err == nil {
+		t.Fatal("ROI-less options accepted")
+	}
+}

@@ -23,7 +23,42 @@ const Version = "v1"
 // never served for a newer one (see DESIGN.md, "dvrd cache key"). Bump it
 // whenever a change anywhere in the simulator (cpu, mem, bpred, runahead,
 // prefetch, workloads, graphgen) alters any Result field for any job.
-const EngineVersion = "dvr-engine/2"
+const EngineVersion = "dvr-engine/3"
+
+// SamplingOptions selects sampled simulation for a request: instead of
+// timing the full ROI, the server phase-profiles it, times one
+// representative window per phase, and extrapolates. The projected Result
+// carries Sampled provenance and confidence bounds, and is cached under a
+// key distinct from the exact run's (sampling options are hashed into the
+// content address), so sampled and exact results never alias. Zero fields
+// mean server-side auto-tuning from the ROI length.
+type SamplingOptions struct {
+	// WindowInsts is the profiling window length in instructions; 0
+	// auto-sizes from the ROI.
+	WindowInsts uint64 `json:"window_insts,omitempty"`
+	// WarmupInsts is the detailed (timed but discarded) warmup preceding
+	// each measured window; 0 means one window.
+	WarmupInsts uint64 `json:"warmup_insts,omitempty"`
+	// MaxPhases bounds the number of phase clusters; 0 means the default.
+	MaxPhases int `json:"max_phases,omitempty"`
+	// Replicates is the number of representative windows timed per phase;
+	// 0 means one.
+	Replicates int `json:"replicates,omitempty"`
+}
+
+// Validate rejects option values that cannot describe a plan.
+func (o *SamplingOptions) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.MaxPhases < 0 {
+		return fmt.Errorf("api: sampling.max_phases must be >= 0, got %d", o.MaxPhases)
+	}
+	if o.Replicates < 0 {
+		return fmt.Errorf("api: sampling.replicates must be >= 0, got %d", o.Replicates)
+	}
+	return nil
+}
 
 // SimRequest asks for one simulation cell: one workload under one
 // technique and configuration. POST /v1/sim.
@@ -32,6 +67,11 @@ type SimRequest struct {
 	Technique string        `json:"technique"`
 	// Config is the core configuration; nil means cpu.DefaultConfig().
 	Config *cpu.Config `json:"config,omitempty"`
+	// Sampling, when non-nil, requests a sampled (projected) result
+	// instead of an exact one. Sampled jobs skip durable checkpointing and
+	// interval tracing — they are cheap enough to restart — and never
+	// share a cache key with exact jobs.
+	Sampling *SamplingOptions `json:"sampling,omitempty"`
 	// TimeoutMS bounds the request; 0 means the server default. A request
 	// that exceeds its deadline is cancelled in-flight and answered 504.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -46,7 +86,7 @@ func (r SimRequest) Validate() error {
 	if r.Technique == "" {
 		return fmt.Errorf("api: technique is required")
 	}
-	return nil
+	return r.Sampling.Validate()
 }
 
 // SimResponse is the outcome of one cell. Result is canonical
@@ -72,6 +112,8 @@ type BatchRequest struct {
 	Workloads  []workloads.Ref `json:"workloads"`
 	Techniques []string        `json:"techniques"`
 	Config     *cpu.Config     `json:"config,omitempty"`
+	// Sampling applies to every cell of the batch; see SimRequest.Sampling.
+	Sampling *SamplingOptions `json:"sampling,omitempty"`
 	// Async makes the server answer immediately with a job id to poll at
 	// GET /v1/jobs/{id} instead of blocking until the matrix completes.
 	Async bool `json:"async,omitempty"`
@@ -98,7 +140,7 @@ func (r BatchRequest) Validate() error {
 			return fmt.Errorf("api: technique names must be non-empty")
 		}
 	}
-	return nil
+	return r.Sampling.Validate()
 }
 
 // BatchResponse carries the completed matrix (synchronous batches and

@@ -40,6 +40,30 @@ func CacheKey(ref workloads.Ref, tech string, cfg cpu.Config) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// CacheKeySampled is CacheKey for sampled (projected) jobs: the sampling
+// options join the hashed payload, so a sampled result can never be served
+// for an exact request or vice versa, and two different sampling
+// configurations never alias either. A nil options pointer means an exact
+// job and returns CacheKey's address unchanged.
+func CacheKeySampled(ref workloads.Ref, tech string, cfg cpu.Config, so *api.SamplingOptions) string {
+	if so == nil {
+		return CacheKey(ref, tech, cfg)
+	}
+	payload := struct {
+		Engine    string              `json:"engine"`
+		Workload  workloads.Ref       `json:"workload"`
+		Technique string              `json:"technique"`
+		Config    cpu.Config          `json:"config"`
+		Sampling  api.SamplingOptions `json:"sampling"`
+	}{api.EngineVersion, ref, tech, cfg, *so}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
 // Spill integrity: every spill file carries the checkpoint package's
 // digest footer —
 //

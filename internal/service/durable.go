@@ -108,6 +108,22 @@ func (s *Server) simulate(ctx context.Context, key string, spec workloads.Spec, 
 	return res, err
 }
 
+// simulateSampled runs one sampled cell inside a pool worker. Sampled jobs
+// deliberately opt out of the durability machinery: they are cheap enough
+// to restart from scratch (that is their entire point), their projected
+// results have no meaningful per-interval telemetry, and the sampling
+// replayer drives cores directly rather than through the checkpointable
+// single-run path.
+func (s *Server) simulateSampled(ctx context.Context, spec workloads.Spec, tech string, cfg cpu.Config, so *api.SamplingOptions) (cpu.Result, error) {
+	opts := experiments.SampleOptions{
+		WindowInsts: so.WindowInsts,
+		WarmupInsts: so.WarmupInsts,
+		MaxPhases:   so.MaxPhases,
+		Replicates:  so.Replicates,
+	}
+	return experiments.RunSampled(ctx, spec, experiments.Technique(tech), cfg, opts)
+}
+
 // writeForensics persists a livelock's pipeline dump beside the cache so
 // the stall can be diagnosed after the fact: ROB/IQ/LQ/SQ occupancy, the
 // oldest instruction's timing, MSHR contents and the trailing committed
@@ -156,7 +172,7 @@ func (s *Server) resumePending() {
 		s.jobs.wg.Add(1)
 		go func() {
 			defer s.jobs.wg.Done()
-			_, _ = s.runCell(context.Background(), st.Ref, st.Technique, st.Config, admitQueue)
+			_, _ = s.runCell(context.Background(), st.Ref, st.Technique, st.Config, nil, admitQueue)
 		}()
 	}
 }

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"dvr/internal/cpu"
+	"dvr/internal/service/api"
+	"dvr/internal/workloads"
+)
+
+func TestCacheKeySampledSeparation(t *testing.T) {
+	ref := graphRef(8_000)
+	cfg := cpu.DefaultConfig()
+	exact := CacheKey(ref, "dvr", cfg)
+	if got := CacheKeySampled(ref, "dvr", cfg, nil); got != exact {
+		t.Errorf("nil sampling options must produce the exact key: %q vs %q", got, exact)
+	}
+	a := CacheKeySampled(ref, "dvr", cfg, &api.SamplingOptions{})
+	if a == exact {
+		t.Error("sampled key collides with exact key")
+	}
+	b := CacheKeySampled(ref, "dvr", cfg, &api.SamplingOptions{WindowInsts: 2_000})
+	if b == a {
+		t.Error("distinct sampling options share a key")
+	}
+	if CacheKeySampled(ref, "dvr", cfg, &api.SamplingOptions{}) != a {
+		t.Error("sampled key not deterministic")
+	}
+}
+
+// A sampled /v1/sim request must return a projected result with Sampled
+// provenance, cache it under its own key, and never be confused with the
+// exact run of the same cell.
+func TestSimSampled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ref := graphRef(8_000)
+	sampled := api.SimRequest{Workload: ref, Technique: "dvr", Sampling: &api.SamplingOptions{}}
+	exact := api.SimRequest{Workload: ref, Technique: "dvr"}
+
+	var sResp, sResp2, eResp api.SimResponse
+	resp, body := postJSON(t, ts.URL+"/v1/sim", sampled)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled sim: %s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &sResp); err != nil {
+		t.Fatal(err)
+	}
+	if sResp.Result.Sampled == nil {
+		t.Fatal("sampled result carries no Sampled provenance")
+	}
+	if sResp.Result.Sampled.SimulatedInsts == 0 || sResp.Result.Sampled.Phases == 0 {
+		t.Errorf("implausible provenance: %+v", sResp.Result.Sampled)
+	}
+	if sResp.Result.Instructions == 0 || sResp.Result.Cycles == 0 {
+		t.Error("projected result has zero totals")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/sim", sampled)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled sim repeat: %s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &sResp2); err != nil {
+		t.Fatal(err)
+	}
+	if !sResp2.Cached {
+		t.Error("repeated sampled request not served from cache")
+	}
+	if sResp2.Key != sResp.Key {
+		t.Errorf("sampled keys differ across identical requests: %q vs %q", sResp.Key, sResp2.Key)
+	}
+	a, _ := json.Marshal(sResp.Result.Canonical())
+	b, _ := json.Marshal(sResp2.Result.Canonical())
+	if !bytes.Equal(a, b) {
+		t.Errorf("cached sampled result not byte-identical:\n%s\n%s", a, b)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/sim", exact)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact sim: %s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &eResp); err != nil {
+		t.Fatal(err)
+	}
+	if eResp.Cached {
+		t.Error("exact request was served the sampled cache entry")
+	}
+	if eResp.Key == sResp.Key {
+		t.Error("exact and sampled requests share a cache key")
+	}
+	if eResp.Result.Sampled != nil {
+		t.Error("exact result carries Sampled provenance")
+	}
+}
+
+// A batch with sampling set applies it to every cell.
+func TestBatchSampled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := api.BatchRequest{
+		Workloads:  []workloads.Ref{graphRef(8_000)},
+		Techniques: []string{"ooo", "dvr"},
+		Sampling:   &api.SamplingOptions{},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %s: %s", resp.Status, body)
+	}
+	var out api.BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cells) != 2 {
+		t.Fatalf("want 2 cells, got %d", len(out.Cells))
+	}
+	for i, c := range out.Cells {
+		if c.Error != nil {
+			t.Fatalf("cell %d failed: %v", i, c.Error)
+		}
+		if c.Result.Sampled == nil {
+			t.Errorf("cell %d: batch sampling did not reach the cell", i)
+		}
+	}
+}
+
+// Negative sampling options are rejected before any simulation starts.
+func TestSampledValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := api.SimRequest{
+		Workload:  graphRef(8_000),
+		Technique: "dvr",
+		Sampling:  &api.SamplingOptions{MaxPhases: -1},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/sim", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400, got %s: %s", resp.Status, body)
+	}
+}

@@ -335,8 +335,11 @@ const (
 // runCell answers one (workload, technique, config) cell: from the result
 // cache when possible, otherwise via single-flight on the cell's content
 // address and a worker-pool simulation. The result stored and returned is
-// canonical (deterministic), so repeated requests are byte-identical.
-func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cfg cpu.Config, adm admission) (api.SimResponse, error) {
+// canonical (deterministic), so repeated requests are byte-identical. A
+// non-nil so selects the sampled path: the cell's content address includes
+// the sampling options, so sampled and exact results never share a cache
+// line or a single-flight.
+func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cfg cpu.Config, so *api.SamplingOptions, adm admission) (api.SimResponse, error) {
 	if _, err := experiments.ParseTechnique(tech); err != nil {
 		return api.SimResponse{}, badRequest(err)
 	}
@@ -346,7 +349,7 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 	}
 	// Resolve normalized the ROI (0 -> kernel default); key the normalized
 	// form so explicit-default and defaulted requests share a cache line.
-	key := CacheKey(spec.Ref, tech, cfg)
+	key := CacheKeySampled(spec.Ref, tech, cfg, so)
 	if res, ok := s.cache.Get(key); ok {
 		return api.SimResponse{Key: key, Cached: true, Result: res}, nil
 	}
@@ -375,7 +378,11 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 			// real simulator bug would.
 			s.cfg.Faults.Sim(key)
 			simStart := time.Now()
-			out, runErr = s.simulate(ctx, key, runSpec, tech, cfg)
+			if so != nil {
+				out, runErr = s.simulateSampled(ctx, runSpec, tech, cfg, so)
+			} else {
+				out, runErr = s.simulate(ctx, key, runSpec, tech, cfg)
+			}
 			sp.addSim(time.Since(simStart))
 		}
 		var err error
@@ -446,7 +453,7 @@ func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*a
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				resp, err := s.runCell(ctx, ref, tech, cfg, admitQueue)
+				resp, err := s.runCell(ctx, ref, tech, cfg, req.Sampling, admitQueue)
 				if err != nil {
 					var (
 						pe *PanicError
@@ -456,7 +463,7 @@ func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*a
 						// Isolated crash or wedge of this one cell: report
 						// it in place and let the rest of the batch finish.
 						cells[idx] = api.SimResponse{
-							Key:   CacheKey(ref, tech, cfg),
+							Key:   CacheKeySampled(ref, tech, cfg, req.Sampling),
 							Error: &api.Error{Code: api.CodeInternal, Error: err.Error()},
 						}
 						if j != nil {
@@ -507,7 +514,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
-	resp, err := s.runCell(ctx, req.Workload, req.Technique, s.config(req.Config), admitShed)
+	resp, err := s.runCell(ctx, req.Workload, req.Technique, s.config(req.Config), req.Sampling, admitShed)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -61,6 +61,61 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// StdDev returns the sample standard deviation of xs (Bessel-corrected,
+// n-1 denominator): the spread estimator the sampled-simulation error
+// model uses over per-phase replicate measurements. It returns 0 for
+// fewer than two samples, where spread is undefined.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// tTable95 holds two-sided 95% critical values of Student's t for small
+// degrees of freedom (index = df, starting at df=1). Beyond the table the
+// normal approximation (1.96) is within 1% and is used instead.
+var tTable95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 returns the two-sided 95% critical value of Student's t with df
+// degrees of freedom (1.96, the normal value, for df beyond the table or
+// df <= 0 — the latter only arises for degenerate inputs the callers
+// already guard).
+func TCrit95(df int) float64 {
+	if df >= 1 && df < len(tTable95) {
+		return tTable95[df]
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval on
+// the mean of xs, using Student's t for small samples. Fewer than two
+// samples carry no spread information; the half-width is 0 (callers
+// report it as "no interval" rather than false precision).
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return TCrit95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// MeanCI95 returns the mean of xs together with its 95% confidence
+// half-width (see CI95).
+func MeanCI95(xs []float64) (mean, half float64) {
+	return Mean(xs), CI95(xs)
+}
+
 // Max returns the maximum of xs (0 for empty input).
 func Max(xs []float64) float64 {
 	m := 0.0

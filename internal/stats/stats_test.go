@@ -69,6 +69,80 @@ func TestMeanAndMax(t *testing.T) {
 	}
 }
 
+func TestStdDev(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 0},
+		{"constant", []float64{3, 3, 3, 3}, 0},
+		{"pair", []float64{1, 3}, math.Sqrt2},                               // var = ((1)^2+(1)^2)/1 = 2
+		{"classic", []float64{2, 4, 4, 4, 5, 5, 7, 9}, math.Sqrt(32.0 / 7)}, // sample variance
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := StdDev(c.in); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("StdDev(%v) = %g, want %g", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706},
+		{2, 4.303},
+		{9, 2.262},
+		{30, 2.042},
+		{31, 1.96}, // beyond the table: normal approximation
+		{1000, 1.96},
+		{0, 1.96}, // degenerate df falls back to normal
+	}
+	for _, c := range cases {
+		if got := TCrit95(c.df); got != c.want {
+			t.Errorf("TCrit95(%d) = %g, want %g", c.df, got, c.want)
+		}
+	}
+}
+
+func TestCI95(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 0}, // no spread information
+		{"constant", []float64{2, 2, 2}, 0},
+		// n=2: t(1) * s/sqrt(2) = 12.706 * sqrt(2)/sqrt(2) = 12.706
+		{"pair", []float64{1, 3}, 12.706},
+		// n=5, s=1: 2.776 / sqrt(5)
+		{"five", []float64{-1.2649110640673518, -0.6324555320336759, 0, 0.6324555320336759, 1.2649110640673518}, 2.776 / math.Sqrt(5)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := CI95(c.in); math.Abs(got-c.want) > 1e-9 {
+				t.Errorf("CI95(%v) = %g, want %g", c.in, got, c.want)
+			}
+		})
+	}
+	// The interval tightens as the sample grows (same per-sample spread).
+	small := CI95([]float64{1, 3, 1, 3})
+	large := CI95([]float64{1, 3, 1, 3, 1, 3, 1, 3, 1, 3, 1, 3})
+	if large >= small {
+		t.Errorf("CI95 did not tighten with more samples: n=4 %g vs n=12 %g", small, large)
+	}
+	mean, half := MeanCI95([]float64{1, 3})
+	if mean != 2 || half != CI95([]float64{1, 3}) {
+		t.Errorf("MeanCI95 = (%g, %g)", mean, half)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("Demo", "name", "value")
 	tb.AddRow("alpha", 1.5)

@@ -87,7 +87,7 @@ func TestIntervalsMath(t *testing.T) {
 	check("IPC", iv.IPC, 0.5)
 	check("MLP", iv.MLP, 2.0)
 	check("PrefAccuracy", iv.PrefAccuracy, 0.8)
-	check("PrefCoverage", iv.PrefCoverage, 0.8)   // 8 / (8 + 2)
+	check("PrefCoverage", iv.PrefCoverage, 0.8) // 8 / (8 + 2)
 	check("PrefTimeliness", iv.PrefTimeliness, 0.75)
 	check("PrefLateFrac", iv.PrefLateFrac, 0.2)
 	check("RunaheadOccupancy", iv.RunaheadOccupancy, 0.5)

@@ -48,10 +48,14 @@ type Workload struct {
 }
 
 // Frontend returns the workload's instruction source, fast-forwarded past
-// the untimed warmup region. Call once per Workload instance.
+// the untimed warmup region. Call once per Workload instance. A zero Skip
+// means no fast-forward (interp.Run treats 0 as "run everything", which
+// would consume the whole program before the timed region started).
 func (w *Workload) Frontend() *interp.Interp {
 	it := interp.New(w.Prog, w.Mem)
-	it.Run(w.Skip)
+	if w.Skip > 0 {
+		it.Run(w.Skip)
+	}
 	return it
 }
 
