@@ -9,7 +9,8 @@
 //
 //	dvrd [-addr :8377] [-workers N] [-queue N] [-cache N] [-cache-dir DIR]
 //	     [-checkpoint-every N] [-watchdog N] [-timeout 5m]
-//	     [-trace-interval N] [-log]
+//	     [-trace-interval N] [-stream-replay N] [-stream-buffer N]
+//	     [-stream-ttl 60s] [-stream-heartbeat 15s] [-log]
 //
 // Observability: every request gets an X-Request-ID and, with -log, a
 // structured JSON log line on stderr with span timings (queue wait →
@@ -19,6 +20,15 @@
 // -trace-interval N every simulation samples IPC/MLP/prefetch telemetry
 // each N committed instructions; a finished async job's per-cell series
 // is served at GET /v1/jobs/{id}/trace.
+//
+// Async batch jobs also stream live over SSE at GET /v1/jobs/{id}/stream:
+// cell lifecycle, per-interval telemetry as each sample lands, and
+// runahead episodes, with Last-Event-ID resume from a bounded replay
+// window (-stream-replay events per job). Slow subscribers lose their
+// oldest undelivered events rather than slowing the simulation
+// (-stream-buffer per session; drops are counted at /metrics), idle
+// sessions are reaped after -stream-ttl, and quiet streams carry comment
+// heartbeats every -stream-heartbeat. See DESIGN.md, "Streaming".
 //
 // With -cache-dir and -checkpoint-every, running simulations journal
 // their state to <dir>/checkpoints and a dvrd killed mid-job resumes the
@@ -49,17 +59,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8377", "listen address")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 256, "queued simulations before requests block")
-		cacheN   = flag.Int("cache", 4096, "in-memory result-cache entries")
-		cacheDir = flag.String("cache-dir", "", "spill cached results to this directory (optional)")
-		ckptN    = flag.Uint64("checkpoint-every", 0, "checkpoint running simulations every N committed instructions so a killed dvrd resumes them at restart (requires -cache-dir; 0 = off)")
-		watchdog = flag.Uint64("watchdog", 0, "abort any simulation that commits nothing for N cycles with a livelock error and forensics dump (0 = off)")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
-		drain    = flag.Duration("drain", 2*time.Minute, "graceful-shutdown deadline")
-		traceIvl = flag.Uint64("trace-interval", 10_000, "sample interval telemetry every N committed instructions per simulation, served at /v1/jobs/{id}/trace (0 = off)")
-		logReqs  = flag.Bool("log", false, "log one structured JSON line per request to stderr")
+		addr      = flag.String("addr", ":8377", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "queued simulations before requests block")
+		cacheN    = flag.Int("cache", 4096, "in-memory result-cache entries")
+		cacheDir  = flag.String("cache-dir", "", "spill cached results to this directory (optional)")
+		ckptN     = flag.Uint64("checkpoint-every", 0, "checkpoint running simulations every N committed instructions so a killed dvrd resumes them at restart (requires -cache-dir; 0 = off)")
+		watchdog  = flag.Uint64("watchdog", 0, "abort any simulation that commits nothing for N cycles with a livelock error and forensics dump (0 = off)")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
+		drain     = flag.Duration("drain", 2*time.Minute, "graceful-shutdown deadline")
+		traceIvl  = flag.Uint64("trace-interval", 10_000, "sample interval telemetry every N committed instructions per simulation, served at /v1/jobs/{id}/trace (0 = off)")
+		strReplay = flag.Int("stream-replay", 0, "per-job replay-ring entries for SSE Last-Event-ID resume (0 = 4096)")
+		strBuffer = flag.Int("stream-buffer", 0, "per-subscriber event buffer; slower readers drop oldest (0 = 1024)")
+		strTTL    = flag.Duration("stream-ttl", 0, "reap stream sessions idle this long (0 = 60s)")
+		strHB     = flag.Duration("stream-heartbeat", 0, "SSE heartbeat interval on quiet streams (0 = 15s)")
+		logReqs   = flag.Bool("log", false, "log one structured JSON line per request to stderr")
 	)
 	flag.Parse()
 
@@ -83,6 +97,10 @@ func main() {
 		DefaultTimeout:     *timeout,
 		Logger:             logger,
 		TraceIntervalEvery: *traceIvl,
+		StreamReplay:       *strReplay,
+		StreamBuffer:       *strBuffer,
+		StreamTTL:          *strTTL,
+		StreamHeartbeat:    *strHB,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -63,8 +63,10 @@ func (o *SamplingOptions) Validate() error {
 // SimRequest asks for one simulation cell: one workload under one
 // technique and configuration. POST /v1/sim.
 type SimRequest struct {
-	Workload  workloads.Ref `json:"workload"`
-	Technique string        `json:"technique"`
+	// Workload names the kernel, graph parameters and ROI to simulate.
+	Workload workloads.Ref `json:"workload"`
+	// Technique selects the runahead technique ("ooo", "vr", "dvr", ...).
+	Technique string `json:"technique"`
 	// Config is the core configuration; nil means cpu.DefaultConfig().
 	Config *cpu.Config `json:"config,omitempty"`
 	// Sampling, when non-nil, requests a sampled (projected) result
@@ -109,9 +111,13 @@ type SimResponse struct {
 // BatchRequest asks for a cell matrix: every workload under every
 // technique, one shared configuration. POST /v1/batch.
 type BatchRequest struct {
+	// Workloads are the matrix rows; Techniques the columns. Every
+	// workload runs under every technique.
 	Workloads  []workloads.Ref `json:"workloads"`
 	Techniques []string        `json:"techniques"`
-	Config     *cpu.Config     `json:"config,omitempty"`
+	// Config is the shared core configuration; nil means
+	// cpu.DefaultConfig().
+	Config *cpu.Config `json:"config,omitempty"`
 	// Sampling applies to every cell of the batch; see SimRequest.Sampling.
 	Sampling *SamplingOptions `json:"sampling,omitempty"`
 	// Async makes the server answer immediately with a job id to poll at
@@ -146,6 +152,8 @@ func (r BatchRequest) Validate() error {
 // BatchResponse carries the completed matrix (synchronous batches and
 // finished jobs) or the job id to poll (async batches).
 type BatchResponse struct {
+	// JobID is set on async batches: the handle to poll at
+	// GET /v1/jobs/{id} and stream at GET /v1/jobs/{id}/stream.
 	JobID string `json:"job_id,omitempty"`
 	// Cells is row-major: workloads[0] under every technique, then
 	// workloads[1], ... len = len(Workloads) * len(Techniques).
@@ -158,20 +166,169 @@ type BatchResponse struct {
 
 // Job states reported by JobStatus.
 const (
+	// JobRunning: the batch is still simulating cells.
 	JobRunning = "running"
-	JobDone    = "done"
-	JobError   = "error"
+	// JobDone: every cell finished; JobStatus.Batch carries the matrix.
+	JobDone = "done"
+	// JobError: a systemic failure (deadline, shutdown) aborted the batch.
+	JobError = "error"
 )
 
-// JobStatus describes an async batch job. GET /v1/jobs/{id}.
+// JobStatus describes an async batch job. GET /v1/jobs/{id}. The progress
+// fields (Done, Intervals, Subscribers) update live while the job runs, so
+// a poller — or a dashboard fed by GET /v1/jobs/{id}/stream — can track a
+// long batch without waiting for completion.
 type JobStatus struct {
-	ID    string `json:"id"`
+	// ID is the job handle returned by the async POST /v1/batch.
+	ID string `json:"id"`
+	// State is one of JobRunning, JobDone, JobError.
 	State string `json:"state"`
-	Done  int    `json:"done"`  // cells completed so far
-	Total int    `json:"total"` // cells in the job
+	// Done counts cells completed so far (live progress).
+	Done int `json:"done"`
+	// Total is the number of cells in the job (workloads × techniques).
+	Total int `json:"total"`
+	// Intervals counts interval telemetry samples recorded so far across
+	// every cell of the job — the live denominator a streaming dashboard
+	// renders against. Zero unless the server runs with -trace-interval.
+	Intervals uint64 `json:"intervals,omitempty"`
+	// Subscribers is the number of stream sessions currently attached to
+	// this job's event broadcast.
+	Subscribers int `json:"subscribers,omitempty"`
+	// Error carries the systemic failure when State is JobError.
 	Error string `json:"error,omitempty"`
 	// Batch holds the results once State is "done".
 	Batch *BatchResponse `json:"batch,omitempty"`
+}
+
+// Stream event kinds carried by Event.Kind. The enum is part of the wire
+// contract: new kinds may be added, existing names never change.
+const (
+	// EventInterval: one interval telemetry sample closed for a cell;
+	// Event.Interval carries it. Emitted live while the cell simulates
+	// (or replayed from the trace store for cache-hit cells, marked by
+	// Event.Replayed). Requires the server to run with -trace-interval.
+	EventInterval = "interval"
+	// EventRunahead: one runahead episode completed on a cell's
+	// simulated core; Event.Episode carries its span. Requires
+	// -trace-interval (episodes ride the same per-cell recorder).
+	EventRunahead = "runahead-episode"
+	// EventCellStarted: a cell entered simulation (or began replaying a
+	// cached series). A repeated cell-started for the same cell means
+	// the cell restarted from scratch (e.g. an unusable checkpoint was
+	// dropped); consumers must reset that cell's series.
+	EventCellStarted = "cell-started"
+	// EventCellDone: a cell finished; Event.Cached distinguishes cache
+	// hits, Event.Error carries an isolated cell failure.
+	EventCellDone = "cell-done"
+	// EventJobDone: the job finished; always the final event of a
+	// stream. Event.Done/Total/Error mirror the job's final status.
+	EventJobDone = "job-done"
+)
+
+// KnownEventKinds lists every event kind this build emits, in the order
+// a full stream can carry them.
+var KnownEventKinds = []string{EventInterval, EventRunahead, EventCellStarted, EventCellDone, EventJobDone}
+
+// Event is one element of a job's event stream (GET /v1/jobs/{id}/stream,
+// SSE). IDs are per-job, strictly increasing, and stable across
+// reconnects: a subscriber that resumes with Last-Event-ID: N receives
+// exactly the events with ID > N still held in the job's replay window.
+type Event struct {
+	// ID is the event's per-job sequence number (also the SSE "id:"
+	// field). Starts at 1.
+	ID uint64 `json:"id"`
+	// Kind is one of the Event* constants (also the SSE "event:" field).
+	Kind string `json:"kind"`
+	// JobID names the job this event belongs to.
+	JobID string `json:"job_id"`
+	// Cell is the row-major cell index (as in BatchResponse.Cells) the
+	// event belongs to; -1 for job-scoped events (job-done). Batch
+	// subscribers filter on it to follow one cell's subchannel.
+	Cell int `json:"cell"`
+	// Key is the cell's content address (same as SimResponse.Key);
+	// empty on job-scoped events.
+	Key string `json:"key,omitempty"`
+	// Bench and Technique name the cell's workload and technique.
+	Bench     string `json:"bench,omitempty"`
+	Technique string `json:"technique,omitempty"`
+	// Cached marks a cell-done served from the result cache (its
+	// interval series, if any, was replayed from the trace store).
+	Cached bool `json:"cached,omitempty"`
+	// Replayed marks an interval event re-published from the trace
+	// store (cache hits and single-flight followers) rather than
+	// emitted live by a running simulation. The interval values are
+	// identical either way.
+	Replayed bool `json:"replayed,omitempty"`
+	// Error carries an isolated cell failure (cell-done) or the job's
+	// systemic failure (job-done).
+	Error string `json:"error,omitempty"`
+	// Interval is the telemetry sample of an "interval" event.
+	Interval *trace.Interval `json:"interval,omitempty"`
+	// Episode is the span of a "runahead-episode" event.
+	Episode *RunaheadEpisode `json:"episode,omitempty"`
+	// Done/Total report job progress on cell-done and job-done events.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// RunaheadEpisode is one completed runahead episode: the span of simulated
+// cycles the engine ran ahead, where it triggered, and how wide it went.
+type RunaheadEpisode struct {
+	// StartCycle/EndCycle bound the episode on the simulated clock.
+	StartCycle uint64 `json:"start_cycle"`
+	EndCycle   uint64 `json:"end_cycle"`
+	// PC is the program counter of the triggering load.
+	PC int `json:"pc"`
+	// Lanes is the vector width of the episode.
+	Lanes uint64 `json:"lanes"`
+	// Reason is the spawn reason ("stall", "stride", "nested").
+	Reason string `json:"reason"`
+}
+
+// StreamOptions select what a stream subscriber receives. They arrive as
+// query parameters on GET /v1/jobs/{id}/stream (kinds, cell, buffer) plus
+// the standard Last-Event-ID header; the struct is the typed form the
+// client library speaks.
+type StreamOptions struct {
+	// Kinds filters the stream to these event kinds (?kinds=a,b); empty
+	// means every kind.
+	Kinds []string `json:"kinds,omitempty"`
+	// Cell, when non-nil, filters the stream to one cell's subchannel
+	// plus job-scoped events (?cell=N).
+	Cell *int `json:"cell,omitempty"`
+	// Buffer overrides the per-session delivery buffer (?buffer=N),
+	// capped by the server's configured maximum. When a subscriber
+	// cannot keep up the oldest buffered events are dropped (the
+	// session's drop counter at /metrics records how many). 0 means the
+	// server default.
+	Buffer int `json:"buffer,omitempty"`
+	// LastEventID resumes the stream after the given event id (the SSE
+	// Last-Event-ID mechanism); 0 means from the start of the replay
+	// window.
+	LastEventID uint64 `json:"last_event_id,omitempty"`
+}
+
+// Validate rejects options that cannot describe a subscription.
+func (o StreamOptions) Validate() error {
+	for _, k := range o.Kinds {
+		known := false
+		for _, want := range KnownEventKinds {
+			if k == want {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("api: unknown stream event kind %q (known: %v)", k, KnownEventKinds)
+		}
+	}
+	if o.Cell != nil && *o.Cell < 0 {
+		return fmt.Errorf("api: stream cell must be >= 0, got %d", *o.Cell)
+	}
+	if o.Buffer < 0 {
+		return fmt.Errorf("api: stream buffer must be >= 0, got %d", o.Buffer)
+	}
+	return nil
 }
 
 // JobTrace is the interval telemetry of a finished async job.
@@ -190,7 +347,9 @@ type JobTrace struct {
 // CellTrace is one cell's interval series, keyed by the cell's content
 // address (the same Key as SimResponse).
 type CellTrace struct {
-	Key       string `json:"key"`
+	// Key is the cell's content address (same as SimResponse.Key).
+	Key string `json:"key"`
+	// Bench and Technique name the cell's workload and technique.
 	Bench     string `json:"bench"`
 	Technique string `json:"technique"`
 	// Missing is set when the cell's telemetry is not in the trace store
@@ -206,7 +365,8 @@ type CellTrace struct {
 type Error struct {
 	// Code is one of: bad_request, timeout, canceled, overloaded,
 	// shutting_down, internal, not_found.
-	Code  string `json:"code,omitempty"`
+	Code string `json:"code,omitempty"`
+	// Error is the human-readable failure description.
 	Error string `json:"error"`
 }
 
@@ -225,18 +385,25 @@ const (
 
 // Metrics is the GET /metrics snapshot.
 type Metrics struct {
+	// UptimeSeconds is the time since server start.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
+	// Workers is the configured simulation parallelism; BusyWorkers how
+	// many are simulating right now; QueueDepth how many tasks wait.
 	Workers     int `json:"workers"`
 	BusyWorkers int `json:"busy_workers"`
 	QueueDepth  int `json:"queue_depth"`
 
+	// CacheEntries/Hits/Misses/HitRate describe the content-addressed
+	// result cache; SingleFlightShared counts requests answered by
+	// joining an identical in-flight job instead of re-simulating.
 	CacheEntries       int     `json:"cache_entries"`
 	CacheHits          uint64  `json:"cache_hits"`
 	CacheMisses        uint64  `json:"cache_misses"`
 	CacheHitRate       float64 `json:"cache_hit_rate"`
 	SingleFlightShared uint64  `json:"single_flight_shared"`
 
+	// JobsActive/JobsDone count async batch jobs by state.
 	JobsActive int `json:"jobs_active"`
 	JobsDone   int `json:"jobs_done"`
 
@@ -274,4 +441,37 @@ type Metrics struct {
 	// trace store (zero unless the server runs with -trace-interval).
 	RequestsTotal uint64 `json:"requests_total"`
 	TracesStored  int    `json:"traces_stored"`
+
+	// StreamSessionsActive counts currently attached stream sessions;
+	// StreamSessionsOpened counts every session ever opened;
+	// StreamSessionsExpired counts sessions reaped by the TTL janitor
+	// (a subscriber that stopped reading without closing);
+	// StreamEventsPublished counts events fanned out across all jobs;
+	// StreamEventsDropped sums every session's drop-oldest counter (a
+	// nonzero value means some subscriber could not keep up and lost
+	// its oldest undelivered events).
+	StreamSessionsActive  int    `json:"stream_sessions_active"`
+	StreamSessionsOpened  uint64 `json:"stream_sessions_opened"`
+	StreamSessionsExpired uint64 `json:"stream_sessions_expired"`
+	StreamEventsPublished uint64 `json:"stream_events_published"`
+	StreamEventsDropped   uint64 `json:"stream_events_dropped"`
+	// StreamSessions lists the currently attached sessions with their
+	// per-session delivery and drop counters (the JSON face of the
+	// per-session dvrd_stream_session_dropped_total Prometheus series).
+	StreamSessions []StreamSession `json:"stream_sessions,omitempty"`
+}
+
+// StreamSession is one live subscriber's accounting snapshot at /metrics.
+type StreamSession struct {
+	// ID is the server-assigned session identifier.
+	ID string `json:"id"`
+	// JobID names the job the session is subscribed to.
+	JobID string `json:"job_id"`
+	// Delivered counts events handed to the subscriber so far.
+	Delivered uint64 `json:"delivered"`
+	// Dropped counts events discarded oldest-first because the
+	// subscriber's bounded buffer was full (the backpressure policy).
+	Dropped uint64 `json:"dropped"`
+	// AgeSeconds is how long the session has been attached.
+	AgeSeconds float64 `json:"age_seconds"`
 }

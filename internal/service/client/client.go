@@ -248,6 +248,9 @@ func (c *Client) once(ctx context.Context, method, path string, data []byte, out
 // retryable classifies an error from once: Temporary API errors and
 // transport-level failures (connection refused during a restart, reset
 // mid-flight) retry; context expiry and deterministic API errors do not.
+// io.ErrUnexpectedEOF is the streaming-body flavor of a mid-flight reset
+// — the server died after the response headers (a 2xx was already
+// committed, so no APIError wraps it) — and retries like one.
 func retryable(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
@@ -255,6 +258,9 @@ func retryable(err error) bool {
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
 	}
 	var ue *url.Error
 	return errors.As(err, &ue)

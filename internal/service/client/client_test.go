@@ -1,0 +1,196 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dvr/internal/service/api"
+)
+
+// fastPolicy keeps reconnect tests quick without losing the retry shape.
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Budget: time.Second}
+}
+
+// TestRetryableUnexpectedEOF: a streaming body cut mid-read surfaces as
+// io.ErrUnexpectedEOF with no APIError around it (the 2xx status was
+// already committed); it must retry like any other mid-flight reset.
+func TestRetryableUnexpectedEOF(t *testing.T) {
+	if !retryable(io.ErrUnexpectedEOF) {
+		t.Error("io.ErrUnexpectedEOF not retryable")
+	}
+	if !retryable(fmt.Errorf("decoding response: %w", io.ErrUnexpectedEOF)) {
+		t.Error("wrapped io.ErrUnexpectedEOF not retryable")
+	}
+	if retryable(context.Canceled) || retryable(context.DeadlineExceeded) {
+		t.Error("context expiry treated as retryable")
+	}
+	if retryable(errors.New("deterministic failure")) {
+		t.Error("arbitrary error treated as retryable")
+	}
+}
+
+// TestUnexpectedEOFRetriedEndToEnd: a server that truncates its first
+// response body mid-JSON is retried and the second attempt succeeds.
+func TestUnexpectedEOFRetriedEndToEnd(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Claim a longer body than we send, then die: the client's
+			// decoder sees io.ErrUnexpectedEOF, not a transport error.
+			w.Header().Set("Content-Length", "500")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"id":"job-`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"job-1","state":"done","done":1,"total":1}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	st, err := c.Job(context.Background(), "job-1")
+	if err != nil {
+		t.Fatalf("Job after truncated body: %v", err)
+	}
+	if st.State != api.JobDone || calls.Load() != 2 {
+		t.Errorf("state %q after %d calls, want done after 2", st.State, calls.Load())
+	}
+	if c.Retries() == 0 {
+		t.Error("retry not counted")
+	}
+}
+
+// TestStreamReconnectResumes: a stream connection dropped mid-job is
+// transparently reconnected with Last-Event-ID, so the consumer sees one
+// gapless sequence across the break.
+func TestStreamReconnectResumes(t *testing.T) {
+	frame := func(w http.ResponseWriter, id uint64, kind string) {
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: {\"id\":%d,\"kind\":%q,\"job_id\":\"job-1\",\"cell\":0}\n\n", id, kind, id, kind)
+	}
+	var streamCalls atomic.Int64
+	var resumedFrom atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"job-1","state":"running","done":0,"total":1}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/job-1/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch streamCalls.Add(1) {
+		case 1:
+			frame(w, 1, api.EventCellStarted)
+			frame(w, 2, api.EventInterval)
+			// Connection drops here, mid-job.
+		default:
+			if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+				var n int64
+				fmt.Sscan(lid, &n)
+				resumedFrom.Store(n)
+			}
+			fmt.Fprint(w, ": hb\n\n")
+			frame(w, 3, api.EventCellDone)
+			frame(w, 4, api.EventJobDone)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	st := c.Stream(context.Background(), "job-1", api.StreamOptions{})
+	defer st.Close()
+	var ids []uint64
+	for {
+		ev, err := st.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v (got %v)", err, ids)
+		}
+		ids = append(ids, ev.ID)
+	}
+	if want := []uint64{1, 2, 3, 4}; len(ids) != 4 || ids[0] != 1 || ids[3] != 4 {
+		t.Fatalf("stream ids %v, want %v", ids, want)
+	}
+	if resumedFrom.Load() != 2 {
+		t.Errorf("reconnect resumed from %d, want 2", resumedFrom.Load())
+	}
+	if streamCalls.Load() < 2 {
+		t.Error("no reconnect happened")
+	}
+	if st.LastEventID() != 4 {
+		t.Errorf("LastEventID = %d, want 4", st.LastEventID())
+	}
+}
+
+// TestStreamCleanEndAfterServerClose: when the job is no longer running,
+// a closed stream is io.EOF, not a retry loop — even for a subscription
+// whose filter hid the job-done event.
+func TestStreamCleanEndAfterServerClose(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"job-1","state":"done","done":1,"total":1}`)
+	})
+	var streamCalls atomic.Int64
+	mux.HandleFunc("GET /v1/jobs/job-1/stream", func(w http.ResponseWriter, r *http.Request) {
+		streamCalls.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 1\nevent: interval\ndata: {\"id\":1,\"kind\":\"interval\",\"job_id\":\"job-1\",\"cell\":0}\n\n")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	st := c.Stream(context.Background(), "job-1", api.StreamOptions{Kinds: []string{api.EventInterval}})
+	defer st.Close()
+	if ev, err := st.Next(); err != nil || ev.ID != 1 {
+		t.Fatalf("first Next: %v %v", ev, err)
+	}
+	if _, err := st.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after finished-job close: %v, want io.EOF", err)
+	}
+	if streamCalls.Load() != 1 {
+		t.Errorf("client reconnected %d times to a finished job", streamCalls.Load()-1)
+	}
+}
+
+// TestStreamPermanentError: a 404 on connect is returned immediately as
+// a typed APIError, not retried.
+func TestStreamPermanentError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"code":"not_found","error":"service: unknown job \"job-9\""}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(fastPolicy()))
+	st := c.Stream(context.Background(), "job-9", api.StreamOptions{})
+	defer st.Close()
+	_, err := st.Next()
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound || ae.Code != api.CodeNotFound {
+		t.Fatalf("Next: %v, want typed 404", err)
+	}
+	// The error is sticky.
+	if _, err2 := st.Next(); !errors.Is(err2, err) {
+		t.Errorf("second Next: %v, want the same terminal error", err2)
+	}
+}
+
+// TestStreamInvalidOptions: client-side validation fails fast, before
+// any connection.
+func TestStreamInvalidOptions(t *testing.T) {
+	c := New("http://127.0.0.1:0", WithRetryPolicy(fastPolicy()))
+	st := c.Stream(context.Background(), "job-1", api.StreamOptions{Kinds: []string{"bogus"}})
+	if _, err := st.Next(); err == nil {
+		t.Fatal("invalid kinds accepted")
+	}
+}

@@ -28,17 +28,23 @@ import (
 // simulate runs one cell inside a pool worker, with whatever durability
 // the server is configured for: resume from a valid checkpoint, periodic
 // checkpointing, the retirement watchdog, and scripted livelock faults.
-func (s *Server) simulate(ctx context.Context, key string, spec workloads.Spec, tech string, cfg cpu.Config) (cpu.Result, error) {
+// A live pub additionally wires the recorder's OnInterval/OnEvent hooks
+// into the job's broadcaster, so subscribers see each interval the moment
+// its closing sample lands. The hooks publish without ever blocking, and
+// they observe only — the result stays bit-identical under streaming.
+func (s *Server) simulate(ctx context.Context, key string, spec workloads.Spec, tech string, cfg cpu.Config, pub *cellPub) (cpu.Result, error) {
 	opts := experiments.JobOpts{
 		WatchdogBudget: s.cfg.WatchdogCycles,
 		LivelockAfter:  s.cfg.Faults.LivelockAfter(key),
 	}
+	onInterval, onEvent := pub.traceHooks()
 	var rec *trace.Recorder
 	if s.cfg.TraceIntervalEvery > 0 {
 		// Interval-only recorder (no event ring): per-cell telemetry for
 		// GET /v1/jobs/{id}/trace. Observational — the result is
 		// bit-identical with or without it.
-		rec = trace.New(trace.Config{IntervalEvery: s.cfg.TraceIntervalEvery})
+		rec = trace.New(trace.Config{IntervalEvery: s.cfg.TraceIntervalEvery,
+			OnInterval: onInterval, OnEvent: onEvent})
 		opts.Trace = rec
 	}
 	if s.ckpts != nil {
@@ -81,8 +87,12 @@ func (s *Server) simulate(ctx context.Context, key string, spec workloads.Spec, 
 		opts.Resume = nil
 		if rec != nil {
 			// Fresh recorder: the aborted attempt must not pollute the
-			// from-scratch run's series.
-			rec = trace.New(trace.Config{IntervalEvery: s.cfg.TraceIntervalEvery})
+			// from-scratch run's series. Subscribers get a repeated
+			// cell-started — the documented "reset this cell's series"
+			// signal — before the fresh intervals arrive.
+			pub.publish(api.Event{Kind: api.EventCellStarted, Key: key})
+			rec = trace.New(trace.Config{IntervalEvery: s.cfg.TraceIntervalEvery,
+				OnInterval: onInterval, OnEvent: onEvent})
 			opts.Trace = rec
 		}
 		res, err = experiments.RunJob(ctx, spec, experiments.Technique(tech), cfg, opts)
@@ -172,7 +182,7 @@ func (s *Server) resumePending() {
 		s.jobs.wg.Add(1)
 		go func() {
 			defer s.jobs.wg.Done()
-			_, _ = s.runCell(context.Background(), st.Ref, st.Technique, st.Config, nil, admitQueue)
+			_, _ = s.runCell(context.Background(), st.Ref, st.Technique, st.Config, nil, admitQueue, nil)
 		}()
 	}
 }

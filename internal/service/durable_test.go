@@ -69,7 +69,7 @@ func TestServerResumesInterruptedJobAcrossRestart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := srv1.runCell(ctx, ref, tech, cfg, nil, admitQueue)
+		_, err := srv1.runCell(ctx, ref, tech, cfg, nil, admitQueue, nil)
 		done <- err
 	}()
 	deadline := time.Now().Add(30 * time.Second)
@@ -115,7 +115,7 @@ func TestServerResumesInterruptedJobAcrossRestart(t *testing.T) {
 	if got := len(srv3.CheckpointHealth().Pending); got != 0 {
 		t.Errorf("third startup scan found %d pending jobs, want 0", got)
 	}
-	res, err := srv3.runCell(context.Background(), ref, tech, cfg, nil, admitQueue)
+	res, err := srv3.runCell(context.Background(), ref, tech, cfg, nil, admitQueue, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestCorruptCheckpointQuarantinedAcrossRestarts(t *testing.T) {
 
 	// The named job is untainted: it simulates from scratch, with no
 	// resume from the quarantined bytes.
-	res, err := srv1.runCell(context.Background(), ref, "dvr", cfg, nil, admitQueue)
+	res, err := srv1.runCell(context.Background(), ref, "dvr", cfg, nil, admitQueue, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,14 +3,23 @@ package service
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dvr/internal/service/api"
+	"dvr/internal/stream"
 )
 
 // job is one async batch in flight or finished.
 type job struct {
 	id    string
 	total int
+
+	// bc is the job's event broadcaster (nil only for jobs created before
+	// a registry existed, which does not happen in a running server);
+	// intervals counts interval events published so far — the live
+	// progress JobStatus reports.
+	bc        *stream.Broadcaster
+	intervals atomic.Uint64
 
 	mu    sync.Mutex
 	done  int
@@ -19,11 +28,19 @@ type job struct {
 	batch *api.BatchResponse
 }
 
-// cellDone records one completed cell.
-func (j *job) cellDone() {
+// cellDone records one completed cell and reports the new count.
+func (j *job) cellDone() int {
 	j.mu.Lock()
+	defer j.mu.Unlock()
 	j.done++
-	j.mu.Unlock()
+	return j.done
+}
+
+// doneCount reports completed cells.
+func (j *job) doneCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
 }
 
 // finish records the job outcome.
@@ -39,11 +56,16 @@ func (j *job) finish(batch *api.BatchResponse, err error) {
 	j.batch = batch
 }
 
-// status snapshots the job for the wire.
+// status snapshots the job for the wire, including the live progress
+// fields (interval count, attached subscribers).
 func (j *job) status() api.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := api.JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total}
+	st := api.JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total,
+		Intervals: j.intervals.Load()}
+	if j.bc != nil {
+		st.Subscribers = j.bc.Subscribers()
+	}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -67,12 +89,17 @@ func newJobStore() *jobStore {
 	return &jobStore{jobs: make(map[string]*job)}
 }
 
-// create registers a new running job of total cells.
-func (s *jobStore) create(total int) *job {
+// create registers a new running job of total cells. Its broadcaster is
+// attached before the job becomes visible, so an early subscriber (one
+// racing the 202 response) cannot find a streamless job.
+func (s *jobStore) create(total int, streams *stream.Registry) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
 	j := &job{id: fmt.Sprintf("job-%d", s.seq), total: total, state: api.JobRunning}
+	if streams != nil {
+		j.bc = streams.Create(j.id)
+	}
 	s.jobs[j.id] = j
 	return j
 }

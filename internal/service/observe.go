@@ -91,6 +91,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so SSE responses stream through
+// the instrumentation instead of buffering behind it.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps the routed handler with per-request observability:
 // ID assignment, span accumulation, the duration histogram, the request
 // counter, and one structured log line per request.

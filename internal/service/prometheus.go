@@ -96,6 +96,23 @@ func writePrometheus(w io.Writer, m api.Metrics, reqHist, queueHist *histogram) 
 	gauge("dvrd_sim_mips", m.SimMIPS)
 	counter("dvrd_requests_total", m.RequestsTotal)
 	gauge("dvrd_traces_stored", float64(m.TracesStored))
+	gauge("dvrd_stream_sessions_active", float64(m.StreamSessionsActive))
+	counter("dvrd_stream_sessions_opened_total", m.StreamSessionsOpened)
+	counter("dvrd_stream_sessions_expired_total", m.StreamSessionsExpired)
+	counter("dvrd_stream_events_published_total", m.StreamEventsPublished)
+	counter("dvrd_stream_events_dropped_total", m.StreamEventsDropped)
+	// Per-session accounting: one labeled series per attached subscriber,
+	// so a dashboard can name the exact consumer that is falling behind.
+	if len(m.StreamSessions) > 0 {
+		fmt.Fprint(w, "# TYPE dvrd_stream_session_dropped gauge\n")
+		for _, ss := range m.StreamSessions {
+			fmt.Fprintf(w, "dvrd_stream_session_dropped{session=%q,job=%q} %d\n", ss.ID, ss.JobID, ss.Dropped)
+		}
+		fmt.Fprint(w, "# TYPE dvrd_stream_session_delivered gauge\n")
+		for _, ss := range m.StreamSessions {
+			fmt.Fprintf(w, "dvrd_stream_session_delivered{session=%q,job=%q} %d\n", ss.ID, ss.JobID, ss.Delivered)
+		}
+	}
 	reqHist.write(w, "dvrd_request_duration_seconds")
 	queueHist.write(w, "dvrd_queue_wait_seconds")
 }

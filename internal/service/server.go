@@ -29,6 +29,7 @@ import (
 	"dvr/internal/experiments"
 	"dvr/internal/faults"
 	"dvr/internal/service/api"
+	"dvr/internal/stream"
 	"dvr/internal/workloads"
 )
 
@@ -86,6 +87,19 @@ type Config struct {
 	// TraceEntries bounds the in-memory trace store; 0 means 1024. With
 	// CacheDir set, series also spill to <dir>/traces/.
 	TraceEntries int
+	// StreamReplay bounds each job's replay ring — the Last-Event-ID
+	// resume window of GET /v1/jobs/{id}/stream; 0 means 4096 events.
+	StreamReplay int
+	// StreamBuffer is the default per-subscriber delivery buffer; 0 means
+	// 1024 events. A subscriber that falls further behind loses its oldest
+	// undelivered events (counted at /metrics).
+	StreamBuffer int
+	// StreamTTL reaps stream sessions not polled for this long (a wedged
+	// proxy, an abandoned connection); 0 means 60s.
+	StreamTTL time.Duration
+	// StreamHeartbeat is the SSE comment-keepalive interval on quiet
+	// streams; 0 means 15s.
+	StreamHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceEntries <= 0 {
 		c.TraceEntries = 1024
 	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -127,6 +144,10 @@ type Server struct {
 	// ckptHealth is its startup scan.
 	ckpts      *checkpoint.Store
 	ckptHealth checkpoint.Health
+
+	// streams owns the per-job broadcasters behind GET
+	// /v1/jobs/{id}/stream and the TTL janitor reaping idle sessions.
+	streams *stream.Registry
 
 	// traces holds per-cell interval telemetry (nil when tracing is
 	// disabled); logger, reqSeq and the histograms back the request
@@ -166,6 +187,11 @@ func New(cfg Config) *Server {
 		start:      time.Now(),
 		startInsts: experiments.SimInstructions(),
 	}
+	s.streams = stream.NewRegistry(stream.Config{
+		ReplayEntries: cfg.StreamReplay,
+		SessionBuffer: cfg.StreamBuffer,
+		SessionTTL:    cfg.StreamTTL,
+	})
 	if cfg.TraceIntervalEvery > 0 {
 		traceDir := ""
 		if cfg.CacheDir != "" {
@@ -203,9 +229,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /"+api.Version+"/batch", s.handleBatch)
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.instrument(mux)
+	// normalizeErrors turns the mux's own plain-text 404/405 pages into
+	// typed api.Error JSON; every other error body is already typed.
+	return s.instrument(normalizeErrors(mux))
 }
 
 // Shutdown drains the server: it waits for every async job to finish,
@@ -216,6 +245,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		s.jobs.wg.Wait()
 		s.pool.Close()
+		s.streams.Close()
 		close(done)
 	}()
 	select {
@@ -338,8 +368,10 @@ const (
 // canonical (deterministic), so repeated requests are byte-identical. A
 // non-nil so selects the sampled path: the cell's content address includes
 // the sampling options, so sampled and exact results never share a cache
-// line or a single-flight.
-func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cfg cpu.Config, so *api.SamplingOptions, adm admission) (api.SimResponse, error) {
+// line or a single-flight. A non-nil pub streams the cell's lifecycle and
+// telemetry to its job's subscribers; cells answered without running here
+// (cache hits, single-flight followers) replay their stored series instead.
+func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cfg cpu.Config, so *api.SamplingOptions, adm admission, pub *cellPub) (api.SimResponse, error) {
 	if _, err := experiments.ParseTechnique(tech); err != nil {
 		return api.SimResponse{}, badRequest(err)
 	}
@@ -350,7 +382,9 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 	// Resolve normalized the ROI (0 -> kernel default); key the normalized
 	// form so explicit-default and defaulted requests share a cache line.
 	key := CacheKeySampled(spec.Ref, tech, cfg, so)
+	pub.publish(api.Event{Kind: api.EventCellStarted, Key: key})
 	if res, ok := s.cache.Get(key); ok {
+		s.replayTrace(pub, key, true)
 		return api.SimResponse{Key: key, Cached: true, Result: res}, nil
 	}
 	simulate := func() (cpu.Result, error) {
@@ -381,7 +415,7 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 			if so != nil {
 				out, runErr = s.simulateSampled(ctx, runSpec, tech, cfg, so)
 			} else {
-				out, runErr = s.simulate(ctx, key, runSpec, tech, cfg)
+				out, runErr = s.simulate(ctx, key, runSpec, tech, cfg, pub)
 			}
 			sp.addSim(time.Since(simStart))
 		}
@@ -413,9 +447,14 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 	if err != nil {
 		return api.SimResponse{}, err
 	}
+	if shared {
+		// A follower never saw the leader's live samples (the leader may
+		// even belong to a different job); the leader stored the series
+		// before its flight resolved, so replay it here.
+		s.replayTrace(pub, key, false)
+	}
 	// A follower's result came from the in-flight leader, not the cache;
 	// report it uncached (metrics count it under single_flight_shared).
-	_ = shared
 	return api.SimResponse{Key: key, Cached: false, Result: res}, nil
 }
 
@@ -453,7 +492,11 @@ func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*a
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				resp, err := s.runCell(ctx, ref, tech, cfg, req.Sampling, admitQueue)
+				var pub *cellPub
+				if j != nil {
+					pub = &cellPub{j: j, cell: idx, bench: ref.Kernel, tech: tech}
+				}
+				resp, err := s.runCell(ctx, ref, tech, cfg, req.Sampling, admitQueue, pub)
 				if err != nil {
 					var (
 						pe *PanicError
@@ -462,12 +505,15 @@ func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*a
 					if errors.As(err, &pe) || errors.As(err, &le) {
 						// Isolated crash or wedge of this one cell: report
 						// it in place and let the rest of the batch finish.
+						key := CacheKeySampled(ref, tech, cfg, req.Sampling)
 						cells[idx] = api.SimResponse{
-							Key:   CacheKeySampled(ref, tech, cfg, req.Sampling),
+							Key:   key,
 							Error: &api.Error{Code: api.CodeInternal, Error: err.Error()},
 						}
 						if j != nil {
-							j.cellDone()
+							done := j.cellDone()
+							pub.publish(api.Event{Kind: api.EventCellDone, Key: key,
+								Error: err.Error(), Done: done, Total: j.total})
 						}
 						return
 					}
@@ -479,7 +525,9 @@ func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*a
 				}
 				cells[idx] = resp
 				if j != nil {
-					j.cellDone()
+					done := j.cellDone()
+					pub.publish(api.Event{Kind: api.EventCellDone, Key: resp.Key,
+						Cached: resp.Cached, Done: done, Total: j.total})
 				}
 			}()
 		}
@@ -514,7 +562,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
 	defer cancel()
-	resp, err := s.runCell(ctx, req.Workload, req.Technique, s.config(req.Config), req.Sampling, admitShed)
+	resp, err := s.runCell(ctx, req.Workload, req.Technique, s.config(req.Config), req.Sampling, admitShed, nil)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -542,7 +590,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Async {
-		j := s.jobs.create(len(req.Workloads) * len(req.Techniques))
+		j := s.jobs.create(len(req.Workloads)*len(req.Techniques), s.streams)
 		ctx := context.Background()
 		var cancel context.CancelFunc = func() {}
 		if req.TimeoutMS > 0 {
@@ -554,6 +602,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer cancel()
 			batch, err := s.runBatch(ctx, req, j)
 			j.finish(batch, err)
+			if j.bc != nil {
+				// Terminal event, then close: subscribers drain whatever is
+				// buffered (ending with job-done) and see a clean stream end.
+				ev := api.Event{Kind: api.EventJobDone, Done: j.doneCount(), Total: j.total}
+				if err != nil {
+					ev.Error = err.Error()
+				}
+				ev.Cell = -1
+				j.bc.Publish(ev)
+				j.bc.Close()
+			}
 		}()
 		writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id})
 		return
@@ -600,6 +659,7 @@ func (s *Server) Metrics() api.Metrics {
 		mips = float64(insts-s.startInsts) / uptime / 1e6
 	}
 	active, finished := s.jobs.counts()
+	sm := s.streams.Snapshot()
 	var ckptQuarantined uint64
 	if s.ckpts != nil {
 		ckptQuarantined = s.ckpts.Quarantined()
@@ -632,6 +692,13 @@ func (s *Server) Metrics() api.Metrics {
 
 		RequestsTotal: s.reqTotal.Load(),
 		TracesStored:  s.traces.Len(),
+
+		StreamSessionsActive:  sm.SessionsActive,
+		StreamSessionsOpened:  sm.SessionsOpened,
+		StreamSessionsExpired: sm.SessionsExpired,
+		StreamEventsPublished: sm.EventsPublished,
+		StreamEventsDropped:   sm.EventsDropped,
+		StreamSessions:        sm.Sessions,
 	}
 }
 

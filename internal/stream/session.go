@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dvr/internal/service/api"
+)
+
+// Session is one subscriber's view of a job stream: a bounded ring of
+// undelivered events with an explicit drop-oldest overflow policy, a TTL,
+// and per-session delivery/drop accounting. One goroutine consumes a
+// session (Next); any number may publish into it through the broadcaster.
+type Session struct {
+	b   *Broadcaster
+	id  uint64
+	ttl time.Duration
+
+	mu        sync.Mutex
+	buf       []api.Event // delivery ring
+	head      int         // index of the oldest buffered event
+	n         int         // buffered count
+	dropped   uint64      // events lost to the overflow policy
+	delivered uint64      // events handed to the consumer
+	lastID    uint64      // highest event id enqueued (gap detection)
+	closed    bool        // broadcaster finished; drain then ErrClosed
+	expired   bool        // reaped; ErrExpired immediately
+	lastPoll  time.Time   // last Next call (TTL clock)
+	opened    time.Time
+
+	filter func(api.Event) bool
+	notify chan struct{} // cap 1; kicked on enqueue/close/expire
+}
+
+// enqueue appends ev to the delivery ring, evicting the oldest buffered
+// event when full (counted in dropped). Called with b.mu held, so the
+// per-session order matches publish order exactly.
+func (s *Session) enqueue(ev api.Event) {
+	if s.filter != nil && !s.filter(ev) {
+		return
+	}
+	s.mu.Lock()
+	if s.closed || s.expired {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.buf) {
+		// Drop-oldest: the freshest events are the valuable ones for a
+		// live view, and the replay window covers re-reading history.
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		s.dropped++
+		if s.b != nil && s.b.reg != nil {
+			s.b.reg.droppedTotal.Add(1)
+		}
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+	s.lastID = ev.ID
+	s.mu.Unlock()
+	s.kick()
+}
+
+func (s *Session) kick() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next returns the oldest undelivered event, blocking until one arrives,
+// the stream ends (ErrClosed), the session is reaped (ErrExpired), or ctx
+// is done. It is the TTL heartbeat: each call refreshes the session's
+// idle clock.
+func (s *Session) Next(ctx context.Context) (api.Event, error) {
+	for {
+		s.mu.Lock()
+		s.lastPoll = time.Now()
+		if s.n > 0 {
+			ev := s.buf[s.head]
+			s.buf[s.head] = api.Event{} // release references
+			s.head = (s.head + 1) % len(s.buf)
+			s.n--
+			s.delivered++
+			s.mu.Unlock()
+			return ev, nil
+		}
+		expired, closed := s.expired, s.closed
+		s.mu.Unlock()
+		if expired {
+			return api.Event{}, ErrExpired
+		}
+		if closed {
+			return api.Event{}, ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return api.Event{}, ctx.Err()
+		case <-s.notify:
+		}
+	}
+}
+
+// Dropped reports how many events this session lost to the drop-oldest
+// policy so far.
+func (s *Session) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Delivered reports how many events this session has handed its consumer.
+func (s *Session) Delivered() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+// LastEventID reports the highest event id enqueued into this session —
+// the consumer's resume cursor after a drop gap.
+func (s *Session) LastEventID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastID
+}
+
+// Close detaches the session from its broadcaster and releases its
+// buffer. Idempotent; safe concurrently with publishes.
+func (s *Session) Close() {
+	if s.b != nil {
+		s.b.drop(s)
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.kick()
+}
+
+// markClosed flags the end of the stream without discarding buffered
+// events: the consumer drains what is left, then gets ErrClosed.
+func (s *Session) markClosed() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.kick()
+}
+
+// expire reaps an idle session: detach, mark, and wake the consumer (if
+// one is still blocked, it gets ErrExpired).
+func (s *Session) expire() {
+	if s.b != nil {
+		s.b.drop(s)
+	}
+	s.mu.Lock()
+	s.expired = true
+	s.mu.Unlock()
+	s.kick()
+}
+
+// idleSince reports the last poll time (janitor use).
+func (s *Session) idleSince() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastPoll
+}

@@ -145,6 +145,21 @@ type Config struct {
 	// IntervalEvery samples the counter time-series every N committed
 	// instructions. 0 disables interval sampling.
 	IntervalEvery uint64
+
+	// OnInterval, when non-nil, is called with each interval the moment
+	// its closing sample lands (the same values Intervals() later
+	// returns, in the same order — the live stream and the post-hoc
+	// series are element-identical by construction). It runs on the
+	// simulation goroutine, so implementations must be fast and must
+	// never block; they must also never mutate simulator state (the
+	// bit-identity contract extends to them).
+	OnInterval func(Interval)
+	// OnEvent, when non-nil, is called with every emitted event — even
+	// when Events is 0 and no ring is kept, which is how a live
+	// subscriber can watch runahead episodes without paying for event
+	// retention. Same discipline as OnInterval: fast, non-blocking,
+	// observation only.
+	OnEvent func(Event)
 }
 
 // Recorder collects events and interval samples for one simulation. It is
@@ -187,9 +202,16 @@ func (r *Recorder) IntervalEvery() uint64 {
 	return r.cfg.IntervalEvery
 }
 
-// Emit records one event into the ring, overwriting the oldest when full.
+// Emit records one event into the ring, overwriting the oldest when full,
+// and forwards it to the OnEvent hook (which fires even without a ring).
 func (r *Recorder) Emit(k Kind, cycle, end uint64, pc int, arg, arg2 uint64) {
-	if r == nil || len(r.ring) == 0 {
+	if r == nil {
+		return
+	}
+	if r.cfg.OnEvent != nil {
+		r.cfg.OnEvent(Event{Kind: k, Cycle: cycle, End: end, PC: pc, Arg: arg, Arg2: arg2})
+	}
+	if len(r.ring) == 0 {
 		return
 	}
 	r.ring[r.emitted%uint64(len(r.ring))] = Event{Kind: k, Cycle: cycle, End: end, PC: pc, Arg: arg, Arg2: arg2}
@@ -233,6 +255,9 @@ func (r *Recorder) Sample(inst, cycle uint64, c Counters) {
 	}
 	r.samples = append(r.samples, sample{inst: inst, cycle: cycle, c: c, hw: r.curHW})
 	r.curHW = 0
+	if n := len(r.samples); n >= 2 && r.cfg.OnInterval != nil {
+		r.cfg.OnInterval(makeInterval(r.samples[n-2], r.samples[n-1], n-2))
+	}
 }
 
 // Events returns the ring contents oldest-first. The slice is freshly
@@ -357,6 +382,32 @@ func ratio(num, den uint64) float64 {
 	return float64(num) / float64(den)
 }
 
+// makeInterval derives one interval from an adjacent sample pair. Both the
+// post-hoc Intervals() series and the live OnInterval hook go through it,
+// which is what makes a streamed series element-identical to the stored one.
+func makeInterval(a, b sample, index int) Interval {
+	d := b.c.sub(a.c)
+	cycles := b.cycle - a.cycle
+	return Interval{
+		Index:         index,
+		StartInst:     a.inst,
+		EndInst:       b.inst,
+		StartCycle:    a.cycle,
+		EndCycle:      b.cycle,
+		Delta:         d,
+		MSHRHighWater: b.hw,
+
+		IPC:               ratio(b.inst-a.inst, cycles),
+		MLP:               ratio(d.MSHRBusyCycles, cycles),
+		PrefAccuracy:      ratio(d.PrefUseful, d.PrefIssued),
+		PrefCoverage:      ratio(d.PrefUseful, d.PrefUseful+d.DemandDRAM),
+		PrefTimeliness:    ratio(d.PrefUsefulL1, d.PrefUseful),
+		PrefLateFrac:      ratio(d.PrefLate, d.PrefIssued),
+		RunaheadOccupancy: ratio(d.RunaheadBusyCycles, cycles),
+		ROBStallFrac:      ratio(d.ROBStallCycles, cycles),
+	}
+}
+
 // Intervals derives the interval series from the recorded samples.
 func (r *Recorder) Intervals() []Interval {
 	if r == nil || len(r.samples) < 2 {
@@ -364,28 +415,7 @@ func (r *Recorder) Intervals() []Interval {
 	}
 	out := make([]Interval, 0, len(r.samples)-1)
 	for i := 1; i < len(r.samples); i++ {
-		a, b := r.samples[i-1], r.samples[i]
-		d := b.c.sub(a.c)
-		cycles := b.cycle - a.cycle
-		iv := Interval{
-			Index:         i - 1,
-			StartInst:     a.inst,
-			EndInst:       b.inst,
-			StartCycle:    a.cycle,
-			EndCycle:      b.cycle,
-			Delta:         d,
-			MSHRHighWater: b.hw,
-
-			IPC:               ratio(b.inst-a.inst, cycles),
-			MLP:               ratio(d.MSHRBusyCycles, cycles),
-			PrefAccuracy:      ratio(d.PrefUseful, d.PrefIssued),
-			PrefCoverage:      ratio(d.PrefUseful, d.PrefUseful+d.DemandDRAM),
-			PrefTimeliness:    ratio(d.PrefUsefulL1, d.PrefUseful),
-			PrefLateFrac:      ratio(d.PrefLate, d.PrefIssued),
-			RunaheadOccupancy: ratio(d.RunaheadBusyCycles, cycles),
-			ROBStallFrac:      ratio(d.ROBStallCycles, cycles),
-		}
-		out = append(out, iv)
+		out = append(out, makeInterval(r.samples[i-1], r.samples[i], i-1))
 	}
 	return out
 }

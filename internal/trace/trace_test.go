@@ -119,6 +119,50 @@ func TestIntervalsZeroDenominators(t *testing.T) {
 	}
 }
 
+// TestLiveHooksMatchPostHoc: the OnInterval hook must deliver exactly the
+// series Intervals() later returns (same values, same order), and OnEvent
+// must see every emission — including with no event ring configured, which
+// is how the dvrd stream layer watches runahead episodes without paying
+// for retention.
+func TestLiveHooksMatchPostHoc(t *testing.T) {
+	var (
+		live   []trace.Interval
+		events []trace.Event
+	)
+	r := trace.New(trace.Config{
+		IntervalEvery: 100,
+		OnInterval:    func(iv trace.Interval) { live = append(live, iv) },
+		OnEvent:       func(ev trace.Event) { events = append(events, ev) },
+	})
+	r.Sample(0, 0, trace.Counters{})
+	r.Emit(trace.EvRunaheadSpawn, 10, 50, 3, 16, trace.ReasonStride)
+	r.MSHROccupancy(20, 4)
+	r.Sample(100, 200, trace.Counters{PrefIssued: 4, PrefUseful: 2})
+	r.Sample(100, 200, trace.Counters{}) // duplicate boundary: no hook
+	r.Sample(250, 500, trace.Counters{PrefIssued: 9, PrefUseful: 7})
+
+	post := r.Intervals()
+	if len(live) != len(post) || len(post) != 2 {
+		t.Fatalf("live %d vs post-hoc %d intervals, want 2", len(live), len(post))
+	}
+	for i := range post {
+		if live[i] != post[i] {
+			t.Errorf("interval %d differs:\nlive: %+v\npost: %+v", i, live[i], post[i])
+		}
+	}
+	// Two explicit emissions reach the hook (the spawn and the MSHR
+	// high-water event) even though Events=0 keeps no ring.
+	if len(events) != 2 {
+		t.Fatalf("OnEvent saw %d events, want 2: %+v", len(events), events)
+	}
+	if events[0].Kind != trace.EvRunaheadSpawn || events[1].Kind != trace.EvMSHRHighWater {
+		t.Errorf("unexpected event kinds: %+v", events)
+	}
+	if r.Events() != nil {
+		t.Error("ringless recorder retained events")
+	}
+}
+
 // fillRecorder emits one event of every kind plus occupancy and samples.
 func fillRecorder() *trace.Recorder {
 	r := trace.New(trace.Config{Events: 64, IntervalEvery: 100})
