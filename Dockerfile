@@ -1,0 +1,12 @@
+# Build dvrd from source; the compose stack builds this image once and
+# runs it as one frontend + two workers (see docker-compose.yml).
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -o /out/dvrd ./cmd/dvrd
+
+FROM gcr.io/distroless/static-debian12
+COPY --from=build /out/dvrd /dvrd
+EXPOSE 8377
+ENTRYPOINT ["/dvrd"]

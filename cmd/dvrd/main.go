@@ -7,28 +7,41 @@
 //
 // Usage:
 //
-//	dvrd [-addr :8377] [-workers N] [-queue N] [-cache N] [-cache-dir DIR]
+//	dvrd [-role single|worker|frontend] [-addr :8377]
+//	     [-workers N] [-queue N] [-cache N] [-cache-dir DIR]
 //	     [-checkpoint-every N] [-watchdog N] [-timeout 5m]
 //	     [-trace-interval N] [-stream-replay N] [-stream-buffer N]
 //	     [-stream-ttl 60s] [-stream-heartbeat 15s] [-log]
+//	     [-replicas URL,URL,...] [-probe-interval 1s] [-fail-threshold 3]
+//	     [-drain-grace 5s]
+//
+// Roles: the default single role is the standalone server. A cluster
+// splits into -role=worker replicas (same server, plus a drain-aware
+// /readyz and a grace period between unready and listener close) fronted
+// by a -role=frontend router that shards jobs over -replicas by content
+// address on a consistent-hash ring, probes each replica's /readyz every
+// -probe-interval, marks a replica dead after -fail-threshold consecutive
+// failures (or one decisive data-path failure), and fails its cells over
+// to ring successors — which resume journaled checkpoints when the fleet
+// shares a durable -cache-dir. See DESIGN.md, "Cluster architecture", and
+// the README's multi-node quickstart.
 //
 // Observability: every request gets an X-Request-ID and, with -log, a
 // structured JSON log line on stderr with span timings (queue wait →
 // simulate → encode). GET /metrics serves the counter snapshot as JSON
 // (default) or Prometheus text exposition under "Accept: text/plain",
-// including request-latency and queue-wait histograms. With
-// -trace-interval N every simulation samples IPC/MLP/prefetch telemetry
-// each N committed instructions; a finished async job's per-cell series
-// is served at GET /v1/jobs/{id}/trace.
+// including request-latency and queue-wait histograms (workers) or
+// cluster_* routing counters and per-replica health gauges (frontend).
+// With -trace-interval N every simulation samples IPC/MLP/prefetch
+// telemetry each N committed instructions; a finished async job's
+// per-cell series is served at GET /v1/jobs/{id}/trace.
 //
 // Async batch jobs also stream live over SSE at GET /v1/jobs/{id}/stream:
 // cell lifecycle, per-interval telemetry as each sample lands, and
 // runahead episodes, with Last-Event-ID resume from a bounded replay
-// window (-stream-replay events per job). Slow subscribers lose their
-// oldest undelivered events rather than slowing the simulation
-// (-stream-buffer per session; drops are counted at /metrics), idle
-// sessions are reaped after -stream-ttl, and quiet streams carry comment
-// heartbeats every -stream-heartbeat. See DESIGN.md, "Streaming".
+// window (-stream-replay events per job). The frontend serves the same
+// stream for cluster batches, republishing each worker's events under its
+// own job's sequence. See DESIGN.md, "Streaming".
 //
 // With -cache-dir and -checkpoint-every, running simulations journal
 // their state to <dir>/checkpoints and a dvrd killed mid-job resumes the
@@ -37,8 +50,10 @@
 // aborted with a livelock error and a forensics dump under
 // <dir>/forensics. See the README's "Durable jobs" notes for tuning.
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-
-// flight requests and async jobs drain, then the process exits 0.
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503
+// "draining" so frontends stop routing here, the listener stays open for
+// -drain-grace (workers; zero for single/frontend), then closes; in-
+// flight requests and async jobs drain, and the process exits 0.
 package main
 
 import (
@@ -50,6 +65,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,11 +75,12 @@ import (
 
 func main() {
 	var (
+		role      = flag.String("role", "single", "process role: single (standalone server), worker (cluster replica), frontend (cluster router)")
 		addr      = flag.String("addr", ":8377", "listen address")
 		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 256, "queued simulations before requests block")
 		cacheN    = flag.Int("cache", 4096, "in-memory result-cache entries")
-		cacheDir  = flag.String("cache-dir", "", "spill cached results to this directory (optional)")
+		cacheDir  = flag.String("cache-dir", "", "spill cached results to this directory (optional; share it across worker replicas for cross-replica failover)")
 		ckptN     = flag.Uint64("checkpoint-every", 0, "checkpoint running simulations every N committed instructions so a killed dvrd resumes them at restart (requires -cache-dir; 0 = off)")
 		watchdog  = flag.Uint64("watchdog", 0, "abort any simulation that commits nothing for N cycles with a livelock error and forensics dump (0 = off)")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
@@ -74,6 +91,11 @@ func main() {
 		strTTL    = flag.Duration("stream-ttl", 0, "reap stream sessions idle this long (0 = 60s)")
 		strHB     = flag.Duration("stream-heartbeat", 0, "SSE heartbeat interval on quiet streams (0 = 15s)")
 		logReqs   = flag.Bool("log", false, "log one structured JSON line per request to stderr")
+
+		replicas   = flag.String("replicas", "", "frontend: comma-separated worker base URLs (e.g. http://w1:8377,http://w2:8377)")
+		probeIvl   = flag.Duration("probe-interval", time.Second, "frontend: per-replica /readyz heartbeat period")
+		failThresh = flag.Int("fail-threshold", 3, "frontend: consecutive probe failures before a replica is marked dead")
+		drainGrace = flag.Duration("drain-grace", 5*time.Second, "worker: time between /readyz flipping to draining and the listener closing, so frontends stop routing here first")
 	)
 	flag.Parse()
 
@@ -87,29 +109,66 @@ func main() {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
-	srv := service.New(service.Config{
-		Workers:            *workers,
-		QueueDepth:         *queue,
-		CacheEntries:       *cacheN,
-		CacheDir:           *cacheDir,
-		CheckpointEvery:    *ckptN,
-		WatchdogCycles:     *watchdog,
-		DefaultTimeout:     *timeout,
-		Logger:             logger,
-		TraceIntervalEvery: *traceIvl,
-		StreamReplay:       *strReplay,
-		StreamBuffer:       *strBuffer,
-		StreamTTL:          *strTTL,
-		StreamHeartbeat:    *strHB,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	switch *role {
+	case "single", "worker":
+		runServer(*role, *addr, service.Config{
+			Workers:            *workers,
+			QueueDepth:         *queue,
+			CacheEntries:       *cacheN,
+			CacheDir:           *cacheDir,
+			CheckpointEvery:    *ckptN,
+			WatchdogCycles:     *watchdog,
+			DefaultTimeout:     *timeout,
+			Logger:             logger,
+			TraceIntervalEvery: *traceIvl,
+			StreamReplay:       *strReplay,
+			StreamBuffer:       *strBuffer,
+			StreamTTL:          *strTTL,
+			StreamHeartbeat:    *strHB,
+		}, *drain, *drainGrace)
+	case "frontend":
+		reps := strings.Split(*replicas, ",")
+		var clean []string
+		for _, r := range reps {
+			if r = strings.TrimSpace(r); r != "" {
+				clean = append(clean, r)
+			}
+		}
+		if len(clean) == 0 {
+			fmt.Fprintln(os.Stderr, "dvrd: -role=frontend requires -replicas URL[,URL...]")
+			os.Exit(2)
+		}
+		runFrontend(*addr, service.FrontendConfig{
+			Replicas:        clean,
+			ProbeInterval:   *probeIvl,
+			FailThreshold:   *failThresh,
+			DefaultTimeout:  *timeout,
+			StreamReplay:    *strReplay,
+			StreamBuffer:    *strBuffer,
+			StreamTTL:       *strTTL,
+			StreamHeartbeat: *strHB,
+			Logger:          logger,
+		}, *drain)
+	default:
+		fmt.Fprintf(os.Stderr, "dvrd: unknown -role %q (single, worker, frontend)\n", *role)
+		os.Exit(2)
+	}
+}
 
-	if *cacheDir != "" {
+// runServer runs the single/worker role: the full simulation service. A
+// worker differs only in its shutdown choreography — it announces the
+// drain on /readyz and keeps serving for drainGrace so its frontend stops
+// routing new cells here before the listener closes.
+func runServer(role, addr string, cfg service.Config, drain, drainGrace time.Duration) {
+	srv := service.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	if cfg.CacheDir != "" {
 		h := srv.SpillHealth()
 		fmt.Printf("dvrd: spill scan: %d entries, %d healthy, %d quarantined\n",
 			h.Scanned, h.Healthy, h.Quarantined)
 	}
-	if *ckptN > 0 {
+	if cfg.CheckpointEvery > 0 {
 		ch := srv.CheckpointHealth()
 		fmt.Printf("dvrd: checkpoint scan: %d journals, %d healthy, %d quarantined, %d dropped\n",
 			ch.Scanned, ch.Healthy, ch.Quarantined, ch.Dropped)
@@ -120,7 +179,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("dvrd: listening on %s (%d kernels registered)\n", *addr, len(workloads.Kernels()))
+		fmt.Printf("dvrd: listening on %s (role %s, %d kernels registered)\n", addr, role, len(workloads.Kernels()))
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -135,12 +194,59 @@ func main() {
 		os.Exit(1)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	if role == "worker" && drainGrace > 0 {
+		// Flip /readyz first and give the frontend's prober a window to
+		// notice before connections start being refused; work already
+		// queued here still finishes below.
+		srv.BeginDrain()
+		time.Sleep(drainGrace)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "dvrd: http shutdown:", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dvrd: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Println("dvrd: clean shutdown")
+}
+
+// runFrontend runs the cluster router.
+func runFrontend(addr string, cfg service.FrontendConfig, drain time.Duration) {
+	fe, err := service.NewFrontend(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvrd:", err)
+		os.Exit(2)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: fe.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("dvrd: listening on %s (role frontend, %d replicas)\n", addr, len(cfg.Replicas))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("dvrd: %s, draining\n", sig)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "dvrd:", err)
+		os.Exit(1)
+	}
+
+	fe.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dvrd: http shutdown:", err)
+	}
+	if err := fe.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "dvrd: drain:", err)
 		os.Exit(1)
 	}

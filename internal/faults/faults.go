@@ -10,6 +10,7 @@ package faults
 
 import (
 	"io/fs"
+	"net/http"
 	"os"
 )
 
@@ -74,6 +75,10 @@ type Injector struct {
 	// watchdog end to end, from the stuck engine hold through the typed
 	// error and forensics dump to the worker staying healthy.
 	SimLivelock func(key string) uint64
+	// Net injects network faults (refused connections, mid-body resets,
+	// latency, partitions) into the frontend→replica transport; nil means
+	// a clean network.
+	Net *NetFaults
 }
 
 // Filesystem returns the FS to use for spill I/O; the real one unless
@@ -99,4 +104,17 @@ func (in *Injector) LivelockAfter(key string) uint64 {
 		return 0
 	}
 	return in.SimLivelock(key)
+}
+
+// Transport wraps inner (nil means http.DefaultTransport) with the
+// network-fault schedule, or returns it untouched when no network faults
+// are configured.
+func (in *Injector) Transport(inner http.RoundTripper) http.RoundTripper {
+	if in == nil || in.Net == nil {
+		if inner == nil {
+			return http.DefaultTransport
+		}
+		return inner
+	}
+	return in.Net.Transport(inner)
 }

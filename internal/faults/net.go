@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// NetFaults is an http.RoundTripper wrapper with a deterministic, seeded
+// network-fault schedule for the frontend→replica transport: every
+// RefuseEvery-th request fails before dialing (connection refused), every
+// ResetEvery-th response body is cut after ResetAfter bytes (connection
+// reset mid-body, surfaced as io.ErrUnexpectedEOF — exactly the shape the
+// retrying client classifies as retryable), and every LatencyEvery-th
+// request is delayed by Latency before being sent. Partition cuts a host
+// off entirely until Heal — the building block of a kill: partition the
+// dead worker, then abort it. Like FaultyFS, the schedule counts calls,
+// so a fixed request order replays the same faults.
+type NetFaults struct {
+	Inner http.RoundTripper
+
+	RefuseEvery  int
+	ResetEvery   int
+	ResetAfter   int // body bytes delivered before the reset; 0 = immediate
+	LatencyEvery int
+	Latency      time.Duration
+
+	mu          sync.Mutex
+	n           int
+	partitioned map[string]bool
+
+	refused     int
+	resets      int
+	delayed     int
+	partitionRe int // requests rejected because their host is partitioned
+}
+
+// Transport wraps inner (nil means http.DefaultTransport) for use as an
+// http.Client's Transport.
+func (nf *NetFaults) Transport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	nf.mu.Lock()
+	nf.Inner = inner
+	nf.mu.Unlock()
+	return nf
+}
+
+// Partition cuts host (a request URL's Host, e.g. "127.0.0.1:40123") off:
+// every request to it fails before dialing until Heal(host).
+func (nf *NetFaults) Partition(host string) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	if nf.partitioned == nil {
+		nf.partitioned = make(map[string]bool)
+	}
+	nf.partitioned[host] = true
+}
+
+// Heal reconnects a partitioned host.
+func (nf *NetFaults) Heal(host string) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	delete(nf.partitioned, host)
+}
+
+// Counters reports how many faults fired: refused connections (scheduled +
+// partition-rejected), mid-body resets, and delayed requests.
+func (nf *NetFaults) Counters() (refused, resets, delayed int) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	return nf.refused + nf.partitionRe, nf.resets, nf.delayed
+}
+
+// RoundTrip implements http.RoundTripper. Errors are returned bare — the
+// http.Client wraps them in *url.Error, which is what the retrying client
+// classifies as a retryable transport failure.
+func (nf *NetFaults) RoundTrip(req *http.Request) (*http.Response, error) {
+	nf.mu.Lock()
+	inner := nf.Inner
+	if nf.partitioned[req.URL.Host] {
+		nf.partitionRe++
+		nf.mu.Unlock()
+		return nil, fmt.Errorf("%w: partitioned host %s", ErrInjected, req.URL.Host)
+	}
+	nf.n++
+	refuse := nf.RefuseEvery > 0 && nf.n%nf.RefuseEvery == 0
+	reset := !refuse && nf.ResetEvery > 0 && nf.n%nf.ResetEvery == 0
+	delay := nf.LatencyEvery > 0 && nf.n%nf.LatencyEvery == 0
+	if refuse {
+		nf.refused++
+	}
+	if reset {
+		nf.resets++
+	}
+	if delay {
+		nf.delayed++
+	}
+	nf.mu.Unlock()
+
+	if refuse {
+		return nil, fmt.Errorf("%w: connection refused", ErrInjected)
+	}
+	if delay {
+		timer := time.NewTimer(nf.Latency)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil || !reset {
+		return resp, err
+	}
+	resp.Body = &resetBody{inner: resp.Body, remain: nf.ResetAfter}
+	return resp, nil
+}
+
+// resetBody delivers remain bytes then fails with io.ErrUnexpectedEOF: a
+// connection reset mid-body as the client sees it.
+type resetBody struct {
+	inner  io.ReadCloser
+	remain int
+}
+
+func (b *resetBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.inner.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		// The body happened to be shorter than the scheduled cut; a clean
+		// EOF here would make the fault silently inert, so keep it a reset.
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *resetBody) Close() error { return b.inner.Close() }

@@ -108,13 +108,28 @@ type SimResponse struct {
 	Error *Error `json:"error,omitempty"`
 }
 
-// BatchRequest asks for a cell matrix: every workload under every
-// technique, one shared configuration. POST /v1/batch.
+// CellRequest names one explicit cell of a batch: one workload under one
+// technique. The explicit form exists for callers whose cell set is not a
+// full matrix — a frontend re-routing the subset of a batch owned by one
+// worker replica, or a sweep orchestrator retrying stragglers.
+type CellRequest struct {
+	Workload  workloads.Ref `json:"workload"`
+	Technique string        `json:"technique"`
+}
+
+// BatchRequest asks for a set of cells, in one of two shapes: the matrix
+// form (every workload under every technique) or the explicit form (a
+// Cells list). Exactly one shape may be used. One shared configuration
+// either way. POST /v1/batch.
 type BatchRequest struct {
 	// Workloads are the matrix rows; Techniques the columns. Every
 	// workload runs under every technique.
-	Workloads  []workloads.Ref `json:"workloads"`
-	Techniques []string        `json:"techniques"`
+	Workloads  []workloads.Ref `json:"workloads,omitempty"`
+	Techniques []string        `json:"techniques,omitempty"`
+	// Cells is the explicit alternative to the Workloads×Techniques
+	// matrix: an arbitrary cell list, answered in order. Mutually
+	// exclusive with Workloads/Techniques.
+	Cells []CellRequest `json:"cells,omitempty"`
 	// Config is the shared core configuration; nil means
 	// cpu.DefaultConfig().
 	Config *cpu.Config `json:"config,omitempty"`
@@ -128,8 +143,39 @@ type BatchRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// Validate rejects structurally empty batches.
+// CellList expands the request to its ordered cell list: the matrix
+// row-major (workloads[0] under every technique, then workloads[1], ...)
+// or the explicit Cells verbatim. The index into this list is the cell
+// index everywhere — BatchResponse.Cells, Event.Cell, stream filters.
+func (r BatchRequest) CellList() []CellRequest {
+	if len(r.Cells) > 0 {
+		return r.Cells
+	}
+	out := make([]CellRequest, 0, len(r.Workloads)*len(r.Techniques))
+	for _, w := range r.Workloads {
+		for _, t := range r.Techniques {
+			out = append(out, CellRequest{Workload: w, Technique: t})
+		}
+	}
+	return out
+}
+
+// Validate rejects structurally empty batches and mixed-shape requests.
 func (r BatchRequest) Validate() error {
+	if len(r.Cells) > 0 {
+		if len(r.Workloads) > 0 || len(r.Techniques) > 0 {
+			return fmt.Errorf("api: cells and workloads/techniques are mutually exclusive")
+		}
+		for _, c := range r.Cells {
+			if c.Workload.Kernel == "" {
+				return fmt.Errorf("api: cell workload.kernel is required")
+			}
+			if c.Technique == "" {
+				return fmt.Errorf("api: cell technique is required")
+			}
+		}
+		return r.Sampling.Validate()
+	}
 	if len(r.Workloads) == 0 {
 		return fmt.Errorf("api: workloads is required")
 	}
@@ -459,6 +505,59 @@ type Metrics struct {
 	// per-session delivery and drop counters (the JSON face of the
 	// per-session dvrd_stream_session_dropped_total Prometheus series).
 	StreamSessions []StreamSession `json:"stream_sessions,omitempty"`
+}
+
+// ClusterMetrics is the GET /metrics snapshot of a frontend: routing and
+// failover counters plus per-replica health gauges. Workers serve the
+// plain Metrics shape; the two are distinguished by the "role" field.
+type ClusterMetrics struct {
+	// Role is "frontend" (workers report plain Metrics with no role field).
+	Role string `json:"role"`
+	// UptimeSeconds is the time since frontend start.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// RequestsTotal counts HTTP requests served (all routes).
+	RequestsTotal uint64 `json:"requests_total"`
+
+	// ReplicasUp/Draining/Dead tally the worker fleet by probed state.
+	ReplicasUp       int `json:"replicas_up"`
+	ReplicasDraining int `json:"replicas_draining"`
+	ReplicasDead     int `json:"replicas_dead"`
+
+	// RoutedTotal counts cells routed to their ring owner; Failovers
+	// counts cells re-routed to a ring successor because a preferred
+	// replica was dead (or died mid-job); FailoverExhausted counts cells
+	// that ran out of live candidates and failed back to the client.
+	RoutedTotal       uint64 `json:"routed_total"`
+	Failovers         uint64 `json:"failovers"`
+	FailoverExhausted uint64 `json:"failover_exhausted"`
+
+	// ProbesTotal/ProbeFailures aggregate heartbeat activity across the
+	// fleet.
+	ProbesTotal   uint64 `json:"probes_total"`
+	ProbeFailures uint64 `json:"probe_failures"`
+
+	// JobsActive/JobsDone count frontend-coordinated async batch jobs.
+	JobsActive int `json:"jobs_active"`
+	JobsDone   int `json:"jobs_done"`
+
+	// Replicas is the per-replica health detail, sorted by name.
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// ReplicaStatus is one worker replica's health as the frontend's prober
+// sees it.
+type ReplicaStatus struct {
+	// Name is the replica's base URL as configured (-replicas).
+	Name string `json:"name"`
+	// State is "up", "draining" or "dead".
+	State string `json:"state"`
+	// ConsecFails counts consecutive failed probes (resets on success).
+	ConsecFails int `json:"consec_fails,omitempty"`
+	// ProbesTotal/ProbeFailures count this replica's heartbeat history.
+	ProbesTotal   uint64 `json:"probes_total"`
+	ProbeFailures uint64 `json:"probe_failures,omitempty"`
+	// LastError is the most recent probe or data-path failure, if any.
+	LastError string `json:"last_error,omitempty"`
 }
 
 // StreamSession is one live subscriber's accounting snapshot at /metrics.

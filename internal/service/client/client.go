@@ -171,6 +171,33 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return nil
 }
 
+// ErrDraining reports a replica that answered /readyz with "draining": it
+// is alive (liveness would pass) but must not receive new work.
+var ErrDraining = errors.New("client: replica is draining")
+
+// Readyz checks readiness. Like Healthz it does not retry; unlike Healthz
+// it distinguishes a draining replica (ErrDraining — alive, finishing
+// owned work, not routable) from a dead one (any other error). The
+// frontend's health prober is the caller.
+func (c *Client) Readyz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return ErrDraining
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: readyz: %s", resp.Status)
+	}
+	return nil
+}
+
 // do runs one API call through the retry loop: transport errors and
 // Temporary API errors (429/503) are retried under the policy's attempt
 // and budget caps; everything else returns immediately. Safe because

@@ -182,7 +182,7 @@ func (s *Server) resumePending() {
 		s.jobs.wg.Add(1)
 		go func() {
 			defer s.jobs.wg.Done()
-			_, _ = s.runCell(context.Background(), st.Ref, st.Technique, st.Config, nil, admitQueue, nil)
+			_, _ = s.runCell(s.rootCtx, st.Ref, st.Technique, st.Config, nil, admitQueue, nil)
 		}()
 	}
 }

@@ -1,0 +1,691 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvr/internal/cluster"
+	"dvr/internal/cpu"
+	"dvr/internal/experiments"
+	"dvr/internal/faults"
+	"dvr/internal/service/api"
+	"dvr/internal/service/client"
+	"dvr/internal/stream"
+	"dvr/internal/workloads"
+)
+
+// The cluster frontend: a stateless router that terminates client
+// connections and spreads jobs over a fleet of worker replicas. Routing is
+// by the job's content address over a consistent-hash ring
+// (internal/cluster), so a given cell always lands on the same worker —
+// cache hits and single-flight collapsing stay local to one replica — and
+// the ring's successor order doubles as the failover order: when a worker
+// dies mid-batch, its unfinished cells re-route to the next live replica,
+// whose runCell resumes the dead worker's journaled checkpoint from the
+// shared durable directory (DESIGN.md, "Cluster architecture"). The
+// frontend holds no simulation state of its own; everything it serves is
+// reconstructed from worker responses, which is what makes a frontend
+// restart free.
+
+// errNoReplica is the routing dead end: every candidate replica for a key
+// was tried and failed at the transport level. It maps to 503 +
+// Retry-After — a fleet-wide outage is transient from the client's view
+// (workers restart, partitions heal), so the retrying client keeps its
+// budget working.
+var errNoReplica = errors.New("service: no live replica")
+
+// FrontendConfig sizes the frontend.
+type FrontendConfig struct {
+	// Replicas are the worker base URLs (e.g. "http://10.0.0.2:8377").
+	// Required, at least one. The set is fixed for the frontend's lifetime;
+	// membership changes are a restart (the ring is deterministic in the
+	// set, so every frontend replica agrees on ownership).
+	Replicas []string
+	// VNodes is the consistent-hash virtual-node count per replica; 0
+	// means cluster.DefaultVNodes.
+	VNodes int
+	// ProbeInterval is the per-replica heartbeat period; 0 means 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one readiness probe; 0 means half the interval.
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures mark a replica
+	// dead; 0 means 3.
+	FailThreshold int
+	// Seed seeds the probe jitter; 0 means 1.
+	Seed uint64
+	// DefaultTimeout bounds requests that do not set timeout_ms; 0 means
+	// 5 minutes.
+	DefaultTimeout time.Duration
+	// RetryPolicy shapes the per-replica transport retry loop; nil means
+	// client.DefaultRetryPolicy(). The budget is per attempt against one
+	// replica — failover to the next candidate starts after it is spent.
+	RetryPolicy *client.RetryPolicy
+	// StreamReplay/StreamBuffer/StreamTTL/StreamHeartbeat size the
+	// frontend's own stream layer exactly as Config's fields size the
+	// worker's.
+	StreamReplay    int
+	StreamBuffer    int
+	StreamTTL       time.Duration
+	StreamHeartbeat time.Duration
+	// Faults injects scripted failures — Net wraps the frontend→replica
+	// transport (chaos tests); nil means none.
+	Faults *faults.Injector
+	// Logger receives one structured line per request; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c FrontendConfig) withDefaults() FrontendConfig {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Frontend is the cluster router. Construct with NewFrontend, mount
+// Handler, and call Shutdown to drain.
+type Frontend struct {
+	cfg     FrontendConfig
+	ring    *cluster.Ring
+	prober  *cluster.Prober
+	clients map[string]*client.Client
+	flight  *flightGroup[api.SimResponse]
+	jobs    *jobStore
+	streams *stream.Registry
+
+	logger   *slog.Logger
+	reqSeq   atomic.Uint64
+	reqTotal atomic.Uint64
+	reqHist  *histogram
+
+	start    time.Time
+	draining atomic.Bool
+
+	routed            atomic.Uint64 // cells routed to a replica and answered
+	failovers         atomic.Uint64 // cells re-routed off a failed replica
+	failoverExhausted atomic.Uint64 // cells that ran out of candidates
+}
+
+// NewFrontend builds a frontend over the configured replica fleet and
+// starts its health prober.
+func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
+	cfg = cfg.withDefaults()
+	ring, err := cluster.New(cfg.Replicas, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frontend{
+		cfg:     cfg,
+		ring:    ring,
+		clients: make(map[string]*client.Client, len(cfg.Replicas)),
+		flight:  newFlightGroup[api.SimResponse](),
+		jobs:    newJobStore(),
+		logger:  cfg.Logger,
+		reqHist: newHistogram(latencyBounds),
+		start:   time.Now(),
+	}
+	f.streams = stream.NewRegistry(stream.Config{
+		ReplayEntries: cfg.StreamReplay,
+		SessionBuffer: cfg.StreamBuffer,
+		SessionTTL:    cfg.StreamTTL,
+	})
+	// One transport (and fault schedule) shared by every replica client:
+	// a partition of one host must not disturb the others' connections,
+	// which per-host http.Client state would make hard to reason about.
+	httpc := &http.Client{Transport: cfg.Faults.Transport(nil)}
+	policy := client.DefaultRetryPolicy()
+	if cfg.RetryPolicy != nil {
+		policy = *cfg.RetryPolicy
+	}
+	for _, rep := range cfg.Replicas {
+		f.clients[rep] = client.New(rep, client.WithHTTPClient(httpc), client.WithRetryPolicy(policy))
+	}
+	f.prober = cluster.NewProber(cfg.Replicas, f.probe, cluster.ProbeConfig{
+		Interval:      cfg.ProbeInterval,
+		Timeout:       cfg.ProbeTimeout,
+		FailThreshold: cfg.FailThreshold,
+		Seed:          cfg.Seed,
+	})
+	f.prober.Start()
+	return f, nil
+}
+
+// probe is the prober's readiness check: /readyz on the replica,
+// distinguishing a draining worker from a dead one.
+func (f *Frontend) probe(ctx context.Context, replica string) cluster.Status {
+	err := f.clients[replica].Readyz(ctx)
+	if errors.Is(err, client.ErrDraining) {
+		return cluster.Status{Draining: true}
+	}
+	return cluster.Status{Err: err}
+}
+
+// Handler returns the routed HTTP handler. The route set mirrors the
+// worker's so clients need not know which role they are talking to; the
+// one asymmetry is /v1/jobs/{id}/trace, which the frontend does not
+// aggregate (each worker holds only its own cells' series) and answers
+// with a typed 404 pointing at the workers.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /"+api.Version+"/sim", f.handleSim)
+	mux.HandleFunc("POST /"+api.Version+"/batch", f.handleBatch)
+	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}", f.handleJob)
+	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/trace", f.handleJobTrace)
+	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/stream", f.handleJobStream)
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("GET /readyz", f.handleReadyz)
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	return instrumentWith(normalizeErrors(mux), f.logger, &f.reqSeq, &f.reqTotal, f.reqHist)
+}
+
+// BeginDrain flips /readyz unready (a frontend fleet behind a load
+// balancer drains the same way workers drain behind the frontend).
+func (f *Frontend) BeginDrain() { f.draining.Store(true) }
+
+// Shutdown stops the prober and waits for async jobs to finish
+// coordinating. Worker-side simulation keeps running — the workers own it.
+func (f *Frontend) Shutdown(ctx context.Context) error {
+	f.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		f.prober.Stop()
+		f.jobs.wg.Wait()
+		f.streams.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---- routing ----
+
+// candidates orders every replica by preference for key: the ring's
+// preference list re-sorted by probed state — up replicas first, draining
+// next (they still answer, they just should not get new work), dead last
+// (the probe may be wrong; a dead-listed replica is still worth one try
+// when nothing better exists). Within a state, ring order is kept, so two
+// frontends with the same probe view produce the same order.
+func (f *Frontend) candidates(key string) []string {
+	pref := f.ring.Prefer(key)
+	out := make([]string, 0, len(pref))
+	for _, want := range []cluster.State{cluster.StateUp, cluster.StateDraining, cluster.StateDead} {
+		for _, rep := range pref {
+			if f.prober.State(rep) == want {
+				out = append(out, rep)
+			}
+		}
+	}
+	return out
+}
+
+// cellKey computes a cell's content address exactly as the worker will
+// (Resolve normalizes the ROI before hashing, nil config means the
+// default), which is what keeps routing aligned with the workers' caches.
+func (f *Frontend) cellKey(ref workloads.Ref, tech string, override *cpu.Config, so *api.SamplingOptions) (string, error) {
+	if _, err := experiments.ParseTechnique(tech); err != nil {
+		return "", badRequest(err)
+	}
+	spec, err := workloads.Resolve(ref)
+	if err != nil {
+		return "", badRequest(err)
+	}
+	cfg := cpu.DefaultConfig()
+	if override != nil {
+		cfg = *override
+	}
+	return CacheKeySampled(spec.Ref, tech, cfg, so), nil
+}
+
+// routeCell routes one cell to its preferred live replica, failing over
+// down the candidate list on transport errors. Typed API errors pass
+// through — the replica is alive and its answer (400, 429, 504, ...) is
+// the answer. Identical concurrent cells collapse on the frontend's own
+// single-flight so one network round trip serves them all (the worker's
+// flight would collapse them anyway; this saves the duplicate hop).
+func (f *Frontend) routeCell(ctx context.Context, key string, req api.SimRequest) (api.SimResponse, error) {
+	resp, _, err := f.flight.Do(ctx, key, func() (api.SimResponse, error) {
+		var lastErr error
+		for _, rep := range f.candidates(key) {
+			resp, err := f.clients[rep].Sim(ctx, req)
+			if err == nil {
+				f.routed.Add(1)
+				return resp, nil
+			}
+			var ae *client.APIError
+			if errors.As(err, &ae) {
+				// The replica answered; its verdict is the verdict.
+				f.routed.Add(1)
+				return api.SimResponse{}, err
+			}
+			if ctx.Err() != nil {
+				return api.SimResponse{}, ctx.Err()
+			}
+			// Transport failure after the client's own retry budget:
+			// decisive evidence the replica is gone. Mark it dead and fail
+			// over; the next candidate resumes any journaled checkpoint from
+			// the shared durable directory.
+			f.prober.ReportFailure(rep, err)
+			f.failovers.Add(1)
+			lastErr = err
+		}
+		f.failoverExhausted.Add(1)
+		if lastErr != nil {
+			return api.SimResponse{}, fmt.Errorf("%w for %s: %v", errNoReplica, key, lastErr)
+		}
+		return api.SimResponse{}, fmt.Errorf("%w for %s", errNoReplica, key)
+	})
+	return resp, err
+}
+
+// ---- batch coordination ----
+
+// runClusterBatch answers a batch by sharding its cells over the fleet:
+// cells group by ring owner, each group runs as one sub-batch on its
+// replica, and groups whose replica fails are re-grouped onto the next
+// candidate until every cell completes or runs out of replicas. With j
+// non-nil the groups run as async worker jobs whose event streams are
+// republished (remapped to frontend cell indices) into j's broadcaster.
+func (f *Frontend) runClusterBatch(ctx context.Context, req api.BatchRequest, j *job) (*api.BatchResponse, error) {
+	list := req.CellList()
+	keys := make([]string, len(list))
+	for i, c := range list {
+		key, err := f.cellKey(c.Workload, c.Technique, req.Config, req.Sampling)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = key
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		cells = make([]api.SimResponse, len(list))
+		done  = make([]bool, len(list))
+		tried = make([]map[string]bool, len(list))
+
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := range tried {
+		tried[i] = make(map[string]bool)
+	}
+	for {
+		// Group every unfinished cell under its best untried candidate.
+		// Re-grouping each round folds in what the last round learned: a
+		// replica that died re-sorts to the back of every preference list.
+		groups := make(map[string][]int)
+		for i := range list {
+			if done[i] {
+				continue
+			}
+			next := ""
+			for _, rep := range f.candidates(keys[i]) {
+				if !tried[i][rep] {
+					next = rep
+					break
+				}
+			}
+			if next == "" {
+				// Out of candidates: the cell fails in isolation, exactly
+				// like a worker-side panic cell — the batch completes.
+				f.failoverExhausted.Add(1)
+				cells[i] = api.SimResponse{Key: keys[i],
+					Error: &api.Error{Code: api.CodeShuttingDown, Error: errNoReplica.Error() + " for " + keys[i]}}
+				done[i] = true
+				f.finishCell(j, i, list[i], cells[i])
+				continue
+			}
+			groups[next] = append(groups[next], i)
+		}
+		if len(groups) == 0 {
+			break
+		}
+		var wg sync.WaitGroup
+		for rep, idxs := range groups {
+			rep, idxs := rep, idxs
+			for _, i := range idxs {
+				tried[i][rep] = true
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results, err := f.runGroup(ctx, rep, idxs, list, req, j)
+				if err != nil {
+					if ctx.Err() != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = ctx.Err()
+						}
+						mu.Unlock()
+						return
+					}
+					var ae *client.APIError
+					if !errors.As(err, &ae) {
+						// Transport death mid-group: the whole unfinished
+						// group re-routes. Cells the dead worker already
+						// completed land in the shared spill, so the
+						// successor answers them as cache hits; its
+						// in-flight cell resumes from the journaled
+						// checkpoint instead of restarting.
+						f.prober.ReportFailure(rep, err)
+					}
+					f.failovers.Add(uint64(len(idxs)))
+					return
+				}
+				f.routed.Add(uint64(len(idxs)))
+				for n, i := range idxs {
+					cells[i] = results[n]
+					done[i] = true
+					f.finishCell(j, i, list[i], results[n])
+				}
+			}()
+		}
+		wg.Wait()
+		mu.Lock()
+		err := firstErr
+		mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &api.BatchResponse{Cells: cells}
+	for _, c := range cells {
+		if c.Cached {
+			out.CacheHits++
+		}
+		if c.Error != nil {
+			out.Failed++
+		}
+	}
+	return out, nil
+}
+
+// finishCell records one finalized cell on the frontend job and publishes
+// its cell-done (the frontend, not the worker, is the authority on when a
+// cell is done — a re-routed group's first attempt must not count).
+func (f *Frontend) finishCell(j *job, idx int, c api.CellRequest, resp api.SimResponse) {
+	if j == nil {
+		return
+	}
+	pub := &cellPub{j: j, cell: idx, bench: c.Workload.Kernel, tech: c.Technique}
+	d := j.cellDone()
+	ev := api.Event{Kind: api.EventCellDone, Key: resp.Key, Cached: resp.Cached, Done: d, Total: j.total}
+	if resp.Error != nil {
+		ev.Error = resp.Error.Error
+	}
+	pub.publish(ev)
+}
+
+// runGroup runs one replica's share of a batch. Synchronous batches (j ==
+// nil) use one blocking sub-batch call. Streamed jobs submit an async
+// sub-batch, subscribe to its event stream, republish each event into the
+// frontend job's broadcaster with the cell index remapped from sub-batch
+// to frontend coordinates, and poll the worker job for the final results.
+// Worker cell-done/job-done events are not forwarded: the frontend emits
+// its own when a cell is truly final (finishCell) and when the whole
+// cross-replica batch ends.
+func (f *Frontend) runGroup(ctx context.Context, rep string, idxs []int, list []api.CellRequest, req api.BatchRequest, j *job) ([]api.SimResponse, error) {
+	cl := f.clients[rep]
+	sub := api.BatchRequest{
+		Cells:     make([]api.CellRequest, len(idxs)),
+		Config:    req.Config,
+		Sampling:  req.Sampling,
+		TimeoutMS: req.TimeoutMS,
+	}
+	for n, i := range idxs {
+		sub.Cells[n] = list[i]
+	}
+	if j == nil {
+		resp, err := cl.Batch(ctx, sub)
+		if err != nil {
+			return nil, err
+		}
+		return resp.Cells, nil
+	}
+	sub.Async = true
+	acc, err := cl.Batch(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
+	st := cl.Stream(ctx, acc.JobID, api.StreamOptions{})
+	defer st.Close()
+	for {
+		ev, err := st.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ev.Kind == api.EventJobDone || ev.Kind == api.EventCellDone {
+			continue
+		}
+		if ev.Cell < 0 || ev.Cell >= len(idxs) {
+			continue
+		}
+		idx := idxs[ev.Cell]
+		pub := &cellPub{j: j, cell: idx, bench: list[idx].Workload.Kernel, tech: list[idx].Technique}
+		// Rebuild the event so worker-local identity (ID, JobID, progress
+		// counts) never leaks into the frontend stream; the broadcaster
+		// assigns fresh IDs in frontend sequence.
+		pub.publish(api.Event{
+			Kind:     ev.Kind,
+			Key:      ev.Key,
+			Cached:   ev.Cached,
+			Replayed: ev.Replayed,
+			Error:    ev.Error,
+			Interval: ev.Interval,
+			Episode:  ev.Episode,
+		})
+	}
+	js, err := cl.Job(ctx, acc.JobID)
+	if err != nil {
+		return nil, err
+	}
+	if js.State != api.JobDone || js.Batch == nil {
+		return nil, fmt.Errorf("service: replica %s job %s ended %s: %s", rep, acc.JobID, js.State, js.Error)
+	}
+	return js.Batch.Cells, nil
+}
+
+// ---- handlers ----
+
+func (f *Frontend) timeout(ms int64) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return f.cfg.DefaultTimeout
+}
+
+// writeRoutedError answers a routing failure: replica verdicts (typed API
+// errors) pass through with their original status, code and Retry-After —
+// the frontend is transparent — and everything else goes through the
+// worker's own error taxonomy.
+func writeRoutedError(w http.ResponseWriter, err error) {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		if ae.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(ae.RetryAfter/time.Second)))
+		}
+		writeJSON(w, ae.Status, api.Error{Code: ae.Code, Error: ae.Message})
+		return
+	}
+	if errors.Is(err, errNoReplica) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, api.Error{Code: api.CodeShuttingDown, Error: err.Error()})
+		return
+	}
+	writeError(w, err)
+}
+
+func (f *Frontend) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req api.SimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest(fmt.Errorf("service: bad request body: %w", err)))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	key, err := f.cellKey(req.Workload, req.Technique, req.Config, req.Sampling)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), f.timeout(req.TimeoutMS))
+	defer cancel()
+	resp, err := f.routeCell(ctx, key, req)
+	if err != nil {
+		writeRoutedError(w, err)
+		return
+	}
+	writeJSONTimed(r.Context(), w, http.StatusOK, resp)
+}
+
+func (f *Frontend) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, badRequest(fmt.Errorf("service: bad request body: %w", err)))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	if req.Async {
+		j := f.jobs.create(len(req.CellList()), f.streams)
+		ctx := context.Background()
+		var cancel context.CancelFunc = func() {}
+		if req.TimeoutMS > 0 {
+			ctx, cancel = context.WithTimeout(ctx, f.timeout(req.TimeoutMS))
+		}
+		f.jobs.wg.Add(1)
+		go func() {
+			defer f.jobs.wg.Done()
+			defer cancel()
+			batch, err := f.runClusterBatch(ctx, req, j)
+			j.finish(batch, err)
+			if j.bc != nil {
+				ev := api.Event{Kind: api.EventJobDone, Done: j.doneCount(), Total: j.total}
+				if err != nil {
+					ev.Error = err.Error()
+				}
+				ev.Cell = -1
+				j.bc.Publish(ev)
+				j.bc.Close()
+			}
+		}()
+		writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), f.timeout(req.TimeoutMS))
+	defer cancel()
+	batch, err := f.runClusterBatch(ctx, req, nil)
+	if err != nil {
+		writeRoutedError(w, err)
+		return
+	}
+	writeJSONTimed(r.Context(), w, http.StatusOK, *batch)
+}
+
+func (f *Frontend) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := f.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound, Error: fmt.Sprintf("service: unknown job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleJobTrace: the frontend keeps no trace store — each worker holds
+// only its own cells' interval series, and stitching them would duplicate
+// what the live stream already delivers — so the route answers a typed
+// 404 pointing at the live stream and the workers.
+func (f *Frontend) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound,
+		Error: "service: the frontend does not aggregate job traces; subscribe to /v1/jobs/{id}/stream or query the owning worker"})
+}
+
+func (f *Frontend) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	streamJob(w, r, f.jobs, f.cfg.StreamHeartbeat)
+}
+
+func (f *Frontend) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (f *Frontend) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if f.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, api.Error{Code: api.CodeShuttingDown, Error: "service: draining"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// Metrics snapshots the frontend's routing counters and the fleet's
+// per-replica health.
+func (f *Frontend) Metrics() api.ClusterMetrics {
+	up, draining, dead := f.prober.Counts()
+	snap := f.prober.Snapshot()
+	sort.Slice(snap, func(a, b int) bool { return snap[a].Name < snap[b].Name })
+	active, finished := f.jobs.counts()
+	m := api.ClusterMetrics{
+		Role:              "frontend",
+		UptimeSeconds:     time.Since(f.start).Seconds(),
+		RequestsTotal:     f.reqTotal.Load(),
+		ReplicasUp:        up,
+		ReplicasDraining:  draining,
+		ReplicasDead:      dead,
+		RoutedTotal:       f.routed.Load(),
+		Failovers:         f.failovers.Load(),
+		FailoverExhausted: f.failoverExhausted.Load(),
+		JobsActive:        active,
+		JobsDone:          finished,
+	}
+	for _, r := range snap {
+		m.ProbesTotal += r.ProbesTotal
+		m.ProbeFailures += r.ProbeFailures
+		m.Replicas = append(m.Replicas, api.ReplicaStatus{
+			Name:          r.Name,
+			State:         r.State.String(),
+			ConsecFails:   r.ConsecFails,
+			ProbesTotal:   r.ProbesTotal,
+			ProbeFailures: r.ProbeFailures,
+			LastError:     r.LastError,
+		})
+	}
+	return m
+}
+
+func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := f.Metrics()
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		writeClusterPrometheus(w, m, f.reqHist)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}

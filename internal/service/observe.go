@@ -3,9 +3,11 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvr/internal/service/api"
@@ -103,8 +105,15 @@ func (r *statusRecorder) Flush() {
 // ID assignment, span accumulation, the duration histogram, the request
 // counter, and one structured log line per request.
 func (s *Server) instrument(next http.Handler) http.Handler {
+	return instrumentWith(next, s.logger, &s.reqSeq, &s.reqTotal, s.reqHist)
+}
+
+// instrumentWith is the role-agnostic request observability middleware,
+// shared by the worker Server and the cluster Frontend (each passes its
+// own counters and histogram).
+func instrumentWith(next http.Handler, logger *slog.Logger, reqSeq, reqTotal *atomic.Uint64, reqHist *histogram) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		reqID := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		reqID := fmt.Sprintf("req-%06d", reqSeq.Add(1))
 		w.Header().Set("X-Request-ID", reqID)
 		ctx := context.WithValue(r.Context(), ctxKeyReqID, reqID)
 		sp := &spans{}
@@ -113,10 +122,10 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		start := time.Now()
 		next.ServeHTTP(rec, r.WithContext(ctx))
 		dur := time.Since(start)
-		s.reqTotal.Add(1)
-		s.reqHist.observe(dur)
+		reqTotal.Add(1)
+		reqHist.observe(dur)
 		qw, sim, enc := sp.snapshot()
-		s.logger.Info("request",
+		logger.Info("request",
 			"id", reqID,
 			"method", r.Method,
 			"path", r.URL.Path,

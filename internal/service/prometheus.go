@@ -116,3 +116,48 @@ func writePrometheus(w io.Writer, m api.Metrics, reqHist, queueHist *histogram) 
 	reqHist.write(w, "dvrd_request_duration_seconds")
 	queueHist.write(w, "dvrd_queue_wait_seconds")
 }
+
+// writeClusterPrometheus renders a frontend's metrics snapshot as
+// Prometheus text: fleet-wide routing counters, replica-state gauges, and
+// one labeled health series per replica so a dashboard can name the exact
+// worker that is failing probes.
+func writeClusterPrometheus(w io.Writer, m api.ClusterMetrics, reqHist *histogram) {
+	gauge := func(name string, v float64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(v))
+	}
+	counter := func(name string, v uint64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	gauge("dvrd_uptime_seconds", m.UptimeSeconds)
+	counter("dvrd_requests_total", m.RequestsTotal)
+	fmt.Fprint(w, "# TYPE dvrd_cluster_replicas gauge\n")
+	fmt.Fprintf(w, "dvrd_cluster_replicas{state=\"up\"} %d\n", m.ReplicasUp)
+	fmt.Fprintf(w, "dvrd_cluster_replicas{state=\"draining\"} %d\n", m.ReplicasDraining)
+	fmt.Fprintf(w, "dvrd_cluster_replicas{state=\"dead\"} %d\n", m.ReplicasDead)
+	counter("dvrd_cluster_routed_total", m.RoutedTotal)
+	counter("dvrd_cluster_failovers_total", m.Failovers)
+	counter("dvrd_cluster_failover_exhausted_total", m.FailoverExhausted)
+	counter("dvrd_cluster_probes_total", m.ProbesTotal)
+	counter("dvrd_cluster_probe_failures_total", m.ProbeFailures)
+	gauge("dvrd_jobs_active", float64(m.JobsActive))
+	gauge("dvrd_jobs_done", float64(m.JobsDone))
+	if len(m.Replicas) > 0 {
+		fmt.Fprint(w, "# TYPE dvrd_cluster_replica_up gauge\n")
+		for _, r := range m.Replicas {
+			up := 0
+			if r.State == "up" {
+				up = 1
+			}
+			fmt.Fprintf(w, "dvrd_cluster_replica_up{replica=%q,state=%q} %d\n", r.Name, r.State, up)
+		}
+		fmt.Fprint(w, "# TYPE dvrd_cluster_replica_probes gauge\n")
+		for _, r := range m.Replicas {
+			fmt.Fprintf(w, "dvrd_cluster_replica_probes{replica=%q} %d\n", r.Name, r.ProbesTotal)
+		}
+		fmt.Fprint(w, "# TYPE dvrd_cluster_replica_probe_failures gauge\n")
+		for _, r := range m.Replicas {
+			fmt.Fprintf(w, "dvrd_cluster_replica_probe_failures{replica=%q} %d\n", r.Name, r.ProbeFailures)
+		}
+	}
+	reqHist.write(w, "dvrd_request_duration_seconds")
+}

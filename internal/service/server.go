@@ -135,10 +135,20 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	cache  *resultCache
-	flight *flightGroup
+	flight *flightGroup[cpu.Result]
 	pool   *pool
 	jobs   *jobStore
 	bases  *baseCache
+
+	// rootCtx parents every async job (and boot-time resume); Abort
+	// cancels it — the in-process analogue of SIGKILL for chaos tests.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	// draining flips when graceful shutdown begins: /readyz answers 503 so
+	// a frontend stops routing new cells here while in-flight work — which
+	// this worker still owns — finishes.
+	draining atomic.Bool
 
 	// ckpts is the durable checkpoint store (nil when disabled);
 	// ckptHealth is its startup scan.
@@ -177,7 +187,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		cache:      newResultCache(cfg.CacheEntries, cfg.CacheDir, cfg.Faults.Filesystem()),
-		flight:     newFlightGroup(),
+		flight:     newFlightGroup[cpu.Result](),
 		pool:       newPool(cfg.Workers, cfg.QueueDepth),
 		jobs:       newJobStore(),
 		bases:      newBaseCache(cfg.BaseEntries),
@@ -187,6 +197,7 @@ func New(cfg Config) *Server {
 		start:      time.Now(),
 		startInsts: experiments.SimInstructions(),
 	}
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	s.streams = stream.NewRegistry(stream.Config{
 		ReplayEntries: cfg.StreamReplay,
 		SessionBuffer: cfg.StreamBuffer,
@@ -231,16 +242,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// normalizeErrors turns the mux's own plain-text 404/405 pages into
 	// typed api.Error JSON; every other error body is already typed.
 	return s.instrument(normalizeErrors(mux))
 }
 
+// BeginDrain marks the server draining: /healthz keeps answering ok (the
+// process is alive) while /readyz flips to 503, so a frontend stops
+// routing new cells here before the listener closes. The server still
+// accepts and serves requests while draining — work it already owns, and
+// stragglers routed during the frontend's detection window, finish
+// normally.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Abort hard-cancels the server's root context: every async job (and any
+// boot-time resume) stops at its next cancellation check, leaving
+// checkpoint journals on disk exactly as a process kill would. Chaos tests
+// use it — paired with a network partition — as the in-process analogue of
+// SIGKILL; a real worker dies with the process instead.
+func (s *Server) Abort() { s.rootCancel() }
+
 // Shutdown drains the server: it waits for every async job to finish,
 // then stops the worker pool (draining any queued tasks). In-flight HTTP
 // requests are the http.Server's to drain; call its Shutdown first.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	done := make(chan struct{})
 	go func() {
 		s.jobs.wg.Wait()
@@ -458,79 +489,76 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 	return api.SimResponse{Key: key, Cached: false, Result: res}, nil
 }
 
-// runBatch answers a full cell matrix, row-major over workloads then
-// techniques. Cells run concurrently (the pool bounds actual simulation
-// parallelism). A recovered worker panic fails only its own cell — the
-// cell carries a typed api.Error and the rest of the matrix completes —
-// while systemic failures (deadline, shutdown) cancel the batch.
+// runBatch answers a batch's cell list (the Workloads×Techniques matrix
+// row-major, or the explicit Cells form — see api.BatchRequest.CellList).
+// Cells run concurrently (the pool bounds actual simulation parallelism).
+// A recovered worker panic fails only its own cell — the cell carries a
+// typed api.Error and the rest of the batch completes — while systemic
+// failures (deadline, shutdown) cancel the batch.
 func (s *Server) runBatch(ctx context.Context, req api.BatchRequest, j *job) (*api.BatchResponse, error) {
 	cfg := s.config(req.Config)
-	// Validate the whole matrix up front so a malformed cell is a clean
-	// 400 before any simulation starts.
-	for _, t := range req.Techniques {
-		if _, err := experiments.ParseTechnique(t); err != nil {
+	list := req.CellList()
+	// Validate every cell up front so a malformed one is a clean 400
+	// before any simulation starts.
+	for _, c := range list {
+		if _, err := experiments.ParseTechnique(c.Technique); err != nil {
 			return nil, badRequest(err)
 		}
-	}
-	for _, ref := range req.Workloads {
-		if _, err := workloads.Resolve(ref); err != nil {
+		if _, err := workloads.Resolve(c.Workload); err != nil {
 			return nil, badRequest(err)
 		}
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	cells := make([]api.SimResponse, len(req.Workloads)*len(req.Techniques))
+	cells := make([]api.SimResponse, len(list))
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
 	)
-	for wi, ref := range req.Workloads {
-		for ti, tech := range req.Techniques {
-			idx := wi*len(req.Techniques) + ti
-			ref, tech := ref, tech
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var pub *cellPub
-				if j != nil {
-					pub = &cellPub{j: j, cell: idx, bench: ref.Kernel, tech: tech}
-				}
-				resp, err := s.runCell(ctx, ref, tech, cfg, req.Sampling, admitQueue, pub)
-				if err != nil {
-					var (
-						pe *PanicError
-						le *cpu.LivelockError
-					)
-					if errors.As(err, &pe) || errors.As(err, &le) {
-						// Isolated crash or wedge of this one cell: report
-						// it in place and let the rest of the batch finish.
-						key := CacheKeySampled(ref, tech, cfg, req.Sampling)
-						cells[idx] = api.SimResponse{
-							Key:   key,
-							Error: &api.Error{Code: api.CodeInternal, Error: err.Error()},
-						}
-						if j != nil {
-							done := j.cellDone()
-							pub.publish(api.Event{Kind: api.EventCellDone, Key: key,
-								Error: err.Error(), Done: done, Total: j.total})
-						}
-						return
+	for idx, cell := range list {
+		idx, ref, tech := idx, cell.Workload, cell.Technique
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var pub *cellPub
+			if j != nil {
+				pub = &cellPub{j: j, cell: idx, bench: ref.Kernel, tech: tech}
+			}
+			resp, err := s.runCell(ctx, ref, tech, cfg, req.Sampling, admitQueue, pub)
+			if err != nil {
+				var (
+					pe *PanicError
+					le *cpu.LivelockError
+				)
+				if errors.As(err, &pe) || errors.As(err, &le) {
+					// Isolated crash or wedge of this one cell: report
+					// it in place and let the rest of the batch finish.
+					key := CacheKeySampled(ref, tech, cfg, req.Sampling)
+					cells[idx] = api.SimResponse{
+						Key:   key,
+						Error: &api.Error{Code: api.CodeInternal, Error: err.Error()},
 					}
-					errOnce.Do(func() {
-						firstErr = err
-						cancel()
-					})
+					if j != nil {
+						done := j.cellDone()
+						pub.publish(api.Event{Kind: api.EventCellDone, Key: key,
+							Error: err.Error(), Done: done, Total: j.total})
+					}
 					return
 				}
-				cells[idx] = resp
-				if j != nil {
-					done := j.cellDone()
-					pub.publish(api.Event{Kind: api.EventCellDone, Key: resp.Key,
-						Cached: resp.Cached, Done: done, Total: j.total})
-				}
-			}()
-		}
+				errOnce.Do(func() {
+					firstErr = err
+					cancel()
+				})
+				return
+			}
+			cells[idx] = resp
+			if j != nil {
+				done := j.cellDone()
+				pub.publish(api.Event{Kind: api.EventCellDone, Key: resp.Key,
+					Cached: resp.Cached, Done: done, Total: j.total})
+			}
+		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -590,8 +618,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Async {
-		j := s.jobs.create(len(req.Workloads)*len(req.Techniques), s.streams)
-		ctx := context.Background()
+		j := s.jobs.create(len(req.CellList()), s.streams)
+		// Async jobs outlive their submitting connection but not the
+		// process: they derive from rootCtx so Abort (the in-process kill)
+		// stops them at the next cancellation check.
+		ctx := s.rootCtx
 		var cancel context.CancelFunc = func() {}
 		if req.TimeoutMS > 0 {
 			ctx, cancel = context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
@@ -639,6 +670,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the routing gate: liveness (/healthz) says "don't kill
+// me", readiness says "send me work". They diverge exactly during a
+// graceful drain — the process is alive finishing owned work but must not
+// receive new cells. The unready answer is typed JSON (like every other
+// error this server emits) so a prober can read the reason, not just the
+// status.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, api.Error{Code: api.CodeShuttingDown, Error: "service: draining"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
 }
 
 // Metrics snapshots the service counters. The cache pair is read under

@@ -4,29 +4,29 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
-
-	"dvr/internal/cpu"
 )
 
-// flightGroup collapses concurrent identical jobs: while a simulation for
+// flightGroup collapses concurrent identical jobs: while a computation for
 // a key is in flight, later arrivals for the same key wait for its result
-// instead of simulating again. The leader's context drives the
-// computation; a follower whose own context expires first stops waiting
-// (and gets its context error) without disturbing the flight.
-type flightGroup struct {
+// instead of computing again. The leader's context drives the computation;
+// a follower whose own context expires first stops waiting (and gets its
+// context error) without disturbing the flight. It is generic over the
+// result type: the worker collapses simulations (cpu.Result), the frontend
+// collapses routed cells (api.SimResponse).
+type flightGroup[T any] struct {
 	mu     sync.Mutex
-	flying map[string]*flight
+	flying map[string]*flight[T]
 	shared atomic.Uint64 // results delivered to followers
 }
 
-type flight struct {
+type flight[T any] struct {
 	done chan struct{}
-	res  cpu.Result
+	res  T
 	err  error
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{flying: make(map[string]*flight)}
+func newFlightGroup[T any]() *flightGroup[T] {
+	return &flightGroup[T]{flying: make(map[string]*flight[T])}
 }
 
 // Do runs fn for key unless a flight for key is already in progress, in
@@ -36,7 +36,7 @@ func newFlightGroup() *flightGroup {
 // still live retry once as a potential new leader (Server.runCell does
 // this, counted at /metrics as single_flight_retries; the cache absorbs
 // the common case where the leader succeeded).
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() (cpu.Result, error)) (res cpu.Result, shared bool, err error) {
+func (g *flightGroup[T]) Do(ctx context.Context, key string, fn func() (T, error)) (res T, shared bool, err error) {
 	g.mu.Lock()
 	if f, ok := g.flying[key]; ok {
 		g.mu.Unlock()
@@ -45,10 +45,11 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() (cpu.Result,
 			g.shared.Add(1)
 			return f.res, true, f.err
 		case <-ctx.Done():
-			return cpu.Result{}, true, ctx.Err()
+			var zero T
+			return zero, true, ctx.Err()
 		}
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight[T]{done: make(chan struct{})}
 	g.flying[key] = f
 	g.mu.Unlock()
 
@@ -61,4 +62,4 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() (cpu.Result,
 }
 
 // Shared returns how many results were delivered to followers.
-func (g *flightGroup) Shared() uint64 { return g.shared.Load() }
+func (g *flightGroup[T]) Shared() uint64 { return g.shared.Load() }

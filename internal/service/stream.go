@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"dvr/internal/service/api"
 	"dvr/internal/stream"
@@ -178,8 +179,16 @@ func filterFor(opts api.StreamOptions) func(api.Event) bool {
 // do not reap the connection. The stream ends after the job's terminal
 // event (job-done) has been delivered and the broadcaster closed.
 func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	streamJob(w, r, s.jobs, s.cfg.StreamHeartbeat)
+}
+
+// streamJob is the role-agnostic SSE serving loop, shared by the worker
+// Server and the cluster Frontend (the frontend republishes its workers'
+// events into its own jobs' broadcasters, so subscribers see one stream
+// regardless of which replica simulates which cell).
+func streamJob(w http.ResponseWriter, r *http.Request, jobs *jobStore, hb time.Duration) {
 	id := r.PathValue("id")
-	j, ok := s.jobs.get(id)
+	j, ok := jobs.get(id)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound, Error: fmt.Sprintf("service: unknown job %q", id)})
 		return
@@ -214,7 +223,6 @@ func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
-	hb := s.cfg.StreamHeartbeat
 	for {
 		ctx, cancel := context.WithTimeout(r.Context(), hb)
 		ev, err := sess.Next(ctx)
