@@ -13,7 +13,8 @@
 //	     [-trace-interval N] [-stream-replay N] [-stream-buffer N]
 //	     [-stream-ttl 60s] [-stream-heartbeat 15s] [-log]
 //	     [-replicas URL,URL,...] [-probe-interval 1s] [-fail-threshold 3]
-//	     [-drain-grace 5s]
+//	     [-drain-grace 5s] [-ledger-dir DIR] [-hedge-after 300ms]
+//	     [-breaker-threshold 3] [-breaker-cooldown 2s]
 //
 // Roles: the default single role is the standalone server. A cluster
 // splits into -role=worker replicas (same server, plus a drain-aware
@@ -42,6 +43,19 @@
 // window (-stream-replay events per job). The frontend serves the same
 // stream for cluster batches, republishing each worker's events under its
 // own job's sequence. See DESIGN.md, "Streaming".
+//
+// With -ledger-dir, a frontend journals every accepted async job to a
+// sealed append-only ledger and replays it at restart: accepted-but-
+// unfinished jobs re-dispatch over the ring under their original job id
+// and stream identity, finished ones keep answering idempotent
+// re-submissions (clients send an Idempotency-Key header or the
+// idempotency_key request field) with the original results. Clients may
+// also propagate their remaining deadline per hop via X-Deadline-Ms;
+// requests whose budget is already exhausted are refused up front with
+// 504. -hedge-after enables straggler hedging for single-cell requests,
+// and -breaker-threshold/-breaker-cooldown shape the per-replica circuit
+// breakers that demote failing replicas in routing order. See DESIGN.md,
+// "Exactly-once & overload control".
 //
 // With -cache-dir and -checkpoint-every, running simulations journal
 // their state to <dir>/checkpoints and a dvrd killed mid-job resumes the
@@ -96,6 +110,11 @@ func main() {
 		probeIvl   = flag.Duration("probe-interval", time.Second, "frontend: per-replica /readyz heartbeat period")
 		failThresh = flag.Int("fail-threshold", 3, "frontend: consecutive probe failures before a replica is marked dead")
 		drainGrace = flag.Duration("drain-grace", 5*time.Second, "worker: time between /readyz flipping to draining and the listener closing, so frontends stop routing here first")
+
+		ledgerDir  = flag.String("ledger-dir", "", "frontend: journal accepted async jobs to this directory and recover them at restart (empty = stateless frontend)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "frontend: launch a backup dispatch for a sim cell unanswered after this long (0 = off)")
+		brkThresh  = flag.Int("breaker-threshold", 0, "frontend: consecutive transport failures that trip a replica's circuit breaker (0 = 3)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "frontend: how long a tripped breaker demotes its replica in routing order (0 = 2s)")
 	)
 	flag.Parse()
 
@@ -139,15 +158,19 @@ func main() {
 			os.Exit(2)
 		}
 		runFrontend(*addr, service.FrontendConfig{
-			Replicas:        clean,
-			ProbeInterval:   *probeIvl,
-			FailThreshold:   *failThresh,
-			DefaultTimeout:  *timeout,
-			StreamReplay:    *strReplay,
-			StreamBuffer:    *strBuffer,
-			StreamTTL:       *strTTL,
-			StreamHeartbeat: *strHB,
-			Logger:          logger,
+			Replicas:         clean,
+			ProbeInterval:    *probeIvl,
+			FailThreshold:    *failThresh,
+			DefaultTimeout:   *timeout,
+			StreamReplay:     *strReplay,
+			StreamBuffer:     *strBuffer,
+			StreamTTL:        *strTTL,
+			StreamHeartbeat:  *strHB,
+			LedgerDir:        *ledgerDir,
+			HedgeAfter:       *hedgeAfter,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCool,
+			Logger:           logger,
 		}, *drain)
 	default:
 		fmt.Fprintf(os.Stderr, "dvrd: unknown -role %q (single, worker, frontend)\n", *role)
@@ -222,6 +245,15 @@ func runFrontend(addr string, cfg service.FrontendConfig, drain time.Duration) {
 		os.Exit(2)
 	}
 	httpSrv := &http.Server{Addr: addr, Handler: fe.Handler()}
+
+	if cfg.LedgerDir != "" {
+		lh := fe.LedgerHealth()
+		fmt.Printf("dvrd: ledger scan: %d journals, %d healthy, %d quarantined, %d dropped, %d torn repaired\n",
+			lh.Scanned, lh.Healthy, lh.Quarantined, lh.Dropped, lh.Torn)
+		if len(lh.Pending) > 0 {
+			fmt.Printf("dvrd: recovering %d interrupted job(s) in the background\n", len(lh.Pending))
+		}
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

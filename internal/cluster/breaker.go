@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig shapes the per-replica circuit breakers.
+type BreakerConfig struct {
+	// Threshold is how many consecutive data-path failures trip a
+	// replica's breaker; 0 means 3.
+	Threshold int
+	// Cooldown is how long a tripped breaker deprioritizes its replica
+	// before the next request is allowed through as a probe; 0 means 2s.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// BreakerStatus is one replica's breaker state, snapshotted for metrics.
+type BreakerStatus struct {
+	Name        string `json:"name"`
+	Open        bool   `json:"open"`
+	ConsecFails int    `json:"consec_fails,omitempty"`
+	Trips       uint64 `json:"trips,omitempty"`
+}
+
+// Breakers is a set of per-replica circuit breakers fed by the data path:
+// Threshold consecutive request failures open a replica's breaker, which
+// deprioritizes it (the frontend orders non-blocked candidates first —
+// it never refuses outright, so a fleet of open breakers still serves).
+// After Cooldown the breaker stops blocking: the next request through is
+// the half-open probe, and its outcome either closes the breaker
+// (Success resets the failure count) or re-opens it for another cooldown
+// (Failure refreshes the trip time). This is deliberately softer than the
+// prober's dead state — a breaker opens on per-request evidence within
+// the retry budget, long before the heartbeat loop notices anything.
+type Breakers struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu   sync.Mutex
+	reps map[string]*breakerState
+
+	trips uint64
+}
+
+type breakerState struct {
+	fails    int
+	lastFail time.Time
+	trips    uint64
+}
+
+// NewBreakers builds a breaker set over the replica set.
+func NewBreakers(replicas []string, cfg BreakerConfig) *Breakers {
+	b := &Breakers{
+		cfg:  cfg.withDefaults(),
+		now:  time.Now,
+		reps: make(map[string]*breakerState, len(replicas)),
+	}
+	for _, r := range replicas {
+		b.reps[r] = &breakerState{}
+	}
+	return b
+}
+
+// Failure records one data-path failure against a replica. Crossing the
+// threshold (or failing while already open) starts a fresh cooldown.
+func (b *Breakers) Failure(replica string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.reps[replica]
+	if !ok {
+		return
+	}
+	wasOpen := r.fails >= b.cfg.Threshold
+	r.fails++
+	r.lastFail = b.now()
+	if !wasOpen && r.fails >= b.cfg.Threshold {
+		r.trips++
+		b.trips++
+	}
+}
+
+// Success closes a replica's breaker: consecutive-failure evidence is
+// reset by any successful exchange, including the half-open probe.
+func (b *Breakers) Success(replica string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r, ok := b.reps[replica]; ok {
+		r.fails = 0
+	}
+}
+
+// Blocked reports whether a replica's breaker currently deprioritizes it:
+// open and still inside its cooldown. Once the cooldown elapses Blocked
+// turns false while the failure count stays — the half-open state — so
+// one probe request flows and its outcome decides what happens next.
+func (b *Breakers) Blocked(replica string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.reps[replica]
+	if !ok {
+		return false
+	}
+	return r.fails >= b.cfg.Threshold && b.now().Sub(r.lastFail) < b.cfg.Cooldown
+}
+
+// Trips returns how many times any breaker opened since start.
+func (b *Breakers) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Open counts replicas whose breaker currently blocks.
+func (b *Breakers) Open() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	now := b.now()
+	for _, r := range b.reps {
+		if r.fails >= b.cfg.Threshold && now.Sub(r.lastFail) < b.cfg.Cooldown {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot reports every replica's breaker state (map order; the caller
+// sorts by name alongside the prober snapshot).
+func (b *Breakers) Snapshot() map[string]BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	out := make(map[string]BreakerStatus, len(b.reps))
+	for name, r := range b.reps {
+		out[name] = BreakerStatus{
+			Name:        name,
+			Open:        r.fails >= b.cfg.Threshold && now.Sub(r.lastFail) < b.cfg.Cooldown,
+			ConsecFails: r.fails,
+			Trips:       r.trips,
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripCooldownHalfOpen(t *testing.T) {
+	b := NewBreakers([]string{"a", "b"}, BreakerConfig{Threshold: 3, Cooldown: time.Second})
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+
+	// Two failures: below threshold, not blocked.
+	b.Failure("a")
+	b.Failure("a")
+	if b.Blocked("a") {
+		t.Fatal("blocked below threshold")
+	}
+	// Third failure trips the breaker.
+	b.Failure("a")
+	if !b.Blocked("a") {
+		t.Fatal("not blocked at threshold")
+	}
+	if b.Trips() != 1 || b.Open() != 1 {
+		t.Fatalf("Trips=%d Open=%d, want 1/1", b.Trips(), b.Open())
+	}
+	if b.Blocked("b") {
+		t.Fatal("unrelated replica blocked")
+	}
+
+	// Cooldown elapses: half-open, the next request may probe.
+	now = now.Add(time.Second)
+	if b.Blocked("a") {
+		t.Fatal("still blocked after cooldown")
+	}
+	// A failing probe re-opens for another cooldown without re-counting a
+	// trip (the breaker never closed).
+	b.Failure("a")
+	if !b.Blocked("a") {
+		t.Fatal("not re-blocked by failed half-open probe")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d after failed probe, want still 1", b.Trips())
+	}
+
+	// A successful probe closes it for good.
+	now = now.Add(time.Second)
+	b.Success("a")
+	if b.Blocked("a") {
+		t.Fatal("blocked after success")
+	}
+	st := b.Snapshot()["a"]
+	if st.Open || st.ConsecFails != 0 || st.Trips != 1 {
+		t.Fatalf("Snapshot[a] = %+v, want closed with 1 historical trip", st)
+	}
+
+	// Unknown replicas never block and never panic.
+	b.Failure("ghost")
+	b.Success("ghost")
+	if b.Blocked("ghost") {
+		t.Fatal("unknown replica blocked")
+	}
+}

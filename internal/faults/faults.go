@@ -23,6 +23,11 @@ type FS interface {
 	MkdirAll(path string, perm os.FileMode) error
 	ReadFile(name string) ([]byte, error)
 	WriteFile(name string, data []byte, perm os.FileMode) error
+	// AppendFile appends data to name, creating it if absent — the
+	// journal-append primitive of the frontend ledger. Unlike WriteFile the
+	// write is not atomic: a crash mid-append leaves a torn tail, which is
+	// exactly the failure the ledger's per-record seals are built to detect.
+	AppendFile(name string, data []byte, perm os.FileMode) error
 	// CreateTemp creates a uniquely-named file in dir (pattern as in
 	// os.CreateTemp) and returns its path; the caller writes it with
 	// WriteFile and publishes it with Rename.
@@ -41,6 +46,17 @@ func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(p
 func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
 func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
 	return os.WriteFile(name, data, perm)
+}
+func (osFS) AppendFile(name string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(name, os.O_APPEND|os.O_CREATE|os.O_WRONLY, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 func (osFS) CreateTemp(dir, pattern string) (string, error) {
 	f, err := os.CreateTemp(dir, pattern)
@@ -79,6 +95,9 @@ type Injector struct {
 	// latency, partitions) into the frontend→replica transport; nil means
 	// a clean network.
 	Net *NetFaults
+	// Crash schedules deterministic process-death points (the frontend's
+	// ledger-write boundaries); nil means none fire.
+	Crash *CrashPlan
 }
 
 // Filesystem returns the FS to use for spill I/O; the real one unless
@@ -104,6 +123,16 @@ func (in *Injector) LivelockAfter(key string) uint64 {
 		return 0
 	}
 	return in.SimLivelock(key)
+}
+
+// CrashAt reports whether the scheduled crash at pt should fire now; the
+// caller then dies (panics with http.ErrAbortHandler, aborts the request)
+// as a process kill at that exact boundary would.
+func (in *Injector) CrashAt(pt CrashPoint) bool {
+	if in == nil || in.Crash == nil {
+		return false
+	}
+	return in.Crash.hit(pt)
 }
 
 // Transport wraps inner (nil means http.DefaultTransport) with the

@@ -96,6 +96,30 @@ func (f *FaultyFS) WriteFile(name string, data []byte, perm os.FileMode) error {
 	return f.Inner.WriteFile(name, data, perm)
 }
 
+// AppendFile counts as a write under the same fail/corrupt schedule as
+// WriteFile: a failed append drops the record, a corrupted one lands torn —
+// both shapes the ledger's per-record seals must absorb.
+func (f *FaultyFS) AppendFile(name string, data []byte, perm os.FileMode) error {
+	f.mu.Lock()
+	f.writes++
+	fail := f.FailWriteEvery > 0 && f.writes%f.FailWriteEvery == 0
+	corrupt := !fail && f.CorruptWriteEvery > 0 && f.writes%f.CorruptWriteEvery == 0
+	if fail {
+		f.writesFailed++
+	}
+	if corrupt && len(data) > 0 {
+		f.writesCorrupted++
+		// Truncate the record mid-way: the torn-append shape, distinct from
+		// WriteFile's bit flip, because appends really do die half-written.
+		data = data[:f.rng.IntN(len(data))]
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.Inner.AppendFile(name, data, perm)
+}
+
 func (f *FaultyFS) CreateTemp(dir, pattern string) (string, error) {
 	return f.Inner.CreateTemp(dir, pattern)
 }
@@ -104,6 +128,75 @@ func (f *FaultyFS) Rename(oldpath, newpath string) error { return f.Inner.Rename
 func (f *FaultyFS) Remove(name string) error             { return f.Inner.Remove(name) }
 func (f *FaultyFS) ReadDir(name string) ([]fs.DirEntry, error) {
 	return f.Inner.ReadDir(name)
+}
+
+// CrashPoint names a deterministic kill site inside the service — a
+// boundary where a process death has a distinct durability consequence.
+type CrashPoint string
+
+const (
+	// FrontendCrashBeforeLedgerWrite fires in the frontend's batch
+	// admission path after the job is assigned but before its accepted
+	// record reaches the ledger: the crash loses the job entirely (no 202
+	// was sent, no durable trace exists) and a client retry starts fresh.
+	FrontendCrashBeforeLedgerWrite CrashPoint = "frontend-before-ledger-write"
+	// FrontendCrashAfterLedgerWrite fires immediately after the accepted
+	// record is durable but before the 202 reaches the client: the next
+	// frontend boot recovers and runs the job, and the client's retry with
+	// the same idempotency key attaches to it instead of re-submitting.
+	FrontendCrashAfterLedgerWrite CrashPoint = "frontend-after-ledger-write"
+)
+
+// CrashPlan schedules one-shot crashes at named points. Arm(pt, n) makes
+// the n-th hit of pt fire (n=1 means the next one); each armed point fires
+// exactly once. The chaos suite uses it to kill a frontend at torn-write
+// boundaries deterministically instead of racing a signal against the
+// admission path.
+type CrashPlan struct {
+	mu    sync.Mutex
+	armed map[CrashPoint]int
+	fired map[CrashPoint]int
+}
+
+// Arm schedules pt to fire on its n-th future hit (n < 1 means 1).
+func (p *CrashPlan) Arm(pt CrashPoint, n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.armed == nil {
+		p.armed = make(map[CrashPoint]int)
+	}
+	p.armed[pt] = n
+}
+
+// Fired reports how many times pt has fired.
+func (p *CrashPlan) Fired(pt CrashPoint) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired[pt]
+}
+
+// hit records one arrival at pt and reports whether the crash fires now.
+func (p *CrashPlan) hit(pt CrashPoint) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.armed[pt]
+	if !ok {
+		return false
+	}
+	n--
+	if n > 0 {
+		p.armed[pt] = n
+		return false
+	}
+	delete(p.armed, pt)
+	if p.fired == nil {
+		p.fired = make(map[CrashPoint]int)
+	}
+	p.fired[pt]++
+	return true
 }
 
 // SimFaults is a scripted BeforeSim hook: every PanicEvery-th simulation

@@ -30,6 +30,7 @@ type NetFaults struct {
 	mu          sync.Mutex
 	n           int
 	partitioned map[string]bool
+	stalled     map[string]time.Duration
 
 	refused     int
 	resets      int
@@ -67,6 +68,39 @@ func (nf *NetFaults) Heal(host string) {
 	delete(nf.partitioned, host)
 }
 
+// Stall delays every request to host by d before it is sent (until
+// Unstall) — a deterministic straggler replica, the trigger shape for the
+// frontend's hedged dispatch. The stall respects the request context, so a
+// hedge winner cancelling the loser releases it immediately.
+func (nf *NetFaults) Stall(host string, d time.Duration) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	if nf.stalled == nil {
+		nf.stalled = make(map[string]time.Duration)
+	}
+	nf.stalled[host] = d
+}
+
+// Unstall removes a host's stall.
+func (nf *NetFaults) Unstall(host string) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	delete(nf.stalled, host)
+}
+
+// Schedule installs the periodic fault schedule under the lock. The storm
+// tests flip faults on while probe traffic is already flowing through the
+// transport, so direct field writes would race RoundTrip's reads.
+func (nf *NetFaults) Schedule(refuseEvery, resetEvery, resetAfter, latencyEvery int, latency time.Duration) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	nf.RefuseEvery = refuseEvery
+	nf.ResetEvery = resetEvery
+	nf.ResetAfter = resetAfter
+	nf.LatencyEvery = latencyEvery
+	nf.Latency = latency
+}
+
 // Counters reports how many faults fired: refused connections (scheduled +
 // partition-rejected), mid-body resets, and delayed requests.
 func (nf *NetFaults) Counters() (refused, resets, delayed int) {
@@ -86,10 +120,13 @@ func (nf *NetFaults) RoundTrip(req *http.Request) (*http.Response, error) {
 		nf.mu.Unlock()
 		return nil, fmt.Errorf("%w: partitioned host %s", ErrInjected, req.URL.Host)
 	}
+	stall := nf.stalled[req.URL.Host]
 	nf.n++
 	refuse := nf.RefuseEvery > 0 && nf.n%nf.RefuseEvery == 0
 	reset := !refuse && nf.ResetEvery > 0 && nf.n%nf.ResetEvery == 0
 	delay := nf.LatencyEvery > 0 && nf.n%nf.LatencyEvery == 0
+	resetAfter := nf.ResetAfter
+	latency := nf.Latency
 	if refuse {
 		nf.refused++
 	}
@@ -104,8 +141,17 @@ func (nf *NetFaults) RoundTrip(req *http.Request) (*http.Response, error) {
 	if refuse {
 		return nil, fmt.Errorf("%w: connection refused", ErrInjected)
 	}
+	if stall > 0 {
+		timer := time.NewTimer(stall)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
 	if delay {
-		timer := time.NewTimer(nf.Latency)
+		timer := time.NewTimer(latency)
 		select {
 		case <-req.Context().Done():
 			timer.Stop()
@@ -120,7 +166,7 @@ func (nf *NetFaults) RoundTrip(req *http.Request) (*http.Response, error) {
 	if err != nil || !reset {
 		return resp, err
 	}
-	resp.Body = &resetBody{inner: resp.Body, remain: nf.ResetAfter}
+	resp.Body = &resetBody{inner: resp.Body, remain: resetAfter}
 	return resp, nil
 }
 

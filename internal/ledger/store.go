@@ -1,0 +1,282 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dvr/internal/checkpoint"
+	"dvr/internal/faults"
+)
+
+// Ext is the per-job journal file suffix under a Store directory. Side
+// journals (hedge records for jobs that never had a journal of their own,
+// e.g. synchronous batches) use SideExt so Scan never mistakes them for
+// recoverable jobs.
+const (
+	Ext     = ".job"
+	SideExt = ".log"
+)
+
+// Store keeps one append-only journal per job as <dir>/<jobID>.job through
+// a faults.FS so the chaos suite can script torn appends and disk
+// failures. Appends go through faults.FS.AppendFile — deliberately
+// non-atomic, because the per-record seals are what absorb a crash
+// mid-append — and are serialized by a store-wide mutex so records from
+// concurrent handlers never interleave mid-record.
+type Store struct {
+	dir string
+	fs  faults.FS
+
+	mu sync.Mutex // serializes appends (and append-vs-repair)
+
+	appends      atomic.Uint64
+	appendErrors atomic.Uint64
+	quarantined  atomic.Uint64
+	tornRepaired atomic.Uint64
+}
+
+// NewStore opens (creating if needed) a ledger directory. A nil fsys
+// means the real filesystem.
+func NewStore(dir string, fsys faults.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = faults.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: open store %s: %w", dir, err)
+	}
+	return &Store{dir: dir, fs: fsys}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the journal file path for a job id.
+func (s *Store) Path(jobID string) string { return filepath.Join(s.dir, jobID+Ext) }
+
+// Appends returns how many records were durably appended; AppendErrors how
+// many appends failed (the job proceeded without that durability point);
+// Quarantined how many corrupt journals were moved to quarantine/;
+// TornRepaired how many torn tails were dropped and the journal rewritten.
+func (s *Store) Appends() uint64      { return s.appends.Load() }
+func (s *Store) AppendErrors() uint64 { return s.appendErrors.Load() }
+func (s *Store) Quarantined() uint64  { return s.quarantined.Load() }
+func (s *Store) TornRepaired() uint64 { return s.tornRepaired.Load() }
+
+// Append durably appends one record to the job's journal, creating it on
+// first write.
+func (s *Store) Append(jobID string, rec Record) error {
+	return s.append(s.Path(jobID), rec)
+}
+
+// AppendSide appends one record to a side journal <dir>/<name>.log — the
+// home of hedge records whose request has no per-job journal (synchronous
+// batches and single sims). Scan skips side journals.
+func (s *Store) AppendSide(name string, rec Record) error {
+	return s.append(filepath.Join(s.dir, name+SideExt), rec)
+}
+
+func (s *Store) append(path string, rec Record) error {
+	data, err := Encode(rec)
+	if err != nil {
+		s.appendErrors.Add(1)
+		return err
+	}
+	s.mu.Lock()
+	err = s.fs.AppendFile(path, data, 0o644)
+	s.mu.Unlock()
+	if err != nil {
+		s.appendErrors.Add(1)
+		return fmt.Errorf("ledger: append %s: %w", filepath.Base(path), err)
+	}
+	s.appends.Add(1)
+	return nil
+}
+
+// Load reads, verifies and decodes the journal for a job id.
+//
+//   - missing file: an fs.ErrNotExist-wrapped error;
+//   - torn tail: the broken final record is dropped and the journal
+//     atomically rewritten to its valid prefix, so a later append cannot
+//     convert a torn tail into mid-file corruption;
+//   - mid-file corruption: the journal is quarantined, an
+//     checkpoint.ErrCorrupt-wrapped error;
+//   - version skew: the file is removed, an ErrVersion-wrapped error.
+//
+// Every error case leaves nothing behind that a later Load could trip
+// over again.
+func (s *Store) Load(jobID string) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load(jobID)
+}
+
+func (s *Store) load(jobID string) ([]Record, error) {
+	path := s.Path(jobID)
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, torn, err := DecodeJournal(data)
+	switch {
+	case errors.Is(err, checkpoint.ErrCorrupt):
+		s.quarantine(jobID)
+		return nil, err
+	case errors.Is(err, ErrVersion):
+		_ = s.fs.Remove(path)
+		return nil, err
+	case err != nil:
+		return nil, err
+	}
+	if torn > 0 {
+		s.repair(path, recs)
+	}
+	return recs, nil
+}
+
+// repair atomically rewrites a journal to the valid records that survived
+// a torn tail. A failed repair leaves the torn file in place — it still
+// decodes to the same prefix, so nothing is lost, only the next boot
+// repairs again.
+func (s *Store) repair(path string, recs []Record) {
+	buf := make([]byte, 0, 1024)
+	for _, rec := range recs {
+		data, err := Encode(rec)
+		if err != nil {
+			return
+		}
+		buf = append(buf, data...)
+	}
+	tmp, err := s.fs.CreateTemp(s.dir, filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return
+	}
+	if err := s.fs.WriteFile(tmp, buf, 0o644); err != nil {
+		_ = s.fs.Remove(tmp)
+		return
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		_ = s.fs.Remove(tmp)
+		return
+	}
+	s.tornRepaired.Add(1)
+}
+
+// quarantine moves a corrupt journal to <dir>/quarantine/ so it is never
+// re-read; if the move fails the file is deleted outright.
+func (s *Store) quarantine(jobID string) {
+	qdir := filepath.Join(s.dir, "quarantine")
+	_ = s.fs.MkdirAll(qdir, 0o755)
+	if err := s.fs.Rename(s.Path(jobID), filepath.Join(qdir, jobID+Ext)); err != nil {
+		_ = s.fs.Remove(s.Path(jobID))
+	}
+	s.quarantined.Add(1)
+}
+
+// Job summarizes one journal: what was accepted, whether it completed,
+// and how many times a rebooted frontend has already recovered it.
+type Job struct {
+	// ID is the job id (the journal file's base name).
+	ID string
+	// Accepted is the job's accepted record (request, total, idempotency
+	// key).
+	Accepted *Record
+	// Done is the completion record, nil while the job is pending.
+	Done *Record
+	// Recoveries counts prior recovered records — the job's crash
+	// history, and the seed of its stream event-id epoch.
+	Recoveries int
+}
+
+// Health summarizes a startup Scan.
+type Health struct {
+	Scanned     int   // journal files examined
+	Healthy     int   // files that verified and decoded
+	Quarantined int   // corrupt files moved to quarantine/
+	Dropped     int   // intact files from another format version, removed
+	Torn        int   // torn tails dropped and repaired
+	Pending     []Job // accepted-but-not-done jobs, sorted by id
+	Completed   []Job // completed jobs (durable dedup window), sorted by id
+}
+
+// Scan verifies every journal at startup: corrupt files are quarantined,
+// version-skewed ones dropped, torn tails repaired, and the surviving
+// jobs partitioned into pending (to recover) and completed (to keep
+// serving idempotent re-submissions).
+func (s *Store) Scan() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var h Health
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return h
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, Ext) {
+			continue
+		}
+		h.Scanned++
+		id := strings.TrimSuffix(name, Ext)
+		before := s.tornRepaired.Load()
+		recs, err := s.load(id)
+		switch {
+		case errors.Is(err, checkpoint.ErrCorrupt):
+			h.Quarantined++
+			continue
+		case errors.Is(err, ErrVersion):
+			h.Dropped++
+			continue
+		case err != nil:
+			// Unreadable (disk fault mid-scan): leave it for a later read.
+			continue
+		}
+		if s.tornRepaired.Load() > before {
+			h.Torn++
+		}
+		h.Healthy++
+		job := Job{ID: id}
+		for i := range recs {
+			switch recs[i].Kind {
+			case KindAccepted:
+				if job.Accepted == nil {
+					job.Accepted = &recs[i]
+				}
+			case KindRecovered:
+				job.Recoveries++
+			case KindDone:
+				job.Done = &recs[i]
+			}
+		}
+		if job.Accepted == nil {
+			// A journal with no accepted record (a tear ate the first
+			// append) cannot be recovered or deduplicated; nothing to do.
+			continue
+		}
+		if job.Done != nil {
+			h.Completed = append(h.Completed, job)
+		} else {
+			h.Pending = append(h.Pending, job)
+		}
+	}
+	sort.Slice(h.Pending, func(i, j int) bool { return h.Pending[i].ID < h.Pending[j].ID })
+	sort.Slice(h.Completed, func(i, j int) bool { return h.Completed[i].ID < h.Completed[j].ID })
+	return h
+}
+
+// Remove deletes the journal for a job id (e.g. an operator pruning the
+// dedup window). Removing a missing journal is not an error.
+func (s *Store) Remove(jobID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.fs.Remove(s.Path(jobID))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}

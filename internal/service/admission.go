@@ -1,0 +1,103 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// aimd is the adaptive admission controller in front of the worker pool:
+// an AIMD (additive-increase, multiplicative-decrease) concurrency limit
+// that breathes between the pool size (floor — the server can always run
+// that much) and pool+queue (ceiling — beyond that requests only stack up).
+// Every admitted request holds a token; completions nudge the limit up by
+// 1/limit (one full step per limit's worth of successes), overload
+// evidence — a full queue, a deadline blown under load — cuts it
+// multiplicatively. The cut is rate-limited so one burst of rejections
+// counts as one signal, not a collapse to the floor. Compared to the old
+// fixed-queue shed this starts rejecting *before* the queue wedges solid
+// and recovers as soon as the backlog drains, which is what keeps p99
+// latency bounded during overload instead of sawtoothing.
+type aimd struct {
+	mu       sync.Mutex
+	limit    float64
+	floor    float64
+	ceil     float64
+	inflight int
+	lastCut  time.Time
+	rejected uint64
+
+	now func() time.Time // injectable clock for deterministic tests
+}
+
+// cutInterval rate-limits multiplicative decreases: overload signals
+// within one interval of the last cut are echoes of the same congestion
+// event.
+const cutInterval = 100 * time.Millisecond
+
+func newAIMD(floor, ceil int) *aimd {
+	if floor < 1 {
+		floor = 1
+	}
+	if ceil < floor {
+		ceil = floor
+	}
+	// Start wide open: the first real overload signal cuts from the
+	// ceiling, which preserves the old fixed-queue behavior until there is
+	// evidence to do better.
+	return &aimd{limit: float64(ceil), floor: float64(floor), ceil: float64(ceil), now: time.Now}
+}
+
+// Acquire takes an admission token; false means the request is shed (429).
+func (a *aimd) Acquire() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight >= int(a.limit) {
+		a.rejected++
+		return false
+	}
+	a.inflight++
+	return true
+}
+
+// Release returns an admission token.
+func (a *aimd) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight > 0 {
+		a.inflight--
+	}
+}
+
+// Success records a completed request: additive increase, one full slot
+// per limit's worth of successes.
+func (a *aimd) Success() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.limit += 1 / a.limit
+	if a.limit > a.ceil {
+		a.limit = a.ceil
+	}
+}
+
+// Overload records congestion evidence (full queue, deadline blown under
+// load): multiplicative decrease, rate-limited to one cut per interval.
+func (a *aimd) Overload() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	if now.Sub(a.lastCut) < cutInterval {
+		return
+	}
+	a.lastCut = now
+	a.limit *= 0.7
+	if a.limit < a.floor {
+		a.limit = a.floor
+	}
+}
+
+// Snapshot reports (current limit, tokens held, total rejections).
+func (a *aimd) Snapshot() (limit float64, inflight int, rejected uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit, a.inflight, a.rejected
+}

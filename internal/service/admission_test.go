@@ -1,0 +1,88 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAIMDBreathing pins the admission controller's control law with an
+// injected clock: start at the ceiling, reject at the limit, cut
+// multiplicatively on overload (rate-limited so one congestion event is
+// one signal), clamp at the floor, and climb back additively on
+// successes.
+func TestAIMDBreathing(t *testing.T) {
+	a := newAIMD(2, 6)
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+
+	if limit, _, _ := a.Snapshot(); limit != 6 {
+		t.Fatalf("initial limit = %v, want ceiling 6", limit)
+	}
+
+	// Fill to the limit; the next arrival is shed and counted.
+	for i := 0; i < 6; i++ {
+		if !a.Acquire() {
+			t.Fatalf("acquire %d refused below the limit", i)
+		}
+	}
+	if a.Acquire() {
+		t.Fatal("acquire admitted past the limit")
+	}
+	if _, inflight, rejected := a.Snapshot(); inflight != 6 || rejected != 1 {
+		t.Fatalf("inflight=%d rejected=%d, want 6 and 1", inflight, rejected)
+	}
+
+	// First overload cuts ×0.7; echoes inside the cut interval are one
+	// congestion event and do not compound.
+	near := func(got, want float64) bool { return got-want < 1e-9 && want-got < 1e-9 }
+	a.Overload()
+	if limit, _, _ := a.Snapshot(); !near(limit, 6*0.7) {
+		t.Fatalf("limit after cut = %v, want %v", limit, 6*0.7)
+	}
+	now = now.Add(cutInterval / 2)
+	a.Overload()
+	if limit, _, _ := a.Snapshot(); !near(limit, 6*0.7) {
+		t.Fatalf("limit after rate-limited echo = %v, want unchanged %v", limit, 6*0.7)
+	}
+
+	// Separated overloads keep cutting until the floor clamps the limit.
+	for i := 0; i < 10; i++ {
+		now = now.Add(cutInterval)
+		a.Overload()
+	}
+	if limit, _, _ := a.Snapshot(); limit != 2 {
+		t.Fatalf("limit after sustained overload = %v, want floor 2", limit)
+	}
+
+	// With the limit at the floor, only floor-many tokens exist.
+	for i := 0; i < 6; i++ {
+		a.Release()
+	}
+	if !a.Acquire() || !a.Acquire() {
+		t.Fatal("floor tokens refused")
+	}
+	if a.Acquire() {
+		t.Fatal("acquire admitted past the floor limit")
+	}
+
+	// Additive increase: each success adds 1/limit, so recovery is gradual
+	// and monotonic, and the ceiling caps it.
+	prev, _, _ := a.Snapshot()
+	for i := 0; i < 200; i++ {
+		a.Success()
+		limit, _, _ := a.Snapshot()
+		if limit < prev {
+			t.Fatalf("limit decreased on success: %v -> %v", prev, limit)
+		}
+		prev = limit
+	}
+	if prev != 6 {
+		t.Fatalf("limit after recovery = %v, want ceiling 6", prev)
+	}
+
+	// Floor/ceiling degenerate inputs are sanitized.
+	b := newAIMD(0, -3)
+	if limit, _, _ := b.Snapshot(); limit != 1 {
+		t.Fatalf("degenerate aimd limit = %v, want 1", limit)
+	}
+}

@@ -60,6 +60,22 @@ func (o *SamplingOptions) Validate() error {
 	return nil
 }
 
+// Transport headers carrying request metadata that is not part of the
+// JSON body. Both are optional on every request.
+const (
+	// HeaderIdempotencyKey carries the client's idempotency key; it takes
+	// effect exactly like the body's idempotency_key field (the header
+	// wins when both are set). Retried submissions carrying the same key
+	// return the original job instead of re-executing.
+	HeaderIdempotencyKey = "Idempotency-Key"
+	// HeaderDeadlineMS carries the client's remaining deadline budget in
+	// milliseconds at send time. Each hop shrinks it before forwarding
+	// (client → frontend → worker), and a server whose remaining budget
+	// cannot fit any work answers 504 immediately instead of starting
+	// work that is doomed to be abandoned.
+	HeaderDeadlineMS = "X-Deadline-Ms"
+)
+
 // SimRequest asks for one simulation cell: one workload under one
 // technique and configuration. POST /v1/sim.
 type SimRequest struct {
@@ -77,6 +93,12 @@ type SimRequest struct {
 	// TimeoutMS bounds the request; 0 means the server default. A request
 	// that exceeds its deadline is cancelled in-flight and answered 504.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IdempotencyKey deduplicates retried submissions: two requests with
+	// the same key are the same request, and the second returns the first
+	// one's outcome instead of re-executing. Empty means no dedup beyond
+	// the content-addressed cache. The Idempotency-Key header is the
+	// equivalent transport form.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // Validate rejects structurally empty requests before they reach the
@@ -141,6 +163,11 @@ type BatchRequest struct {
 	// TimeoutMS bounds the whole batch; 0 means the server default for
 	// synchronous batches and no deadline for async ones.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IdempotencyKey deduplicates retried batch submissions: an async
+	// resubmission with the same key returns the original job id (and on
+	// a ledger-backed frontend survives frontend restarts); a synchronous
+	// resubmission joins the in-flight batch. See SimRequest.IdempotencyKey.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // CellList expands the request to its ordered cell list: the matrix
@@ -208,6 +235,10 @@ type BatchResponse struct {
 	CacheHits int `json:"cache_hits"`
 	// Failed counts cells that carry an Error instead of a Result.
 	Failed int `json:"failed,omitempty"`
+	// Deduped marks a response answered by an earlier submission with the
+	// same idempotency key: the JobID (or Cells) belong to the original
+	// job and nothing was re-executed.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // Job states reported by JobStatus.
@@ -449,9 +480,29 @@ type Metrics struct {
 	CacheHitRate       float64 `json:"cache_hit_rate"`
 	SingleFlightShared uint64  `json:"single_flight_shared"`
 
+	// SimsCompleted counts detailed simulations this process ran to
+	// completion and committed to the cache. CacheMisses counts at lookup
+	// time, so a run cancelled mid-simulation (caller disconnected,
+	// frontend crashed) still registers a miss; SimsCompleted does not.
+	// Summed across a fleet it equals the number of unique cells executed
+	// — the counter exactly-once checks should assert on.
+	SimsCompleted uint64 `json:"sims_completed"`
+
 	// JobsActive/JobsDone count async batch jobs by state.
 	JobsActive int `json:"jobs_active"`
 	JobsDone   int `json:"jobs_done"`
+
+	// AdmissionLimit is the AIMD admission controller's current
+	// concurrency limit (it breathes between Workers and
+	// Workers+QueueDepth); AdmissionInflight is how many admitted
+	// requests currently hold a token; AdmissionRejected counts requests
+	// shed 429 by the controller (it subsumes the old fixed-queue shed);
+	// DeadlineRejected counts requests answered 504 on arrival because
+	// their propagated deadline budget could not fit any work.
+	AdmissionLimit    float64 `json:"admission_limit"`
+	AdmissionInflight int     `json:"admission_inflight"`
+	AdmissionRejected uint64  `json:"admission_rejected"`
+	DeadlineRejected  uint64  `json:"deadline_rejected"`
 
 	// PanicsRecovered counts worker panics recovered into per-job errors;
 	// ShedTotal counts requests rejected 429 on a full queue;
@@ -540,6 +591,38 @@ type ClusterMetrics struct {
 	JobsActive int `json:"jobs_active"`
 	JobsDone   int `json:"jobs_done"`
 
+	// LedgerRecords counts records durably appended to the job ledger;
+	// LedgerAppendErrors counts appends that failed (the job proceeded
+	// without that durability point); LedgerQuarantined counts corrupt
+	// journals moved to quarantine; LedgerTornRepaired counts torn
+	// journal tails dropped and repaired; LedgerJobsRecovered counts
+	// pending jobs a frontend boot replayed from the ledger and
+	// re-dispatched. All zero when the frontend runs without -ledger-dir.
+	LedgerRecords       uint64 `json:"ledger_records"`
+	LedgerAppendErrors  uint64 `json:"ledger_append_errors"`
+	LedgerQuarantined   uint64 `json:"ledger_quarantined"`
+	LedgerTornRepaired  uint64 `json:"ledger_torn_repaired"`
+	LedgerJobsRecovered uint64 `json:"ledger_jobs_recovered"`
+
+	// IdempotentHits counts submissions answered by an earlier job with
+	// the same idempotency key instead of executing.
+	IdempotentHits uint64 `json:"idempotent_hits"`
+
+	// HedgesLaunched counts backup dispatches fired for straggling cells;
+	// HedgesWon counts hedges whose backup answered first (the original
+	// was cancelled and its ledger record names the winner).
+	HedgesLaunched uint64 `json:"hedges_launched"`
+	HedgesWon      uint64 `json:"hedges_won"`
+
+	// BreakerTrips counts per-replica circuit-breaker opens; BreakersOpen
+	// is how many replicas' breakers currently deprioritize them.
+	BreakerTrips uint64 `json:"breaker_trips"`
+	BreakersOpen int    `json:"breakers_open"`
+
+	// DeadlineRejected counts requests answered 504 on arrival because
+	// their propagated deadline budget was already exhausted.
+	DeadlineRejected uint64 `json:"deadline_rejected"`
+
 	// Replicas is the per-replica health detail, sorted by name.
 	Replicas []ReplicaStatus `json:"replicas"`
 }
@@ -558,6 +641,10 @@ type ReplicaStatus struct {
 	ProbeFailures uint64 `json:"probe_failures,omitempty"`
 	// LastError is the most recent probe or data-path failure, if any.
 	LastError string `json:"last_error,omitempty"`
+	// BreakerOpen reports whether the replica's circuit breaker currently
+	// deprioritizes it; BreakerTrips counts how many times it has opened.
+	BreakerOpen  bool   `json:"breaker_open,omitempty"`
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
 }
 
 // StreamSession is one live subscriber's accounting snapshot at /metrics.

@@ -35,6 +35,12 @@ type APIError struct {
 	Message string // api.Error.Error
 	// RetryAfter is the server's Retry-After hint (zero when absent).
 	RetryAfter time.Duration
+	// Attempts is how many tries the call made before this error was
+	// returned (1 = the first attempt failed terminally).
+	Attempts int
+	// IdempotencyKey is the key the request carried, if any — the handle
+	// for resubmitting the identical call against a recovered server.
+	IdempotencyKey string
 
 	method, path string
 }
@@ -44,8 +50,41 @@ func (e *APIError) Error() string {
 	if msg == "" {
 		msg = http.StatusText(e.Status)
 	}
-	return fmt.Sprintf("client: %s %s: %s (status %d, code %s)", e.method, e.path, msg, e.Status, e.Code)
+	s := fmt.Sprintf("client: %s %s: %s (status %d, code %s", e.method, e.path, msg, e.Status, e.Code)
+	if e.Attempts > 1 {
+		s += fmt.Sprintf(", %d attempts", e.Attempts)
+	}
+	if e.IdempotencyKey != "" {
+		s += fmt.Sprintf(", idempotency key %q", e.IdempotencyKey)
+	}
+	return s + ")"
 }
+
+// TransportError is a call that failed below the HTTP layer (connection
+// refused, reset mid-body) after exhausting its retries. It wraps the
+// underlying error and carries the same attempt/idempotency metadata as
+// APIError, so a caller deciding whether to blind-resubmit knows how hard
+// the client already tried and under which key the work is resumable.
+type TransportError struct {
+	Err            error
+	Attempts       int
+	IdempotencyKey string
+
+	method, path string
+}
+
+func (e *TransportError) Error() string {
+	s := fmt.Sprintf("client: %s %s: %v", e.method, e.path, e.Err)
+	if e.Attempts > 1 {
+		s += fmt.Sprintf(" (%d attempts)", e.Attempts)
+	}
+	if e.IdempotencyKey != "" {
+		s += fmt.Sprintf(" (idempotency key %q)", e.IdempotencyKey)
+	}
+	return s
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
 
 // Temporary reports whether the failure is worth retrying: the server
 // shed the request (429) or is restarting/draining (503). Timeouts (504)
@@ -68,6 +107,12 @@ type RetryPolicy struct {
 	// call; once spent, the last error is returned. This is the retry
 	// budget: a hard bound on how long overload can stretch a request.
 	Budget time.Duration
+	// RetryAfterCap bounds how far a server's Retry-After hint can
+	// stretch one sleep; 0 means 4×MaxDelay. A fleet-exhausted frontend
+	// (typed 503 shutting_down) hints seconds, and without a cap a
+	// hostile or confused server could park the client arbitrarily long
+	// inside its own budget.
+	RetryAfterCap time.Duration
 }
 
 // DefaultRetryPolicy absorbs brief overload (a few shed requests during a
@@ -78,8 +123,11 @@ func DefaultRetryPolicy() RetryPolicy {
 
 // delay computes the sleep before retry number attempt (0-based): capped
 // exponential backoff with equal jitter, raised to the server's
-// Retry-After hint when that is longer. Jitter is what keeps a fleet of
-// shed clients from re-converging on the same instant.
+// Retry-After hint when that is longer. The hint is itself capped
+// (RetryAfterCap) and jittered ±25% — a fleet of clients all told "come
+// back in 1s" by a draining frontend must not return as one thundering
+// herd. Jitter is what keeps shed clients from re-converging on the same
+// instant.
 func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
 	d := p.BaseDelay << attempt
 	if d > p.MaxDelay || d <= 0 {
@@ -88,8 +136,18 @@ func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration 
 	if d > 0 {
 		d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
 	}
-	if retryAfter > d {
-		d = retryAfter
+	if retryAfter > 0 {
+		raCap := p.RetryAfterCap
+		if raCap <= 0 {
+			raCap = 4 * p.MaxDelay
+		}
+		if retryAfter > raCap {
+			retryAfter = raCap
+		}
+		retryAfter = retryAfter*3/4 + time.Duration(rand.Int64N(int64(retryAfter/2)+1))
+		if retryAfter > d {
+			d = retryAfter
+		}
 	}
 	return d
 }
@@ -211,18 +269,19 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return err
 		}
 	}
+	idem := idemOf(body)
 	var slept time.Duration
 	for attempt := 0; ; attempt++ {
-		err := c.once(ctx, method, path, data, out)
+		err := c.once(ctx, method, path, data, idem, out)
 		if err == nil {
 			return nil
 		}
 		if !retryable(err) || attempt+1 >= max(c.policy.MaxAttempts, 1) {
-			return err
+			return decorate(err, method, path, attempt+1, idem)
 		}
 		d := c.policy.delay(attempt, retryAfterOf(err))
 		if c.policy.Budget > 0 && slept+d > c.policy.Budget {
-			return err
+			return decorate(err, method, path, attempt+1, idem)
 		}
 		slept += d
 		c.retries.Add(1)
@@ -236,8 +295,40 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
+// idemOf extracts the request body's idempotency key, if it carries one.
+func idemOf(body any) string {
+	switch b := body.(type) {
+	case api.SimRequest:
+		return b.IdempotencyKey
+	case *api.SimRequest:
+		return b.IdempotencyKey
+	case api.BatchRequest:
+		return b.IdempotencyKey
+	case *api.BatchRequest:
+		return b.IdempotencyKey
+	}
+	return ""
+}
+
+// decorate attaches attempt/idempotency metadata to a call's final error:
+// APIErrors carry it in their own fields; transport-level failures are
+// wrapped in a TransportError (context expiry stays bare — it is the
+// caller's own deadline, not a call failure).
+func decorate(err error, method, path string, attempts int, idem string) error {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		ae.Attempts = attempts
+		ae.IdempotencyKey = idem
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &TransportError{Err: err, Attempts: attempts, IdempotencyKey: idem, method: method, path: path}
+}
+
 // once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, method, path string, data []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, data []byte, idem string, out any) error {
 	var rd io.Reader
 	if data != nil {
 		rd = bytes.NewReader(data)
@@ -248,6 +339,17 @@ func (c *Client) once(ctx context.Context, method, path string, data []byte, out
 	}
 	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if idem != "" {
+		req.Header.Set(api.HeaderIdempotencyKey, idem)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Propagate the remaining deadline budget so every downstream hop
+		// can refuse work this caller will have abandoned by the time it
+		// finishes.
+		if ms := time.Until(dl).Milliseconds(); ms >= 0 {
+			req.Header.Set(api.HeaderDeadlineMS, strconv.FormatInt(ms, 10))
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -1,0 +1,172 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dvr/internal/service/api"
+)
+
+// TestRetryAfterDelayCapped pins the delay law for server hints: the
+// Retry-After hint raises the backoff sleep but is bounded by
+// RetryAfterCap and jittered, so a draining frontend hinting whole
+// seconds cannot park a fleet of clients, and the fleet does not return
+// as one herd.
+func TestRetryAfterDelayCapped(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, RetryAfterCap: 40 * time.Millisecond}
+	for i := 0; i < 200; i++ {
+		d := p.delay(0, 10*time.Second)
+		// Capped at 40ms, then jittered into [3/4·cap, 5/4·cap].
+		if d < 30*time.Millisecond || d > 50*time.Millisecond {
+			t.Fatalf("capped Retry-After delay = %v, want within [30ms, 50ms]", d)
+		}
+	}
+	// A hint under the backoff never shortens the sleep.
+	for i := 0; i < 200; i++ {
+		if d := p.delay(3, time.Microsecond); d < 2*time.Millisecond {
+			t.Fatalf("tiny Retry-After shrank backoff to %v", d)
+		}
+	}
+	// Zero cap defaults to 4×MaxDelay.
+	p.RetryAfterCap = 0
+	for i := 0; i < 200; i++ {
+		if d := p.delay(0, time.Hour); d > 20*time.Millisecond {
+			t.Fatalf("default cap let delay reach %v", d)
+		}
+	}
+}
+
+// TestRetryAfterHonoredEndToEnd: a shedding server's typed 503 with a
+// Retry-After hint is retried — the hint honored but capped — and the
+// call lands once the server recovers, well inside the uncapped hint.
+func TestRetryAfterHonoredEndToEnd(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "5")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"code":%q,"error":"service: shutting down"}`, api.CodeShuttingDown)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"job-1","state":"done","done":1,"total":1}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+		RetryAfterCap: 40 * time.Millisecond, Budget: 5 * time.Second,
+	}))
+	start := time.Now()
+	st, err := c.Job(context.Background(), "job-1")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Job through shedding server: %v", err)
+	}
+	if st.State != api.JobDone || calls.Load() != 3 {
+		t.Errorf("state %q after %d calls, want done after 3", st.State, calls.Load())
+	}
+	if c.Retries() != 2 {
+		t.Errorf("Retries() = %d, want 2", c.Retries())
+	}
+	// Two hinted sleeps, each jittered within [30ms, 50ms] of the 40ms
+	// cap: far under the 10s the raw hints asked for.
+	if elapsed < 50*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("elapsed = %v, want two capped Retry-After sleeps", elapsed)
+	}
+}
+
+// TestAPIErrorCarriesRetryMetadata: a call that exhausts its attempts
+// reports how hard it tried and under which idempotency key, so the
+// operator reading the error knows a safe resubmission handle exists.
+func TestAPIErrorCarriesRetryMetadata(t *testing.T) {
+	var sawKey atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(api.HeaderIdempotencyKey) == "fig7-abc" {
+			sawKey.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, `{"code":%q,"error":"service: overloaded"}`, api.CodeOverloaded)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Budget: time.Second}))
+	_, err := c.Batch(context.Background(), api.BatchRequest{
+		Workloads:      nil,
+		Techniques:     nil,
+		IdempotencyKey: "fig7-abc",
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error = %v (%T), want *APIError", err, err)
+	}
+	if ae.Attempts != 3 || ae.IdempotencyKey != "fig7-abc" {
+		t.Errorf("metadata = %d attempts, key %q; want 3 and fig7-abc", ae.Attempts, ae.IdempotencyKey)
+	}
+	if msg := ae.Error(); !strings.Contains(msg, "3 attempts") || !strings.Contains(msg, `"fig7-abc"`) {
+		t.Errorf("error string lacks retry metadata: %s", msg)
+	}
+	if sawKey.Load() != 3 {
+		t.Errorf("server saw the idempotency key on %d attempts, want 3", sawKey.Load())
+	}
+}
+
+// TestTransportErrorCarriesRetryMetadata: transport-level failure paths
+// (server down) wrap into TransportError with the same attempt and key
+// metadata as API errors.
+func TestTransportErrorCarriesRetryMetadata(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // connection refused from here on
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Budget: time.Second}))
+	_, err := c.Batch(context.Background(), api.BatchRequest{IdempotencyKey: "fig7-def"})
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("error = %v (%T), want *TransportError", err, err)
+	}
+	if te.Attempts != 2 || te.IdempotencyKey != "fig7-def" {
+		t.Errorf("metadata = %d attempts, key %q; want 2 and fig7-def", te.Attempts, te.IdempotencyKey)
+	}
+	if msg := te.Error(); !strings.Contains(msg, "2 attempts") || !strings.Contains(msg, `"fig7-def"`) {
+		t.Errorf("error string lacks retry metadata: %s", msg)
+	}
+}
+
+// TestDeadlineHeaderPropagated: a context deadline rides every request as
+// X-Deadline-Ms so downstream hops can refuse doomed work; calls without
+// a deadline carry no header.
+func TestDeadlineHeaderPropagated(t *testing.T) {
+	headers := make(chan string, 2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers <- r.Header.Get(api.HeaderDeadlineMS)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"job-1","state":"done","done":1,"total":1}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := c.Job(ctx, "job-1"); err != nil {
+		t.Fatal(err)
+	}
+	h := <-headers
+	ms, err := strconv.Atoi(h)
+	if err != nil || ms <= 0 || ms > 500 {
+		t.Errorf("deadline header = %q, want integer in (0, 500]", h)
+	}
+
+	if _, err := c.Job(context.Background(), "job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if h := <-headers; h != "" {
+		t.Errorf("deadline header without a deadline = %q, want absent", h)
+	}
+}

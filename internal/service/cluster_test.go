@@ -561,11 +561,7 @@ func TestClusterNetFaultStorm(t *testing.T) {
 	c := newTestCluster(t, 2, Config{}, func(fc *FrontendConfig) {
 		fc.RetryPolicy = &client.RetryPolicy{MaxAttempts: 5, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Budget: time.Second}
 	})
-	c.nf.RefuseEvery = 4
-	c.nf.ResetEvery = 5
-	c.nf.ResetAfter = 64
-	c.nf.LatencyEvery = 3
-	c.nf.Latency = time.Millisecond
+	c.nf.Schedule(4, 5, 64, 3, time.Millisecond)
 
 	resp, body := postJSON(t, c.feTS.URL+"/v1/batch", req)
 	if resp.StatusCode != http.StatusOK {

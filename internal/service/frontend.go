@@ -18,6 +18,7 @@ import (
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
 	"dvr/internal/faults"
+	"dvr/internal/ledger"
 	"dvr/internal/service/api"
 	"dvr/internal/service/client"
 	"dvr/internal/stream"
@@ -77,8 +78,29 @@ type FrontendConfig struct {
 	StreamBuffer    int
 	StreamTTL       time.Duration
 	StreamHeartbeat time.Duration
+	// LedgerDir, when set, makes accepted async jobs durable: each gets an
+	// append-only sealed journal under this directory, and a restarted
+	// frontend replays the directory to recover every accepted-but-
+	// unfinished job (and to keep answering idempotent re-submissions of
+	// finished ones). Empty disables the ledger — the frontend is then
+	// stateless and a restart forgets in-flight jobs, the pre-ledger
+	// behavior.
+	LedgerDir string
+	// HedgeAfter, when positive, launches a backup dispatch for a sim cell
+	// that has not answered within this duration — the straggler hedge.
+	// The first decisive answer wins and the loser is cancelled; worker-
+	// side content addressing keeps the twin from ever double-counting.
+	// 0 disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold is how many consecutive transport failures trip a
+	// replica's circuit breaker (0 means 3); BreakerCooldown is how long a
+	// tripped breaker demotes the replica in routing order before one
+	// probe request is allowed through (0 means 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// Faults injects scripted failures — Net wraps the frontend→replica
-	// transport (chaos tests); nil means none.
+	// transport, FS the ledger, Crash the ledger-write crash points (chaos
+	// tests); nil means none.
 	Faults *faults.Injector
 	// Logger receives one structured line per request; nil discards them.
 	Logger *slog.Logger
@@ -100,13 +122,25 @@ func (c FrontendConfig) withDefaults() FrontendConfig {
 // Frontend is the cluster router. Construct with NewFrontend, mount
 // Handler, and call Shutdown to drain.
 type Frontend struct {
-	cfg     FrontendConfig
-	ring    *cluster.Ring
-	prober  *cluster.Prober
-	clients map[string]*client.Client
-	flight  *flightGroup[api.SimResponse]
-	jobs    *jobStore
-	streams *stream.Registry
+	cfg         FrontendConfig
+	ring        *cluster.Ring
+	prober      *cluster.Prober
+	breakers    *cluster.Breakers
+	clients     map[string]*client.Client
+	flight      *flightGroup[api.SimResponse]
+	batchFlight *flightGroup[*api.BatchResponse]
+	jobs        *jobStore
+	streams     *stream.Registry
+
+	// ledger is the durable journal of accepted async jobs (nil when
+	// LedgerDir is empty); ledgerHealth is the boot-time scan verdict.
+	ledger       *ledger.Store
+	ledgerHealth ledger.Health
+
+	// rootCtx parents every async job, so jobs survive their accepting
+	// request but die with the frontend (Abort cancels it).
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
 
 	logger   *slog.Logger
 	reqSeq   atomic.Uint64
@@ -119,6 +153,11 @@ type Frontend struct {
 	routed            atomic.Uint64 // cells routed to a replica and answered
 	failovers         atomic.Uint64 // cells re-routed off a failed replica
 	failoverExhausted atomic.Uint64 // cells that ran out of candidates
+	idemHits          atomic.Uint64 // submissions answered by an existing job
+	recovered         atomic.Uint64 // jobs replayed from the ledger at boot
+	hedgesLaunched    atomic.Uint64 // backup dispatches actually sent
+	hedgesWon         atomic.Uint64 // hedges where the backup answered first
+	deadlineRejected  atomic.Uint64 // requests refused for exhausted budget
 }
 
 // NewFrontend builds a frontend over the configured replica fleet and
@@ -130,15 +169,21 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		return nil, err
 	}
 	f := &Frontend{
-		cfg:     cfg,
-		ring:    ring,
-		clients: make(map[string]*client.Client, len(cfg.Replicas)),
-		flight:  newFlightGroup[api.SimResponse](),
-		jobs:    newJobStore(),
-		logger:  cfg.Logger,
-		reqHist: newHistogram(latencyBounds),
-		start:   time.Now(),
+		cfg:         cfg,
+		ring:        ring,
+		clients:     make(map[string]*client.Client, len(cfg.Replicas)),
+		flight:      newFlightGroup[api.SimResponse](),
+		batchFlight: newFlightGroup[*api.BatchResponse](),
+		jobs:        newJobStore(),
+		logger:      cfg.Logger,
+		reqHist:     newHistogram(latencyBounds),
+		start:       time.Now(),
 	}
+	f.rootCtx, f.rootCancel = context.WithCancel(context.Background())
+	f.breakers = cluster.NewBreakers(cfg.Replicas, cluster.BreakerConfig{
+		Threshold: cfg.BreakerThreshold,
+		Cooldown:  cfg.BreakerCooldown,
+	})
 	f.streams = stream.NewRegistry(stream.Config{
 		ReplayEntries: cfg.StreamReplay,
 		SessionBuffer: cfg.StreamBuffer,
@@ -161,9 +206,66 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		FailThreshold: cfg.FailThreshold,
 		Seed:          cfg.Seed,
 	})
+	if cfg.LedgerDir != "" {
+		// An unopenable ledger is a hard startup error: the operator asked
+		// for durability, so running without it would silently break the
+		// exactly-once contract.
+		led, err := ledger.NewStore(cfg.LedgerDir, cfg.Faults.Filesystem())
+		if err != nil {
+			return nil, err
+		}
+		f.ledger = led
+		f.ledgerHealth = led.Scan()
+	}
 	f.prober.Start()
+	f.recoverLedger()
 	return f, nil
 }
+
+// recoverLedger replays the boot-time scan. Completed jobs re-register
+// finished under their original ids — the durable dedup window, so a
+// client retrying an idempotency key after the crash gets the original
+// results. Pending jobs re-attach their event stream under a fresh
+// event-id epoch and re-dispatch over the ring; worker-side exactly-once
+// (content-addressed cache + single-flight) turns the re-dispatch into
+// re-attachment — cells the fleet already finished come back as cache
+// hits, cells still running collapse onto the running flight, and only
+// truly lost work executes again.
+func (f *Frontend) recoverLedger() {
+	for _, lj := range f.ledgerHealth.Completed {
+		j := f.jobs.restore(lj.ID, lj.Accepted.Total, lj.Accepted.Key, nil)
+		var err error
+		if lj.Done.Error != "" {
+			err = errors.New(lj.Done.Error)
+		}
+		j.finish(lj.Done.Batch, err)
+	}
+	for _, lj := range f.ledgerHealth.Pending {
+		// Event-id epoch: (recoveries+1)<<32 keeps recovered stream ids
+		// strictly above anything a previous incarnation served, so a
+		// subscriber's Last-Event-ID resume stays monotonic across the
+		// crash instead of replaying ids it has already seen.
+		epoch := (uint64(lj.Recoveries) + 1) << 32
+		bc := f.streams.CreateAt(lj.ID, epoch)
+		j := f.jobs.restore(lj.ID, lj.Accepted.Total, lj.Accepted.Key, bc)
+		if lj.Accepted.Request == nil {
+			// A journal whose accepted record lost its payload cannot be
+			// re-run; settle it as failed rather than recover a ghost.
+			err := errors.New("service: recovered job has no request payload")
+			j.finish(nil, err)
+			f.settleJob(j, nil, err)
+			continue
+		}
+		if err := f.ledger.Append(lj.ID, ledger.Record{Kind: ledger.KindRecovered, JobID: lj.ID}); err != nil {
+			f.logger.Warn("ledger recovered-record append failed", "job", lj.ID, "err", err)
+		}
+		f.recovered.Add(1)
+		f.launchJob(j, *lj.Accepted.Request)
+	}
+}
+
+// LedgerHealth reports the boot-time ledger scan (zero when disabled).
+func (f *Frontend) LedgerHealth() ledger.Health { return f.ledgerHealth }
 
 // probe is the prober's readiness check: /readyz on the replica,
 // distinguishing a draining worker from a dead one.
@@ -206,6 +308,7 @@ func (f *Frontend) Shutdown(ctx context.Context) error {
 		f.prober.Stop()
 		f.jobs.wg.Wait()
 		f.streams.Close()
+		f.rootCancel()
 		close(done)
 	}()
 	select {
@@ -216,23 +319,41 @@ func (f *Frontend) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Abort hard-cancels every in-flight async job without draining — the
+// in-process stand-in for kill -9 in crash tests. The ledger keeps its
+// accepted records, so the next incarnation recovers what this one drops.
+func (f *Frontend) Abort() {
+	f.draining.Store(true)
+	f.rootCancel()
+}
+
 // ---- routing ----
 
 // candidates orders every replica by preference for key: the ring's
 // preference list re-sorted by probed state — up replicas first, draining
 // next (they still answer, they just should not get new work), dead last
 // (the probe may be wrong; a dead-listed replica is still worth one try
-// when nothing better exists). Within a state, ring order is kept, so two
-// frontends with the same probe view produce the same order.
+// when nothing better exists). Within a state, replicas whose circuit
+// breaker is open sort behind closed ones — recently failing-fast is a
+// demotion, never an exclusion, so the breaker can never leave a key with
+// no candidate at all. Within each (state, breaker) tier, ring order is
+// kept, so two frontends with the same view produce the same order.
 func (f *Frontend) candidates(key string) []string {
 	pref := f.ring.Prefer(key)
 	out := make([]string, 0, len(pref))
 	for _, want := range []cluster.State{cluster.StateUp, cluster.StateDraining, cluster.StateDead} {
+		var tripped []string
 		for _, rep := range pref {
-			if f.prober.State(rep) == want {
-				out = append(out, rep)
+			if f.prober.State(rep) != want {
+				continue
 			}
+			if f.breakers.Blocked(rep) {
+				tripped = append(tripped, rep)
+				continue
+			}
+			out = append(out, rep)
 		}
+		out = append(out, tripped...)
 	}
 	return out
 }
@@ -263,16 +384,19 @@ func (f *Frontend) cellKey(ref workloads.Ref, tech string, override *cpu.Config,
 // flight would collapse them anyway; this saves the duplicate hop).
 func (f *Frontend) routeCell(ctx context.Context, key string, req api.SimRequest) (api.SimResponse, error) {
 	resp, _, err := f.flight.Do(ctx, key, func() (api.SimResponse, error) {
+		cands := f.candidates(key)
 		var lastErr error
-		for _, rep := range f.candidates(key) {
-			resp, err := f.clients[rep].Sim(ctx, req)
+		for i, rep := range cands {
+			resp, winner, err := f.dispatchHedged(ctx, key, req, rep, f.hedgePeer(cands, i))
 			if err == nil {
+				f.breakers.Success(winner)
 				f.routed.Add(1)
 				return resp, nil
 			}
 			var ae *client.APIError
 			if errors.As(err, &ae) {
 				// The replica answered; its verdict is the verdict.
+				f.breakers.Success(winner)
 				f.routed.Add(1)
 				return api.SimResponse{}, err
 			}
@@ -283,7 +407,8 @@ func (f *Frontend) routeCell(ctx context.Context, key string, req api.SimRequest
 			// decisive evidence the replica is gone. Mark it dead and fail
 			// over; the next candidate resumes any journaled checkpoint from
 			// the shared durable directory.
-			f.prober.ReportFailure(rep, err)
+			f.prober.ReportFailure(winner, err)
+			f.breakers.Failure(winner)
 			f.failovers.Add(1)
 			lastErr = err
 		}
@@ -294,6 +419,104 @@ func (f *Frontend) routeCell(ctx context.Context, key string, req api.SimRequest
 		return api.SimResponse{}, fmt.Errorf("%w for %s", errNoReplica, key)
 	})
 	return resp, err
+}
+
+// hedgePeer picks the backup replica for a hedged dispatch: the next
+// candidate after i whose breaker is closed. Hedging onto a replica that
+// is already failing fast would just burn the hedge; "" means no hedge.
+func (f *Frontend) hedgePeer(cands []string, i int) string {
+	if f.cfg.HedgeAfter <= 0 {
+		return ""
+	}
+	for _, rep := range cands[i+1:] {
+		if !f.breakers.Blocked(rep) {
+			return rep
+		}
+	}
+	return ""
+}
+
+// dispatchHedged sends one cell to primary and, if it has not answered
+// within HedgeAfter, to backup as well — the straggler hedge. The first
+// decisive answer (success or a typed replica verdict) wins; the loser's
+// context is cancelled, and the worker's content-addressed cache and
+// single-flight guarantee the cancelled twin never double-counts the
+// simulation. The winner is journaled so an operator can audit which
+// replica answered. With hedging off or no backup candidate this is a
+// plain single dispatch. Returns the answering replica alongside the
+// response so the caller's prober/breaker bookkeeping lands on the right
+// name.
+func (f *Frontend) dispatchHedged(ctx context.Context, key string, req api.SimRequest, primary, backup string) (api.SimResponse, string, error) {
+	if f.cfg.HedgeAfter <= 0 || backup == "" {
+		resp, err := f.clients[primary].Sim(ctx, req)
+		return resp, primary, err
+	}
+	type answer struct {
+		resp api.SimResponse
+		rep  string
+		err  error
+	}
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel() // cancels whichever arm lost (or never finished)
+	ch := make(chan answer, 2)
+	dispatch := func(rep string) {
+		resp, err := f.clients[rep].Sim(hctx, req)
+		ch <- answer{resp: resp, rep: rep, err: err}
+	}
+	go dispatch(primary)
+	timer := time.NewTimer(f.cfg.HedgeAfter)
+	defer timer.Stop()
+	hedged := false
+	pending := 1
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				f.hedgesLaunched.Add(1)
+				go dispatch(backup)
+			}
+		case <-ctx.Done():
+			return api.SimResponse{}, primary, ctx.Err()
+		case a := <-ch:
+			pending--
+			var ae *client.APIError
+			if a.err == nil || errors.As(a.err, &ae) {
+				if hedged {
+					loser := backup
+					if a.rep == backup {
+						loser = primary
+						f.hedgesWon.Add(1)
+					}
+					f.recordHedge(key, a.rep, loser)
+				}
+				return a.resp, a.rep, a.err
+			}
+			// Transport death of one arm. If the other arm is still out,
+			// let it finish; bookkeep this one now so the prober and breaker
+			// learn of it even though the caller only sees the final answer.
+			if pending > 0 {
+				f.prober.ReportFailure(a.rep, a.err)
+				f.breakers.Failure(a.rep)
+				continue
+			}
+			return a.resp, a.rep, a.err
+		}
+	}
+}
+
+// recordHedge journals a hedge outcome to the side ledger (sims have no
+// per-job journal): the audit trail showing the loser was cancelled, not
+// double-counted.
+func (f *Frontend) recordHedge(key, winner, loser string) {
+	if f.ledger == nil {
+		return
+	}
+	rec := ledger.Record{Kind: ledger.KindHedge, CellKey: key, Winner: winner, Loser: loser}
+	if err := f.ledger.AppendSide("hedges", rec); err != nil {
+		f.logger.Warn("ledger hedge-record append failed", "cell", key, "err", err)
+	}
 }
 
 // ---- batch coordination ----
@@ -386,10 +609,12 @@ func (f *Frontend) runClusterBatch(ctx context.Context, req api.BatchRequest, j 
 						// in-flight cell resumes from the journaled
 						// checkpoint instead of restarting.
 						f.prober.ReportFailure(rep, err)
+						f.breakers.Failure(rep)
 					}
 					f.failovers.Add(uint64(len(idxs)))
 					return
 				}
+				f.breakers.Success(rep)
 				f.routed.Add(uint64(len(idxs)))
 				for n, i := range idxs {
 					cells[i] = results[n]
@@ -449,6 +674,21 @@ func (f *Frontend) runGroup(ctx context.Context, rep string, idxs []int, list []
 		Config:    req.Config,
 		Sampling:  req.Sampling,
 		TimeoutMS: req.TimeoutMS,
+	}
+	// Deadline propagation, frontend→worker hop: the sub-batch gets what
+	// remains of our budget minus one hop margin, so a worker never starts
+	// work its frontend's deadline has already doomed. (The client layer
+	// also stamps X-Deadline-Ms from ctx on every request; this keeps the
+	// job-level timeout_ms honest for the async path, where the worker job
+	// outlives any single request.)
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl) - hopMargin
+		if rem < minDeadlineBudget {
+			rem = minDeadlineBudget
+		}
+		if ms := rem.Milliseconds(); sub.TimeoutMS == 0 || ms < sub.TimeoutMS {
+			sub.TimeoutMS = ms
+		}
 	}
 	for n, i := range idxs {
 		sub.Cells[n] = list[i]
@@ -515,6 +755,29 @@ func (f *Frontend) timeout(ms int64) time.Duration {
 	return f.cfg.DefaultTimeout
 }
 
+// hopMargin is the slice of deadline budget the frontend keeps for itself
+// when forwarding to a worker: response decode, re-route bookkeeping.
+const hopMargin = 50 * time.Millisecond
+
+// requestBudget resolves one request's effective timeout: the explicit
+// timeout_ms (or the configured default) shrunk to the client's propagated
+// X-Deadline-Ms budget. A budget too small to do any work is rejected up
+// front (504) instead of spending fleet capacity on a request whose
+// client has already given up.
+func (f *Frontend) requestBudget(r *http.Request, ms int64) (time.Duration, error) {
+	d := f.timeout(ms)
+	if budget, ok := deadlineBudget(r); ok {
+		if budget < minDeadlineBudget {
+			f.deadlineRejected.Add(1)
+			return 0, errDeadlineBudget
+		}
+		if budget < d {
+			d = budget
+		}
+	}
+	return d, nil
+}
+
 // writeRoutedError answers a routing failure: replica verdicts (typed API
 // errors) pass through with their original status, code and Retry-After —
 // the frontend is transparent — and everything else goes through the
@@ -551,7 +814,12 @@ func (f *Frontend) handleSim(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), f.timeout(req.TimeoutMS))
+	d, err := f.requestBudget(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	resp, err := f.routeCell(ctx, key, req)
 	if err != nil {
@@ -571,40 +839,158 @@ func (f *Frontend) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest(err))
 		return
 	}
+	if h := r.Header.Get(api.HeaderIdempotencyKey); h != "" {
+		req.IdempotencyKey = h
+	}
 	if req.Async {
-		j := f.jobs.create(len(req.CellList()), f.streams)
-		ctx := context.Background()
-		var cancel context.CancelFunc = func() {}
-		if req.TimeoutMS > 0 {
-			ctx, cancel = context.WithTimeout(ctx, f.timeout(req.TimeoutMS))
-		}
-		f.jobs.wg.Add(1)
-		go func() {
-			defer f.jobs.wg.Done()
-			defer cancel()
-			batch, err := f.runClusterBatch(ctx, req, j)
-			j.finish(batch, err)
-			if j.bc != nil {
-				ev := api.Event{Kind: api.EventJobDone, Done: j.doneCount(), Total: j.total}
-				if err != nil {
-					ev.Error = err.Error()
-				}
-				ev.Cell = -1
-				j.bc.Publish(ev)
-				j.bc.Close()
-			}
-		}()
-		writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id})
+		f.acceptAsync(w, req)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), f.timeout(req.TimeoutMS))
+	d, err := f.requestBudget(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
+	if req.IdempotencyKey != "" {
+		// A synchronous duplicate of a key some job already owns waits for
+		// that job and serves its outcome — the same exactly-once answer,
+		// without a second execution.
+		if j, ok := f.jobs.getIdem(req.IdempotencyKey); ok {
+			f.idemHits.Add(1)
+			f.serveJobOutcome(ctx, w, r, j)
+			return
+		}
+		// Concurrent synchronous duplicates collapse on a single flight.
+		batch, shared, err := f.batchFlight.Do(ctx, req.IdempotencyKey, func() (*api.BatchResponse, error) {
+			return f.runClusterBatch(ctx, req, nil)
+		})
+		if err != nil {
+			writeRoutedError(w, err)
+			return
+		}
+		out := *batch
+		if shared {
+			f.idemHits.Add(1)
+			out.Deduped = true
+		}
+		writeJSONTimed(r.Context(), w, http.StatusOK, out)
+		return
+	}
 	batch, err := f.runClusterBatch(ctx, req, nil)
 	if err != nil {
 		writeRoutedError(w, err)
 		return
 	}
 	writeJSONTimed(r.Context(), w, http.StatusOK, *batch)
+}
+
+// acceptAsync admits an async batch: idempotency-key dedup, durable
+// ledger append, then the 202. The two crash points bracket the append so
+// the chaos suite can pin both halves of the exactly-once argument — die
+// before the append and the job never existed (the client's retry re-runs
+// it from scratch); die after and a rebooted frontend recovers it under
+// the same identity.
+func (f *Frontend) acceptAsync(w http.ResponseWriter, req api.BatchRequest) {
+	if f.cfg.Faults.CrashAt(faults.FrontendCrashBeforeLedgerWrite) {
+		panic(http.ErrAbortHandler)
+	}
+	j, created := f.jobs.create(len(req.CellList()), req.IdempotencyKey, f.streams)
+	if !created {
+		if j.total != len(req.CellList()) {
+			writeError(w, badRequest(fmt.Errorf(
+				"service: idempotency key %q was used for a different batch (%d cells, resubmission has %d)",
+				req.IdempotencyKey, j.total, len(req.CellList()))))
+			return
+		}
+		f.idemHits.Add(1)
+		writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id, Deduped: true})
+		return
+	}
+	if f.ledger != nil {
+		rec := ledger.Record{Kind: ledger.KindAccepted, JobID: j.id,
+			Key: req.IdempotencyKey, Total: j.total, Request: &req}
+		if err := f.ledger.Append(j.id, rec); err != nil {
+			f.logger.Warn("ledger accepted-record append failed", "job", j.id, "err", err)
+		}
+	}
+	if f.cfg.Faults.CrashAt(faults.FrontendCrashAfterLedgerWrite) {
+		panic(http.ErrAbortHandler)
+	}
+	f.launchJob(j, req)
+	writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id})
+}
+
+// launchJob runs an accepted async batch in the background under the
+// frontend's root context — not the accepting request's, which dies with
+// the 202.
+func (f *Frontend) launchJob(j *job, req api.BatchRequest) {
+	ctx := f.rootCtx
+	var cancel context.CancelFunc = func() {}
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, f.timeout(req.TimeoutMS))
+	}
+	f.jobs.wg.Add(1)
+	go func() {
+		defer f.jobs.wg.Done()
+		defer cancel()
+		batch, err := f.runClusterBatch(ctx, req, j)
+		if err != nil && f.rootCtx.Err() != nil {
+			// The frontend is dying (Abort), not the job: a real kill -9
+			// would write nothing either. Leave the journal pending so the
+			// next incarnation recovers the job under its own identity.
+			return
+		}
+		j.finish(batch, err)
+		f.settleJob(j, batch, err)
+	}()
+}
+
+// settleJob seals a finished job: the durable done record first (so a
+// crash after this point dedups rather than re-runs), then the job-done
+// event and stream close.
+func (f *Frontend) settleJob(j *job, batch *api.BatchResponse, err error) {
+	if f.ledger != nil {
+		rec := ledger.Record{Kind: ledger.KindDone, JobID: j.id}
+		if err != nil {
+			rec.Error = err.Error()
+		} else {
+			rec.Batch = batch
+		}
+		if aerr := f.ledger.Append(j.id, rec); aerr != nil {
+			f.logger.Warn("ledger done-record append failed", "job", j.id, "err", aerr)
+		}
+	}
+	if j.bc != nil {
+		ev := api.Event{Kind: api.EventJobDone, Done: j.doneCount(), Total: j.total, Cell: -1}
+		if err != nil {
+			ev.Error = err.Error()
+		}
+		j.bc.Publish(ev)
+		j.bc.Close()
+	}
+}
+
+// serveJobOutcome answers a synchronous request with an existing job's
+// outcome, waiting (bounded by ctx) if the job is still running — the
+// synchronous view of an asynchronous original.
+func (f *Frontend) serveJobOutcome(ctx context.Context, w http.ResponseWriter, r *http.Request, j *job) {
+	select {
+	case <-ctx.Done():
+		writeError(w, ctx.Err())
+		return
+	case <-j.doneCh:
+	}
+	batch, err := j.outcome()
+	if err != nil {
+		writeRoutedError(w, err)
+		return
+	}
+	out := *batch
+	out.JobID = j.id
+	out.Deduped = true
+	writeJSONTimed(r.Context(), w, http.StatusOK, out)
 }
 
 func (f *Frontend) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -652,29 +1038,48 @@ func (f *Frontend) Metrics() api.ClusterMetrics {
 	sort.Slice(snap, func(a, b int) bool { return snap[a].Name < snap[b].Name })
 	active, finished := f.jobs.counts()
 	m := api.ClusterMetrics{
-		Role:              "frontend",
-		UptimeSeconds:     time.Since(f.start).Seconds(),
-		RequestsTotal:     f.reqTotal.Load(),
-		ReplicasUp:        up,
-		ReplicasDraining:  draining,
-		ReplicasDead:      dead,
-		RoutedTotal:       f.routed.Load(),
-		Failovers:         f.failovers.Load(),
-		FailoverExhausted: f.failoverExhausted.Load(),
-		JobsActive:        active,
-		JobsDone:          finished,
+		Role:                "frontend",
+		UptimeSeconds:       time.Since(f.start).Seconds(),
+		RequestsTotal:       f.reqTotal.Load(),
+		ReplicasUp:          up,
+		ReplicasDraining:    draining,
+		ReplicasDead:        dead,
+		RoutedTotal:         f.routed.Load(),
+		Failovers:           f.failovers.Load(),
+		FailoverExhausted:   f.failoverExhausted.Load(),
+		JobsActive:          active,
+		JobsDone:            finished,
+		LedgerJobsRecovered: f.recovered.Load(),
+		IdempotentHits:      f.idemHits.Load(),
+		HedgesLaunched:      f.hedgesLaunched.Load(),
+		HedgesWon:           f.hedgesWon.Load(),
+		BreakerTrips:        f.breakers.Trips(),
+		BreakersOpen:        f.breakers.Open(),
+		DeadlineRejected:    f.deadlineRejected.Load(),
 	}
+	if f.ledger != nil {
+		m.LedgerRecords = f.ledger.Appends()
+		m.LedgerAppendErrors = f.ledger.AppendErrors()
+		m.LedgerQuarantined = f.ledger.Quarantined()
+		m.LedgerTornRepaired = f.ledger.TornRepaired()
+	}
+	bsnap := f.breakers.Snapshot()
 	for _, r := range snap {
 		m.ProbesTotal += r.ProbesTotal
 		m.ProbeFailures += r.ProbeFailures
-		m.Replicas = append(m.Replicas, api.ReplicaStatus{
+		rs := api.ReplicaStatus{
 			Name:          r.Name,
 			State:         r.State.String(),
 			ConsecFails:   r.ConsecFails,
 			ProbesTotal:   r.ProbesTotal,
 			ProbeFailures: r.ProbeFailures,
 			LastError:     r.LastError,
-		})
+		}
+		if b, ok := bsnap[r.Name]; ok {
+			rs.BreakerOpen = b.Open
+			rs.BreakerTrips = b.Trips
+		}
+		m.Replicas = append(m.Replicas, rs)
 	}
 	return m
 }

@@ -13,6 +13,12 @@ import (
 type job struct {
 	id    string
 	total int
+	// idem is the client's idempotency key, if any: the handle by which a
+	// retried submission re-attaches to this job instead of re-executing.
+	idem string
+	// doneCh closes when the job finishes, so a duplicate synchronous
+	// submission can wait for the original instead of racing it.
+	doneCh chan struct{}
 
 	// bc is the job's event broadcaster (nil only for jobs created before
 	// a registry existed, which does not happen in a running server);
@@ -43,17 +49,31 @@ func (j *job) doneCount() int {
 	return j.done
 }
 
-// finish records the job outcome.
+// finish records the job outcome and releases waiters. Idempotent: a
+// recovered job that somehow finishes twice keeps its first outcome.
 func (j *job) finish(batch *api.BatchResponse, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state != api.JobRunning {
+		return
+	}
 	if err != nil {
 		j.state = api.JobError
 		j.err = err
-		return
+	} else {
+		j.state = api.JobDone
+		j.batch = batch
 	}
-	j.state = api.JobDone
-	j.batch = batch
+	if j.doneCh != nil {
+		close(j.doneCh)
+	}
+}
+
+// outcome returns the finished job's result (nil, nil while running).
+func (j *job) outcome() (*api.BatchResponse, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.batch, j.err
 }
 
 // status snapshots the job for the wire, including the live progress
@@ -79,29 +99,73 @@ func (j *job) status() api.JobStatus {
 // goroutine, which is what graceful shutdown drains: Server.Shutdown waits
 // for it, so a SIGTERM never abandons a job a client was polling.
 type jobStore struct {
-	mu   sync.Mutex
-	seq  uint64
-	jobs map[string]*job
-	wg   sync.WaitGroup
+	mu     sync.Mutex
+	seq    uint64
+	jobs   map[string]*job
+	byIdem map[string]*job
+	wg     sync.WaitGroup
 }
 
 func newJobStore() *jobStore {
-	return &jobStore{jobs: make(map[string]*job)}
+	return &jobStore{jobs: make(map[string]*job), byIdem: make(map[string]*job)}
 }
 
-// create registers a new running job of total cells. Its broadcaster is
-// attached before the job becomes visible, so an early subscriber (one
-// racing the 202 response) cannot find a streamless job.
-func (s *jobStore) create(total int, streams *stream.Registry) *job {
+// create registers a new running job of total cells, unless idem names an
+// existing job — the atomic admission-time dedup: two racing submissions
+// with the same key get the same *job and exactly one sees created=true
+// (that one runs the batch; the other returns the original's identity).
+// The broadcaster is attached before the job becomes visible, so an early
+// subscriber (one racing the 202 response) cannot find a streamless job.
+func (s *jobStore) create(total int, idem string, streams *stream.Registry) (j *job, created bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if idem != "" {
+		if j, ok := s.byIdem[idem]; ok {
+			return j, false
+		}
+	}
 	s.seq++
-	j := &job{id: fmt.Sprintf("job-%d", s.seq), total: total, state: api.JobRunning}
+	j = &job{id: fmt.Sprintf("job-%d", s.seq), total: total, idem: idem,
+		state: api.JobRunning, doneCh: make(chan struct{})}
 	if streams != nil {
 		j.bc = streams.Create(j.id)
 	}
 	s.jobs[j.id] = j
+	if idem != "" {
+		s.byIdem[idem] = j
+	}
+	return j, true
+}
+
+// restore re-registers a job replayed from the frontend ledger under its
+// original id, re-anchoring the id sequence past it so new jobs never
+// collide with recovered ones. bc may carry a later event-id epoch (see
+// stream.Registry.CreateAt). The caller finishes completed jobs.
+func (s *jobStore) restore(id string, total int, idem string, bc *stream.Broadcaster) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+	j := &job{id: id, total: total, idem: idem, state: api.JobRunning,
+		doneCh: make(chan struct{}), bc: bc}
+	s.jobs[id] = j
+	if idem != "" {
+		s.byIdem[idem] = j
+	}
 	return j
+}
+
+// getIdem looks a job up by idempotency key.
+func (s *jobStore) getIdem(key string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byIdem[key]
+	return j, ok
 }
 
 // get looks a job up by id.

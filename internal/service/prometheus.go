@@ -80,12 +80,17 @@ func writePrometheus(w io.Writer, m api.Metrics, reqHist, queueHist *histogram) 
 	counter("dvrd_cache_hits_total", m.CacheHits)
 	counter("dvrd_cache_misses_total", m.CacheMisses)
 	gauge("dvrd_cache_hit_rate", m.CacheHitRate)
+	counter("dvrd_sims_completed_total", m.SimsCompleted)
 	counter("dvrd_single_flight_shared_total", m.SingleFlightShared)
 	counter("dvrd_single_flight_retries_total", m.SingleFlightRetries)
 	gauge("dvrd_jobs_active", float64(m.JobsActive))
 	gauge("dvrd_jobs_done", float64(m.JobsDone))
 	counter("dvrd_panics_recovered_total", m.PanicsRecovered)
 	counter("dvrd_shed_total", m.ShedTotal)
+	gauge("dvrd_admission_limit", m.AdmissionLimit)
+	gauge("dvrd_admission_inflight", float64(m.AdmissionInflight))
+	counter("dvrd_admission_rejected_total", m.AdmissionRejected)
+	counter("dvrd_deadline_rejected_total", m.DeadlineRejected)
 	counter("dvrd_spill_quarantined_total", m.SpillQuarantined)
 	counter("dvrd_checkpoints_written_total", m.CheckpointsWritten)
 	counter("dvrd_checkpoints_resumed_total", m.CheckpointsResumed)
@@ -141,6 +146,17 @@ func writeClusterPrometheus(w io.Writer, m api.ClusterMetrics, reqHist *histogra
 	counter("dvrd_cluster_probe_failures_total", m.ProbeFailures)
 	gauge("dvrd_jobs_active", float64(m.JobsActive))
 	gauge("dvrd_jobs_done", float64(m.JobsDone))
+	counter("dvrd_ledger_records_total", m.LedgerRecords)
+	counter("dvrd_ledger_append_errors_total", m.LedgerAppendErrors)
+	counter("dvrd_ledger_quarantined_total", m.LedgerQuarantined)
+	counter("dvrd_ledger_torn_repaired_total", m.LedgerTornRepaired)
+	counter("dvrd_ledger_jobs_recovered_total", m.LedgerJobsRecovered)
+	counter("dvrd_idempotent_hits_total", m.IdempotentHits)
+	counter("dvrd_hedges_launched_total", m.HedgesLaunched)
+	counter("dvrd_hedges_won_total", m.HedgesWon)
+	counter("dvrd_breaker_trips_total", m.BreakerTrips)
+	gauge("dvrd_breakers_open", float64(m.BreakersOpen))
+	counter("dvrd_deadline_rejected_total", m.DeadlineRejected)
 	if len(m.Replicas) > 0 {
 		fmt.Fprint(w, "# TYPE dvrd_cluster_replica_up gauge\n")
 		for _, r := range m.Replicas {

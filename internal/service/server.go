@@ -48,6 +48,33 @@ var (
 // parking them needlessly.
 const retryAfterSeconds = 1
 
+// minDeadlineBudget is the smallest propagated deadline budget worth
+// admitting: below it the request is doomed — any work started would be
+// abandoned before it could answer — so the server rejects 504
+// immediately and the upstream's own deadline machinery takes over.
+const minDeadlineBudget = 2 * time.Millisecond
+
+// errDeadlineBudget is the typed doomed-request rejection; it wraps
+// context.DeadlineExceeded so the existing status/code mapping answers
+// 504 api.CodeTimeout.
+var errDeadlineBudget = fmt.Errorf("service: deadline budget exhausted: %w", context.DeadlineExceeded)
+
+// deadlineBudget parses the X-Deadline-Ms header: the client's remaining
+// deadline at send time, shrunk hop by hop. ok is false when the header
+// is absent or malformed (a malformed budget is ignored, not fatal — the
+// request still has timeout_ms and the server default).
+func deadlineBudget(r *http.Request) (time.Duration, bool) {
+	h := r.Header.Get(api.HeaderDeadlineMS)
+	if h == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
 // Config sizes the server.
 type Config struct {
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
@@ -172,6 +199,12 @@ type Server struct {
 	start      time.Time
 	startInsts uint64
 	sfRetries  atomic.Uint64 // single-flight followers that re-ran after a leader error
+	simsDone   atomic.Uint64 // detailed simulations run to completion and committed
+
+	// adm is the AIMD admission controller gating interactive requests;
+	// deadlineRejected counts doomed requests rejected 504 on arrival.
+	adm              *aimd
+	deadlineRejected atomic.Uint64
 
 	ckptWritten   atomic.Uint64 // checkpoints persisted
 	ckptResumed   atomic.Uint64 // runs resumed from a checkpoint
@@ -197,6 +230,7 @@ func New(cfg Config) *Server {
 		start:      time.Now(),
 		startInsts: experiments.SimInstructions(),
 	}
+	s.adm = newAIMD(cfg.Workers, cfg.Workers+cfg.QueueDepth)
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	s.streams = stream.NewRegistry(stream.Config{
 		ReplayEntries: cfg.StreamReplay,
@@ -355,9 +389,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	code := httpStatus(err)
-	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+	if (code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable) &&
+		w.Header().Get("Retry-After") == "" {
 		// Both conditions are transient; tell well-behaved clients when to
-		// come back instead of letting them busy-spin.
+		// come back instead of letting them busy-spin. A handler that set
+		// its own (adaptive) hint keeps it.
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	}
 	writeJSON(w, code, api.Error{Code: errorCode(err), Error: err.Error()})
@@ -377,6 +413,25 @@ func (s *Server) timeout(ms int64) time.Duration {
 		return time.Duration(ms) * time.Millisecond
 	}
 	return s.cfg.DefaultTimeout
+}
+
+// requestTimeout resolves the effective deadline of a request: the
+// tighter of its timeout_ms and the propagated X-Deadline-Ms budget. A
+// budget too small to fit any work rejects the request outright
+// (errDeadlineBudget, 504) — cancelling doomed work at admission instead
+// of discovering the blown deadline after a simulation slot was burned.
+func (s *Server) requestTimeout(r *http.Request, ms int64) (time.Duration, error) {
+	d := s.timeout(ms)
+	if budget, ok := deadlineBudget(r); ok {
+		if budget < minDeadlineBudget {
+			s.deadlineRejected.Add(1)
+			return 0, errDeadlineBudget
+		}
+		if budget < d {
+			d = budget
+		}
+	}
+	return d, nil
 }
 
 // ---- cell execution ----
@@ -464,6 +519,13 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 		}
 		canon := out.Canonical()
 		s.cache.Put(key, canon)
+		// Counted only here — after the run committed its result — so a
+		// simulation aborted mid-flight (caller gone, frontend crash) never
+		// inflates it. Unlike CacheMisses, which counts at lookup time, the
+		// fleet-wide sum of SimsCompleted equals the number of unique cells
+		// even when a crash cancels in-flight work: that is the exactly-once
+		// invariant the resume smoke asserts.
+		s.simsDone.Add(1)
 		return canon, nil
 	}
 	res, shared, err := s.flight.Do(ctx, key, simulate)
@@ -588,13 +650,30 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest(err))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
-	defer cancel()
-	resp, err := s.runCell(ctx, req.Workload, req.Technique, s.config(req.Config), req.Sampling, admitShed, nil)
+	d, err := s.requestTimeout(r, req.TimeoutMS)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	if !s.adm.Acquire() {
+		s.pool.shed.Add(1)
+		writeError(w, fmt.Errorf("%w (admission limit)", errOverloaded))
+		return
+	}
+	defer s.adm.Release()
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	resp, err := s.runCell(ctx, req.Workload, req.Technique, s.config(req.Config), req.Sampling, admitShed, nil)
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			// The queue itself filled behind the admission gate: congestion
+			// evidence the controller should cut on.
+			s.adm.Overload()
+		}
+		writeError(w, err)
+		return
+	}
+	s.adm.Success()
 	writeJSONTimed(r.Context(), w, http.StatusOK, resp)
 }
 
@@ -608,17 +687,33 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest(err))
 		return
 	}
+	if h := r.Header.Get(api.HeaderIdempotencyKey); h != "" {
+		req.IdempotencyKey = h
+	}
 	// Coarse admission: with the queue already full, a synchronous batch
 	// would park its every cell behind it — shed the whole request up
 	// front instead of stalling the connection. (Async batches return 202
 	// immediately; their cells queue in the background by design.)
 	if !req.Async && s.pool.Saturated() {
 		s.pool.shed.Add(1)
+		s.adm.Overload()
 		writeError(w, errOverloaded)
 		return
 	}
 	if req.Async {
-		j := s.jobs.create(len(req.CellList()), s.streams)
+		j, created := s.jobs.create(len(req.CellList()), req.IdempotencyKey, s.streams)
+		if !created {
+			// A retried submission: the original job answers it. A key
+			// reused for a *different* batch is a client bug worth a loud
+			// error rather than silently serving unrelated results.
+			if j.total != len(req.CellList()) {
+				writeError(w, badRequest(fmt.Errorf("service: idempotency key %q was used for a different batch (%d cells, resubmission has %d)",
+					req.IdempotencyKey, j.total, len(req.CellList()))))
+				return
+			}
+			writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id, Deduped: true})
+			return
+		}
 		// Async jobs outlive their submitting connection but not the
 		// process: they derive from rootCtx so Abort (the in-process kill)
 		// stops them at the next cancellation check.
@@ -648,13 +743,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id})
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
-	defer cancel()
-	batch, err := s.runBatch(ctx, req, nil)
+	d, err := s.requestTimeout(r, req.TimeoutMS)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	if !s.adm.Acquire() {
+		s.pool.shed.Add(1)
+		writeError(w, fmt.Errorf("%w (admission limit)", errOverloaded))
+		return
+	}
+	defer s.adm.Release()
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	batch, err := s.runBatch(ctx, req, nil)
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			s.adm.Overload()
+		}
+		writeError(w, err)
+		return
+	}
+	s.adm.Success()
 	writeJSONTimed(r.Context(), w, http.StatusOK, *batch)
 }
 
@@ -707,6 +817,7 @@ func (s *Server) Metrics() api.Metrics {
 	}
 	active, finished := s.jobs.counts()
 	sm := s.streams.Snapshot()
+	admLimit, admInflight, admRejected := s.adm.Snapshot()
 	var ckptQuarantined uint64
 	if s.ckpts != nil {
 		ckptQuarantined = s.ckpts.Quarantined()
@@ -721,10 +832,16 @@ func (s *Server) Metrics() api.Metrics {
 		CacheMisses:        misses,
 		CacheHitRate:       hitRate,
 		SingleFlightShared: s.flight.Shared(),
+		SimsCompleted:      s.simsDone.Load(),
 		JobsActive:         active,
 		JobsDone:           finished,
 		SimInstructions:    insts,
 		SimMIPS:            mips,
+
+		AdmissionLimit:    admLimit,
+		AdmissionInflight: admInflight,
+		AdmissionRejected: admRejected,
+		DeadlineRejected:  s.deadlineRejected.Load(),
 
 		PanicsRecovered:     s.pool.Panics(),
 		ShedTotal:           s.pool.Shed(),

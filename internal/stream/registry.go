@@ -85,6 +85,28 @@ func (r *Registry) Create(jobID string) *Broadcaster {
 	return b
 }
 
+// CreateAt registers a broadcaster for jobID whose event ids start at
+// startID instead of 1 — how a recovered job keeps its SSE ids strictly
+// increasing across frontend generations: each reboot re-creates the
+// broadcaster one epoch up, so a subscriber resuming with a pre-crash
+// Last-Event-ID never sees an id collision with post-crash events.
+// Idempotent like Create (an existing broadcaster keeps its sequence).
+func (r *Registry) CreateAt(jobID string, startID uint64) *Broadcaster {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.jobs[jobID]; ok {
+		return b
+	}
+	b := newBroadcaster(jobID, r.replayEntries, r)
+	if startID > 1 {
+		b.nextID = startID
+	}
+	if !r.closed {
+		r.jobs[jobID] = b
+	}
+	return b
+}
+
 // Get looks up the broadcaster of jobID.
 func (r *Registry) Get(jobID string) (*Broadcaster, bool) {
 	r.mu.Lock()
