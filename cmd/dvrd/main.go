@@ -10,7 +10,8 @@
 //	dvrd [-role single|worker|frontend] [-addr :8377]
 //	     [-workers N] [-queue N] [-cache N] [-cache-dir DIR]
 //	     [-checkpoint-every N] [-watchdog N] [-timeout 5m]
-//	     [-trace-interval N] [-stream-replay N] [-stream-buffer N]
+//	     [-trace-interval N] [-trace-spans N] [-pprof-addr HOST:PORT]
+//	     [-stream-replay N] [-stream-buffer N]
 //	     [-stream-ttl 60s] [-stream-heartbeat 15s] [-log]
 //	     [-replicas URL,URL,...] [-probe-interval 1s] [-fail-threshold 3]
 //	     [-drain-grace 5s] [-ledger-dir DIR] [-hedge-after 300ms]
@@ -27,15 +28,34 @@
 // shares a durable -cache-dir. See DESIGN.md, "Cluster architecture", and
 // the README's multi-node quickstart.
 //
-// Observability: every request gets an X-Request-ID and, with -log, a
-// structured JSON log line on stderr with span timings (queue wait →
-// simulate → encode). GET /metrics serves the counter snapshot as JSON
-// (default) or Prometheus text exposition under "Accept: text/plain",
-// including request-latency and queue-wait histograms (workers) or
-// cluster_* routing counters and per-replica health gauges (frontend).
-// With -trace-interval N every simulation samples IPC/MLP/prefetch
-// telemetry each N committed instructions; a finished async job's
-// per-cell series is served at GET /v1/jobs/{id}/trace.
+// Observability: every request gets an X-Request-ID (reused when a
+// frontend already stamped one, so both tiers log the same id per hop)
+// and, with -log, a structured JSON log line on stderr with span timings
+// (queue wait → simulate → encode) and trace_id/span_id correlation
+// fields. GET /metrics serves the counter snapshot as JSON (default) or
+// Prometheus text exposition under "Accept: text/plain", including
+// request-latency and queue-wait histograms (workers) or cluster_*
+// routing counters, per-replica health gauges, and the per-outcome
+// dvrd_dispatch_attempt_seconds histogram (frontend); under
+// "Accept: application/openmetrics-text" histogram buckets additionally
+// carry trace-id exemplars. With -trace-interval N every simulation
+// samples IPC/MLP/prefetch telemetry each N committed instructions; a
+// finished async job's per-cell series is served at
+// GET /v1/jobs/{id}/trace.
+//
+// Distributed tracing: with -trace-spans N (on by default, N span-ring
+// entries per process) every request runs as a span tree propagated
+// across the frontend→worker hop via the X-Trace-Ctx header — admission,
+// routing decision, per-attempt dispatches with breaker state, hedge
+// winners/losers, worker queue-wait/sim/encode. Each process serves its
+// slice of a trace at GET /v1/spans?trace={id}; the frontend merges the
+// fleet's slices at GET /v1/jobs/{id}/trace?view=cluster (add
+// &format=perfetto for a Perfetto/Chrome trace document). On SIGTERM,
+// panic recovery, or a watchdog livelock trip the process seals a flight
+// record — the last N spans and error events — under its forensics
+// directory. -trace-spans 0 disables all of it at zero request-path cost.
+// -pprof-addr starts an optional net/http/pprof listener (both roles) on
+// a separate address, off by default.
 //
 // Async batch jobs also stream live over SSE at GET /v1/jobs/{id}/stream:
 // cell lifecycle, per-interval telemetry as each sample lands, and
@@ -77,6 +97,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -105,6 +126,8 @@ func main() {
 		strTTL    = flag.Duration("stream-ttl", 0, "reap stream sessions idle this long (0 = 60s)")
 		strHB     = flag.Duration("stream-heartbeat", 0, "SSE heartbeat interval on quiet streams (0 = 15s)")
 		logReqs   = flag.Bool("log", false, "log one structured JSON line per request to stderr")
+		spans     = flag.Int("trace-spans", 4096, "distributed-tracing span-ring entries per process; spans propagate via X-Trace-Ctx and serve at /v1/spans (0 = off)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 
 		replicas   = flag.String("replicas", "", "frontend: comma-separated worker base URLs (e.g. http://w1:8377,http://w2:8377)")
 		probeIvl   = flag.Duration("probe-interval", time.Second, "frontend: per-replica /readyz heartbeat period")
@@ -128,6 +151,8 @@ func main() {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
+	startPprof(*pprofAddr)
+
 	switch *role {
 	case "single", "worker":
 		runServer(*role, *addr, service.Config{
@@ -144,6 +169,8 @@ func main() {
 			StreamBuffer:       *strBuffer,
 			StreamTTL:          *strTTL,
 			StreamHeartbeat:    *strHB,
+			TraceSpans:         *spans,
+			ProcName:           *role + "@" + *addr,
 		}, *drain, *drainGrace)
 	case "frontend":
 		reps := strings.Split(*replicas, ",")
@@ -171,11 +198,35 @@ func main() {
 			BreakerThreshold: *brkThresh,
 			BreakerCooldown:  *brkCool,
 			Logger:           logger,
+			TraceSpans:       *spans,
+			ProcName:         "frontend@" + *addr,
 		}, *drain)
 	default:
 		fmt.Fprintf(os.Stderr, "dvrd: unknown -role %q (single, worker, frontend)\n", *role)
 		os.Exit(2)
 	}
+}
+
+// startPprof serves net/http/pprof on its own listener when addr is set.
+// A separate address (never the service port) keeps the profiler off the
+// data path and lets an operator firewall it independently; registration
+// is explicit on a private mux so nothing else leaks onto the listener.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		fmt.Printf("dvrd: pprof listening on %s\n", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "dvrd: pprof:", err)
+		}
+	}()
 }
 
 // runServer runs the single/worker role: the full simulation service. A
@@ -212,6 +263,12 @@ func runServer(role, addr string, cfg service.Config, drain, drainGrace time.Dur
 	select {
 	case sig := <-sigCh:
 		fmt.Printf("dvrd: %s, draining\n", sig)
+		// Seal the flight record first — what the process was doing when
+		// the operator (or orchestrator) pulled the plug — while the span
+		// ring still holds the final requests.
+		if path := srv.DumpFlight("sigterm"); path != "" {
+			fmt.Printf("dvrd: flight record sealed at %s\n", path)
+		}
 	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "dvrd:", err)
 		os.Exit(1)
@@ -267,6 +324,9 @@ func runFrontend(addr string, cfg service.FrontendConfig, drain time.Duration) {
 	select {
 	case sig := <-sigCh:
 		fmt.Printf("dvrd: %s, draining\n", sig)
+		if path := fe.DumpFlight("sigterm"); path != "" {
+			fmt.Printf("dvrd: flight record sealed at %s\n", path)
+		}
 	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "dvrd:", err)
 		os.Exit(1)

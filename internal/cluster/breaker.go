@@ -31,6 +31,10 @@ type BreakerStatus struct {
 	Open        bool   `json:"open"`
 	ConsecFails int    `json:"consec_fails,omitempty"`
 	Trips       uint64 `json:"trips,omitempty"`
+	// LastTraceID is the distributed-trace id of the most recent failure
+	// recorded against this replica ("" when tracing is off) — it names
+	// the exact request whose evidence last moved the breaker.
+	LastTraceID string `json:"last_trace_id,omitempty"`
 }
 
 // Breakers is a set of per-replica circuit breakers fed by the data path:
@@ -54,9 +58,10 @@ type Breakers struct {
 }
 
 type breakerState struct {
-	fails    int
-	lastFail time.Time
-	trips    uint64
+	fails     int
+	lastFail  time.Time
+	trips     uint64
+	lastTrace string
 }
 
 // NewBreakers builds a breaker set over the replica set.
@@ -74,7 +79,13 @@ func NewBreakers(replicas []string, cfg BreakerConfig) *Breakers {
 
 // Failure records one data-path failure against a replica. Crossing the
 // threshold (or failing while already open) starts a fresh cooldown.
-func (b *Breakers) Failure(replica string) {
+func (b *Breakers) Failure(replica string) { b.FailureTraced(replica, "") }
+
+// FailureTraced is Failure annotated with the distributed-trace id of
+// the failing request, so a breaker snapshot can name the exact exchange
+// whose evidence last moved it. An empty trace id keeps the previous
+// annotation (tracing off never erases forensics).
+func (b *Breakers) FailureTraced(replica, traceID string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	r, ok := b.reps[replica]
@@ -84,6 +95,9 @@ func (b *Breakers) Failure(replica string) {
 	wasOpen := r.fails >= b.cfg.Threshold
 	r.fails++
 	r.lastFail = b.now()
+	if traceID != "" {
+		r.lastTrace = traceID
+	}
 	if !wasOpen && r.fails >= b.cfg.Threshold {
 		r.trips++
 		b.trips++
@@ -148,6 +162,7 @@ func (b *Breakers) Snapshot() map[string]BreakerStatus {
 			Open:        r.fails >= b.cfg.Threshold && now.Sub(r.lastFail) < b.cfg.Cooldown,
 			ConsecFails: r.fails,
 			Trips:       r.trips,
+			LastTraceID: r.lastTrace,
 		}
 	}
 	return out

@@ -89,6 +89,10 @@ type ReplicaHealth struct {
 	ProbesTotal   uint64
 	ProbeFailures uint64
 	LastError     string
+	// LastTraceID is the distributed-trace id of the most recent
+	// data-path failure reported against this replica ("" when tracing
+	// is off or only probes have failed).
+	LastTraceID string
 }
 
 // Prober drives per-replica state from periodic heartbeats. Every replica
@@ -114,6 +118,7 @@ type replicaState struct {
 	probesTotal   uint64
 	probeFailures uint64
 	lastErr       string
+	lastTrace     string
 }
 
 // NewProber builds (but does not start) a prober over the replica set.
@@ -205,6 +210,14 @@ func (p *Prober) probeOnce(replica string) {
 // dead immediately — new work routes around it now, not FailThreshold
 // heartbeats from now. A later successful probe restores it.
 func (p *Prober) ReportFailure(replica string, err error) {
+	p.ReportFailureTraced(replica, err, "")
+}
+
+// ReportFailureTraced is ReportFailure annotated with the
+// distributed-trace id of the failing exchange, so the replica's health
+// snapshot can point at the exact request that killed it. An empty id
+// keeps the previous annotation.
+func (p *Prober) ReportFailureTraced(replica string, err error, traceID string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	r, ok := p.reps[replica]
@@ -215,6 +228,9 @@ func (p *Prober) ReportFailure(replica string, err error) {
 	r.state = StateDead
 	if err != nil {
 		r.lastErr = err.Error()
+	}
+	if traceID != "" {
+		r.lastTrace = traceID
 	}
 }
 
@@ -243,6 +259,7 @@ func (p *Prober) Snapshot() []ReplicaHealth {
 			ProbesTotal:   r.probesTotal,
 			ProbeFailures: r.probeFailures,
 			LastError:     r.lastErr,
+			LastTraceID:   r.lastTrace,
 		})
 	}
 	return out

@@ -86,6 +86,13 @@ type Record struct {
 	CellKey string `json:"cell_key,omitempty"`
 	Winner  string `json:"winner,omitempty"`
 	Loser   string `json:"loser,omitempty"`
+	// TraceID is the distributed-trace id active when the record was
+	// written (accepted records; "" when tracing is off). Recovery links
+	// its re-dispatch spans to this id, so a job's entire crash history —
+	// original accept, every recovery generation — reads as one trace.
+	// Additive and optional: records without it decode unchanged, so the
+	// format version stays 1.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Encode seals one record as its on-disk journal bytes: a single JSON

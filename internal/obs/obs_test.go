@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	tr := New("test", 16)
+	sp := tr.StartRoot("root")
+	h := make(http.Header)
+	Inject(sp, h)
+	sc := Extract(h)
+	if !sc.Valid() {
+		t.Fatalf("injected header %q did not parse", h.Get(Header))
+	}
+	if sc != sp.Context() {
+		t.Errorf("round trip changed the context: %+v vs %+v", sc, sp.Context())
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, v := range []string{
+		"",
+		"00",
+		"00-zz-11",
+		"01-0123456789abcdef0123456789abcdef-0123456789abcdef", // unknown version
+		"00-0123456789abcdef0123456789abcdef-0123456789abcde",  // short span id
+		"00-00000000000000000000000000000000-0123456789abcdef", // all-zero trace id
+		"00-0123456789ABCDEF0123456789abcdef-0123456789abcdef", // uppercase
+	} {
+		if _, ok := Parse(v); ok {
+			t.Errorf("Parse(%q) accepted garbage", v)
+		}
+	}
+}
+
+func TestSpanTreeAndSlice(t *testing.T) {
+	tr := New("proc-a", 64)
+	root := tr.StartRoot("http.request").Attr("request_id", "req-000001")
+	child := root.StartChild("route").Attr("owner", "w0")
+	grand := child.StartChild("dispatch")
+	grand.Fail(errors.New("boom"))
+	grand.End()
+	child.End()
+	root.End()
+
+	// A second trace must not leak into the first's slice.
+	other := tr.StartRoot("unrelated")
+	other.End()
+
+	spans := tr.Slice(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("Slice returned %d spans, want 3", len(spans))
+	}
+	byID := map[string]SpanRecord{}
+	roots := 0
+	for _, s := range spans {
+		byID[s.SpanID] = s
+		if s.TraceID != root.TraceID() {
+			t.Errorf("span %s in wrong trace %s", s.Name, s.TraceID)
+		}
+		if s.Proc != "proc-a" {
+			t.Errorf("span %s proc = %q", s.Name, s.Proc)
+		}
+		if s.ParentID == "" {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d parentless spans, want 1", roots)
+	}
+	// Connectivity: every non-root parent must be present.
+	for _, s := range spans {
+		if s.ParentID != "" {
+			if _, ok := byID[s.ParentID]; !ok {
+				t.Errorf("span %s has dangling parent %s", s.Name, s.ParentID)
+			}
+		}
+	}
+	for _, s := range spans {
+		if s.Name == "dispatch" && s.Error != "boom" {
+			t.Errorf("dispatch error = %q, want boom", s.Error)
+		}
+		if s.Name == "route" && s.Attrs.Get("owner") != "w0" {
+			t.Errorf("route attrs = %+v", s.Attrs)
+		}
+	}
+}
+
+func TestStartRemoteContinuesTrace(t *testing.T) {
+	a := New("frontend", 16)
+	b := New("worker", 16)
+	root := a.StartRoot("http.request")
+	h := make(http.Header)
+	Inject(root, h)
+	remote := b.StartRemote(Extract(h), "http.request")
+	if remote.TraceID() != root.TraceID() {
+		t.Errorf("remote span trace %s, want %s", remote.TraceID(), root.TraceID())
+	}
+	remote.End()
+	got := b.Slice(root.TraceID())
+	if len(got) != 1 || got[0].ParentID != root.SpanID() {
+		t.Fatalf("remote span not parented to propagated context: %+v", got)
+	}
+
+	// Garbled header degrades to a fresh root, never corrupt ids.
+	h.Set(Header, "00-nope-nope")
+	fresh := b.StartRemote(Extract(h), "http.request")
+	if fresh.TraceID() == root.TraceID() || !fresh.Context().Valid() {
+		t.Errorf("garbled header did not start a fresh root: %+v", fresh.Context())
+	}
+}
+
+func TestStartLinkedJoinsRecordedTrace(t *testing.T) {
+	tr := New("frontend", 16)
+	const tid = "0123456789abcdef0123456789abcdef"
+	sp := tr.StartLinked(tid, "frontend.recover")
+	if sp.TraceID() != tid || sp.Context().SpanID == "" {
+		t.Fatalf("linked span = %+v", sp.Context())
+	}
+	sp.End()
+	if got := tr.Slice(tid); len(got) != 1 || got[0].ParentID != "" {
+		t.Fatalf("linked span should be a root-level member of the trace: %+v", got)
+	}
+	if bad := tr.StartLinked("", "x"); bad.TraceID() == "" {
+		t.Error("empty trace id should degrade to a fresh root")
+	}
+}
+
+func TestRingWrapCountsDropped(t *testing.T) {
+	tr := New("p", 4)
+	root := tr.StartRoot("keep")
+	for i := 0; i < 10; i++ {
+		root.StartChild("c").End()
+	}
+	root.End()
+	if tr.Len() != 4 {
+		t.Errorf("ring holds %d spans, want 4", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7 (11 recorded into 4 slots)", tr.Dropped())
+	}
+}
+
+func TestFlightRecord(t *testing.T) {
+	tr := New("worker@x", 8)
+	sp := tr.StartRoot("sim")
+	sp.End()
+	tr.Event(sp.TraceID(), "panic", "index out of range")
+	fr := tr.Flight("sigterm")
+	if fr.Proc != "worker@x" || fr.Reason != "sigterm" {
+		t.Fatalf("flight header = %+v", fr)
+	}
+	if len(fr.Spans) != 2 {
+		t.Fatalf("flight holds %d spans, want 2", len(fr.Spans))
+	}
+	if fr.Spans[1].Error != "index out of range" {
+		t.Errorf("error event not in flight record: %+v", fr.Spans[1])
+	}
+	var nilT *Tracer
+	if got := nilT.Flight("x"); got.Proc != "" {
+		t.Errorf("nil tracer flight = %+v", got)
+	}
+}
+
+func TestAttrsMarshalDeterministic(t *testing.T) {
+	a := Attrs{{K: "z", V: "1"}, {K: "a", V: "2"}}
+	b1, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != `{"a":"2","z":"1"}` {
+		t.Errorf("attrs marshal = %s", b1)
+	}
+	var back Attrs
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Get("z") != "1" || back.Get("a") != "2" {
+		t.Errorf("attrs round trip = %+v", back)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil || RequestIDFrom(ctx) != "" {
+		t.Fatal("empty context not empty")
+	}
+	tr := New("p", 4)
+	sp := tr.StartRoot("r")
+	ctx = ContextWithSpan(ctx, sp)
+	ctx = ContextWithRequestID(ctx, "req-000007")
+	if FromContext(ctx) != sp || RequestIDFrom(ctx) != "req-000007" {
+		t.Fatal("context round trip lost values")
+	}
+	// Disabled path: nil span leaves the context untouched.
+	base := context.Background()
+	if ContextWithSpan(base, nil) != base {
+		t.Error("ContextWithSpan(nil) allocated a new context")
+	}
+}
+
+// TestDisabledPathZeroAlloc is the standing-contract guard: with tracing
+// off (nil tracer), the span API must not allocate on the hot path.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	h := make(http.Header)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartRemote(SpanContext{}, "http.request")
+		sp.Attr("k", "v")
+		child := sp.StartChildAt("queue-wait", time.Time{})
+		child.End()
+		sp.Fail(nil)
+		Inject(sp, h)
+		_ = ContextWithSpan(ctx, sp)
+		_ = sp.TraceID()
+		_ = sp.SpanID()
+		sp.End()
+		tr.Event("", "x", "y")
+		_ = tr.Dropped()
+		_ = tr.Slice("abc")
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestFleetPerfettoDeterministic(t *testing.T) {
+	mk := func() []Slice {
+		return []Slice{
+			{Proc: "frontend", Spans: []SpanRecord{
+				{TraceID: "t", SpanID: "1", Name: "http.request", StartUS: 100, DurUS: 50},
+				{TraceID: "t", SpanID: "2", ParentID: "1", Name: "dispatch", StartUS: 110, DurUS: 30,
+					Attrs: Attrs{{K: "replica", V: "w0"}}},
+			}},
+			{Proc: "worker", Spans: []SpanRecord{
+				{TraceID: "t", SpanID: "3", ParentID: "2", Name: "sim", StartUS: 120, DurUS: 10},
+				{TraceID: "t", SpanID: "4", ParentID: "3", Name: "panic", StartUS: 125, Error: "boom"},
+			}},
+		}
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteFleetPerfetto(&b1, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFleetPerfetto(&b2, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("fleet perfetto output is not deterministic")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b1.Bytes(), &doc); err != nil {
+		t.Fatalf("fleet perfetto is not valid JSON: %v\n%s", err, b1.String())
+	}
+	// One process_name + one thread_name per slice + 4 spans.
+	if len(doc.TraceEvents) != 1+2+4 {
+		t.Fatalf("fleet perfetto has %d events, want 7:\n%s", len(doc.TraceEvents), b1.String())
+	}
+	threads := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "thread_name" {
+			threads++
+		}
+		if ev["name"] == "sim" && ev["ts"].(float64) != 20 {
+			t.Errorf("sim ts = %v, want rebased 20", ev["ts"])
+		}
+	}
+	if threads != 2 {
+		t.Errorf("%d thread tracks, want 2", threads)
+	}
+	if !strings.Contains(b1.String(), `"error":"boom"`) {
+		t.Error("error event lost its message in the fleet view")
+	}
+}

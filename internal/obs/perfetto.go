@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"io"
+
+	"dvr/internal/trace"
+)
+
+// Fleet Perfetto export: one span slice per process, rendered as one
+// Chrome trace-event track per replica so the cluster view of a request
+// reads left-to-right across the fleet — frontend on top, workers below,
+// all on a shared wall-clock axis rebased to the earliest span.
+
+// Slice is one process's contribution to a fleet trace.
+type Slice struct {
+	Proc  string
+	Spans []SpanRecord
+}
+
+// WriteFleetPerfetto renders the slices as a Perfetto document: a single
+// pid with one named track (tid) per slice, in slice order. Spans within
+// a track are emitted in canonical order (SortSpans), and timestamps are
+// microseconds since the earliest span across all slices, so the same
+// slices always produce the same bytes.
+func WriteFleetPerfetto(w io.Writer, slices []Slice) error {
+	const pid = 1
+	var base int64 = -1
+	for _, sl := range slices {
+		for _, r := range sl.Spans {
+			if base < 0 || r.StartUS < base {
+				base = r.StartUS
+			}
+		}
+	}
+	if base < 0 {
+		base = 0
+	}
+	pw := trace.NewPerfettoWriter(w)
+	if err := pw.ProcessName(pid, "dvrd fleet"); err != nil {
+		return err
+	}
+	for i, sl := range slices {
+		if err := pw.ThreadName(pid, i+1, sl.Proc); err != nil {
+			return err
+		}
+	}
+	var dropped uint64
+	for i, sl := range slices {
+		spans := append([]SpanRecord(nil), sl.Spans...)
+		SortSpans(spans)
+		for _, r := range spans {
+			args := map[string]any{
+				"trace_id": r.TraceID,
+				"span_id":  r.SpanID,
+			}
+			if r.ParentID != "" {
+				args["parent_id"] = r.ParentID
+			}
+			for _, kv := range r.Attrs {
+				args[kv.K] = kv.V
+			}
+			if r.Error != "" {
+				args["error"] = r.Error
+			}
+			dur := uint64(r.DurUS)
+			pe := trace.PerfettoEvent{
+				Name: r.Name,
+				Ph:   "X",
+				Ts:   uint64(r.StartUS - base),
+				Dur:  &dur,
+				Pid:  pid,
+				Tid:  i + 1,
+				Args: args,
+			}
+			if r.DurUS == 0 && r.Error != "" {
+				pe.Ph, pe.Dur, pe.S = "i", nil, "t"
+			}
+			if err := pw.Emit(pe); err != nil {
+				return err
+			}
+		}
+	}
+	return pw.Close(dropped)
+}

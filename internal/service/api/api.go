@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"dvr/internal/cpu"
+	"dvr/internal/obs"
 	"dvr/internal/trace"
 	"dvr/internal/workloads"
 )
@@ -74,6 +75,15 @@ const (
 	// cannot fit any work answers 504 immediately instead of starting
 	// work that is doomed to be abandoned.
 	HeaderDeadlineMS = "X-Deadline-Ms"
+	// HeaderRequestID carries the caller's request id. A server reuses an
+	// inbound id instead of minting its own and echoes it on the response,
+	// so one id joins frontend and worker log lines for the same hop.
+	HeaderRequestID = "X-Request-ID"
+	// HeaderTraceCtx carries the distributed-tracing span context in
+	// W3C-traceparent-shaped form ("00-<trace id>-<span id>"); see
+	// internal/obs. A server continues the propagated trace; absence (or a
+	// garbled value) starts a fresh root.
+	HeaderTraceCtx = obs.Header
 )
 
 // SimRequest asks for one simulation cell: one workload under one
@@ -436,6 +446,34 @@ type CellTrace struct {
 	Intervals []trace.Interval `json:"intervals,omitempty"`
 }
 
+// SpanSlice is one process's collected spans for a single trace.
+// GET /v1/spans?trace={id} on any role returns its own slice; the
+// frontend's cluster trace view pulls worker slices through this shape.
+type SpanSlice struct {
+	// Proc names the contributing process (dvrd -role plus listen
+	// address, e.g. "worker@127.0.0.1:8381").
+	Proc string `json:"proc"`
+	// TraceID is the trace the spans belong to.
+	TraceID string `json:"trace_id"`
+	// Spans is the slice in canonical order (start, name, span id).
+	Spans []obs.SpanRecord `json:"spans"`
+	// Err is set (and Spans empty) when the process could not be reached
+	// for its slice — the cluster view degrades per-replica, it never
+	// fails whole because one worker died after finishing its spans.
+	Err string `json:"error,omitempty"`
+}
+
+// ClusterTrace is the fleet-merged distributed trace of one async job:
+// GET /v1/jobs/{id}/trace?view=cluster on a frontend. One slice per
+// process that holds spans for the job's trace id, frontend first, then
+// workers sorted by name. &format=perfetto renders the same data as a
+// Chrome trace-event document with one track per process instead.
+type ClusterTrace struct {
+	JobID   string      `json:"job_id"`
+	TraceID string      `json:"trace_id"`
+	Slices  []SpanSlice `json:"slices"`
+}
+
 // Error is the JSON body of every non-2xx response (and of failed batch
 // cells). Code classifies the failure for programmatic handling; see
 // DESIGN.md's "failure model" section for the full table.
@@ -556,6 +594,14 @@ type Metrics struct {
 	// per-session delivery and drop counters (the JSON face of the
 	// per-session dvrd_stream_session_dropped_total Prometheus series).
 	StreamSessions []StreamSession `json:"stream_sessions,omitempty"`
+
+	// ObsSpans is how many finished spans the distributed-tracing
+	// collector currently holds (zero unless -trace-spans > 0);
+	// ObsSpansDropped counts spans evicted because the bounded ring
+	// wrapped — a nonzero value means old traces are incomplete and the
+	// ring should be sized up.
+	ObsSpans        int    `json:"obs_spans"`
+	ObsSpansDropped uint64 `json:"obs_spans_dropped"`
 }
 
 // ClusterMetrics is the GET /metrics snapshot of a frontend: routing and
@@ -623,6 +669,11 @@ type ClusterMetrics struct {
 	// their propagated deadline budget was already exhausted.
 	DeadlineRejected uint64 `json:"deadline_rejected"`
 
+	// ObsSpans / ObsSpansDropped mirror the worker fields: span-collector
+	// occupancy and ring-wrap evictions for the frontend's own tracer.
+	ObsSpans        int    `json:"obs_spans"`
+	ObsSpansDropped uint64 `json:"obs_spans_dropped"`
+
 	// Replicas is the per-replica health detail, sorted by name.
 	Replicas []ReplicaStatus `json:"replicas"`
 }
@@ -645,6 +696,10 @@ type ReplicaStatus struct {
 	// deprioritizes it; BreakerTrips counts how many times it has opened.
 	BreakerOpen  bool   `json:"breaker_open,omitempty"`
 	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
+	// LastTraceID is the trace id of the most recent data-path failure
+	// attributed to this replica (breaker/prober annotation) — the
+	// starting point for "why is this worker demoted" forensics.
+	LastTraceID string `json:"last_trace_id,omitempty"`
 }
 
 // StreamSession is one live subscriber's accounting snapshot at /metrics.

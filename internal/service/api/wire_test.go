@@ -277,7 +277,8 @@ func TestWireCompatKeySets(t *testing.T) {
 		"busy_workers", "cache_entries", "cache_hit_rate", "cache_hits", "cache_misses",
 		"checkpoint_write_errors", "checkpoints_quarantined", "checkpoints_resumed", "checkpoints_written",
 		"deadline_rejected",
-		"jobs_active", "jobs_done", "panics_recovered", "queue_depth", "requests_total",
+		"jobs_active", "jobs_done", "obs_spans", "obs_spans_dropped",
+		"panics_recovered", "queue_depth", "requests_total",
 		"shed_total", "sim_instructions", "sim_mips", "sims_completed", "single_flight_retries", "single_flight_shared",
 		"spill_quarantined", "stream_events_dropped", "stream_events_published", "stream_sessions_active",
 		"stream_sessions_expired", "stream_sessions_opened", "traces_stored", "uptime_seconds",

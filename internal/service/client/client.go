@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dvr/internal/obs"
 	"dvr/internal/service/api"
 )
 
@@ -204,6 +205,15 @@ func (c *Client) Job(ctx context.Context, id string) (api.JobStatus, error) {
 	return resp, err
 }
 
+// Spans fetches the server's collected span slice for one trace id.
+// It answers a typed 404 APIError when the server runs without span
+// tracing.
+func (c *Client) Spans(ctx context.Context, traceID string) (api.SpanSlice, error) {
+	var resp api.SpanSlice
+	err := c.do(ctx, http.MethodGet, "/"+api.Version+"/spans?trace="+url.QueryEscape(traceID), nil, &resp)
+	return resp, err
+}
+
 // Metrics fetches the server counters.
 func (c *Client) Metrics(ctx context.Context) (api.Metrics, error) {
 	var resp api.Metrics
@@ -350,6 +360,13 @@ func (c *Client) once(ctx context.Context, method, path string, data []byte, ide
 		if ms := time.Until(dl).Milliseconds(); ms >= 0 {
 			req.Header.Set(api.HeaderDeadlineMS, strconv.FormatInt(ms, 10))
 		}
+	}
+	// Propagate the distributed-trace context and request id riding the
+	// caller's context, so the receiving server's spans and log lines
+	// join this hop's trace instead of starting fresh.
+	obs.Inject(obs.FromContext(ctx), req.Header)
+	if rid := obs.RequestIDFrom(ctx); rid != "" {
+		req.Header.Set(api.HeaderRequestID, rid)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"dvr/internal/obs"
 	"dvr/internal/service/api"
 )
 
@@ -135,6 +136,10 @@ func (s *Stream) connect() error {
 	req.Header.Set("Accept", "text/event-stream")
 	if s.lastID > 0 {
 		req.Header.Set("Last-Event-ID", strconv.FormatUint(s.lastID, 10))
+	}
+	obs.Inject(obs.FromContext(s.ctx), req.Header)
+	if rid := obs.RequestIDFrom(s.ctx); rid != "" {
+		req.Header.Set(api.HeaderRequestID, rid)
 	}
 	resp, err := s.c.http.Do(req)
 	if err != nil {

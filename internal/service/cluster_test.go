@@ -627,3 +627,176 @@ func TestClusterExhaustedFleetFailsTyped(t *testing.T) {
 		t.Error("exhausted routing not counted")
 	}
 }
+
+// TestClusterTraceSpanTreeSurvivesFailover is the distributed-tracing
+// chaos scenario: an async batch runs with span tracing on across both
+// tiers, the worker owning the slow cell is killed mid-simulation, and
+// the merged cluster trace must still be one connected span tree — a
+// single root trace id shared by frontend and surviving worker cells,
+// every span's parent present, and the failover attempt recorded as a
+// dispatch span. The traced run must also stay bit-identical to an
+// untraced single-node baseline (tracing is observation, never effect).
+func TestClusterTraceSpanTreeSurvivesFailover(t *testing.T) {
+	slow := loopRef(400_000)
+	req := api.BatchRequest{
+		Workloads:  []workloads.Ref{slow, loopRef(20_000), loopRef(30_000)},
+		Techniques: []string{"ooo"},
+	}
+	want := runBaseline(t, req) // untraced ground truth
+
+	dir := t.TempDir()
+	c := newTestCluster(t, 2,
+		Config{CacheDir: dir, CheckpointEvery: 5_000, Workers: 2, TraceSpans: 4096},
+		func(fc *FrontendConfig) { fc.TraceSpans = 4096 })
+	slowKey := keyFor(t, slow, "ooo")
+	victim := c.ownerOf(t, slowKey)
+
+	async := req
+	async.Async = true
+	resp, body := postJSON(t, c.feTS.URL+"/v1/batch", async)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async batch: %s: %s", resp.Status, body)
+	}
+	var acc api.BatchResponse
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	waitForFile(t, filepath.Join(dir, "checkpoints", slowKey+".ckpt"))
+	c.kill(t, victim)
+
+	st := waitJobDone(t, c.feTS.URL, acc.JobID)
+	if st.State != api.JobDone || st.Batch == nil {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	got := canonical(t, st.Batch.Cells)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d differs from untraced single-node run:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+
+	// The merged fleet view: GET /v1/jobs/{id}/trace?view=cluster.
+	tresp, tbody := getBody(t, c.feTS.URL+"/v1/jobs/"+acc.JobID+"/trace?view=cluster")
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster trace: %s: %s", tresp.Status, tbody)
+	}
+	var ct api.ClusterTrace
+	if err := json.Unmarshal(tbody, &ct); err != nil {
+		t.Fatal(err)
+	}
+	if ct.TraceID == "" {
+		t.Fatal("cluster trace has no trace id")
+	}
+
+	ids := map[string]bool{}
+	roots, workerSpans, failoverDispatches := 0, 0, 0
+	for _, sl := range ct.Slices {
+		for _, sp := range sl.Spans {
+			if sp.TraceID != ct.TraceID {
+				t.Errorf("span %s (%s) carries trace %s, want %s", sp.SpanID, sp.Name, sp.TraceID, ct.TraceID)
+			}
+			ids[sp.SpanID] = true
+		}
+	}
+	for _, sl := range ct.Slices {
+		if sl.Err != "" {
+			continue // the killed victim's slice is an error marker
+		}
+		if strings.HasPrefix(sl.Proc, "worker") && len(sl.Spans) > 0 {
+			workerSpans += len(sl.Spans)
+		}
+		for _, sp := range sl.Spans {
+			if sp.ParentID == "" {
+				roots++
+			} else if !ids[sp.ParentID] {
+				t.Errorf("span %s (%s) has parent %s outside the collected tree", sp.SpanID, sp.Name, sp.ParentID)
+			}
+			if sp.Name == "frontend.dispatch" && sp.Attrs.Get("outcome") == "failover" {
+				failoverDispatches++
+			}
+		}
+	}
+	if roots != 1 {
+		t.Errorf("cluster trace has %d parentless spans, want exactly 1 (the accepting request)", roots)
+	}
+	if workerSpans == 0 {
+		t.Error("no worker spans joined the frontend's trace — X-Trace-Ctx did not propagate")
+	}
+	if failoverDispatches == 0 {
+		t.Error("no dispatch span recorded the failover attempt")
+	}
+
+	// The dropped-span accounting is visible fleet-wide.
+	if m := c.fe.Metrics(); m.ObsSpans == 0 {
+		t.Error("frontend reports no collected spans")
+	}
+}
+
+// TestClusterTraceAndRequestIDPropagation drives a W3C-style X-Trace-Ctx
+// header and a caller-minted X-Request-ID through the frontend→worker hop
+// and checks both survive: the frontend echoes the inbound request id,
+// and the owning worker's span slice for the caller's trace id contains
+// the worker-side request span still carrying that same request id.
+func TestClusterTraceAndRequestIDPropagation(t *testing.T) {
+	c := newTestCluster(t, 2, Config{TraceSpans: 256},
+		func(fc *FrontendConfig) { fc.TraceSpans = 256 })
+	ref := loopRef(25_000)
+	key := keyFor(t, ref, "ooo")
+	owner := c.ownerOf(t, key)
+
+	const tid = "00000000000000000000000000abcdef"
+	data, _ := json.Marshal(api.SimRequest{Workload: ref, Technique: "ooo"})
+	hreq, _ := http.NewRequest(http.MethodPost, c.feTS.URL+"/v1/sim", bytes.NewReader(data))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(api.HeaderTraceCtx, "00-"+tid+"-00000000000000ab")
+	hreq.Header.Set(api.HeaderRequestID, "req-edge-42")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("sim: %s: %s", resp.Status, b)
+	}
+	if got := resp.Header.Get(api.HeaderRequestID); got != "req-edge-42" {
+		t.Errorf("frontend echoed request id %q, want the caller's req-edge-42", got)
+	}
+
+	// The frontend's own slice continues the caller's trace...
+	fresp, fbody := getBody(t, c.feTS.URL+"/v1/spans?trace="+tid)
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("frontend spans: %s: %s", fresp.Status, fbody)
+	}
+	var fsl api.SpanSlice
+	if err := json.Unmarshal(fbody, &fsl); err != nil {
+		t.Fatal(err)
+	}
+	if len(fsl.Spans) == 0 {
+		t.Fatal("frontend recorded no spans for the propagated trace id")
+	}
+
+	// ...and so does the owning worker's, with the request id attached to
+	// its request span (the cross-tier log-correlation contract).
+	wresp, wbody := getBody(t, c.wTS[owner].URL+"/v1/spans?trace="+tid)
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("worker spans: %s: %s", wresp.Status, wbody)
+	}
+	var wsl api.SpanSlice
+	if err := json.Unmarshal(wbody, &wsl); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range wsl.Spans {
+		if sp.Name == "POST /v1/sim" && sp.Attrs.Get("request_id") == "req-edge-42" {
+			found = true
+		}
+		if sp.ParentID == "" {
+			t.Errorf("worker span %s (%s) rooted a fresh tree instead of continuing the frontend's", sp.SpanID, sp.Name)
+		}
+	}
+	if !found {
+		t.Error("worker request span does not carry the caller's request id")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dvr/internal/checkpoint"
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
+	"dvr/internal/obs"
 	"dvr/internal/service/api"
 	"dvr/internal/trace"
 	"dvr/internal/workloads"
@@ -101,6 +102,11 @@ func (s *Server) simulate(ctx context.Context, key string, spec workloads.Spec, 
 	if errors.As(err, &le) {
 		s.watchdogTrips.Add(1)
 		s.writeForensics(key, le)
+		// A watchdog trip is a flight-recorder trigger: breadcrumb the
+		// wedge into the span ring, then seal the ring beside the pipeline
+		// forensics so the dump shows what the fleet was doing around it.
+		s.tracer.Event(obs.FromContext(ctx).TraceID(), "livelock", le.Error())
+		s.dumpFlight("livelock")
 		if s.ckpts != nil {
 			// The wedge is deterministic; resuming near it would only trip
 			// the watchdog again at the same instruction.

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"dvr/internal/experiments"
 	"dvr/internal/faults"
 	"dvr/internal/ledger"
+	"dvr/internal/obs"
 	"dvr/internal/service/api"
 	"dvr/internal/service/client"
 	"dvr/internal/stream"
@@ -104,6 +106,15 @@ type FrontendConfig struct {
 	Faults *faults.Injector
 	// Logger receives one structured line per request; nil discards them.
 	Logger *slog.Logger
+	// TraceSpans, when nonzero, enables distributed tracing on the
+	// frontend: every request roots (or continues) a trace propagated to
+	// workers via X-Trace-Ctx, spans collect in a bounded ring of this
+	// capacity, and GET /v1/jobs/{id}/trace?view=cluster merges the fleet's
+	// slices into one trace. 0 disables at zero request-path cost.
+	TraceSpans int
+	// ProcName labels this process's spans in fleet trace views (e.g.
+	// "frontend@127.0.0.1:8380"); "" means "frontend".
+	ProcName string
 }
 
 func (c FrontendConfig) withDefaults() FrontendConfig {
@@ -147,6 +158,12 @@ type Frontend struct {
 	reqTotal atomic.Uint64
 	reqHist  *histogram
 
+	// tracer is the distributed-tracing span collector (nil when
+	// disabled); dispatchHist is the per-outcome latency of one
+	// frontend→worker dispatch attempt (dvrd_dispatch_attempt_seconds).
+	tracer       *obs.Tracer
+	dispatchHist map[string]*histogram
+
 	start    time.Time
 	draining atomic.Bool
 
@@ -180,6 +197,17 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		start:       time.Now(),
 	}
 	f.rootCtx, f.rootCancel = context.WithCancel(context.Background())
+	if cfg.TraceSpans > 0 {
+		proc := cfg.ProcName
+		if proc == "" {
+			proc = "frontend"
+		}
+		f.tracer = obs.New(proc, cfg.TraceSpans)
+	}
+	f.dispatchHist = make(map[string]*histogram, len(dispatchOutcomes))
+	for _, o := range dispatchOutcomes {
+		f.dispatchHist[o] = newHistogram(latencyBounds)
+	}
 	f.breakers = cluster.NewBreakers(cfg.Replicas, cluster.BreakerConfig{
 		Threshold: cfg.BreakerThreshold,
 		Cooldown:  cfg.BreakerCooldown,
@@ -256,11 +284,17 @@ func (f *Frontend) recoverLedger() {
 			f.settleJob(j, nil, err)
 			continue
 		}
-		if err := f.ledger.Append(lj.ID, ledger.Record{Kind: ledger.KindRecovered, JobID: lj.ID}); err != nil {
+		if err := f.ledger.Append(lj.ID, ledger.Record{Kind: ledger.KindRecovered, JobID: lj.ID, TraceID: lj.Accepted.TraceID}); err != nil {
 			f.logger.Warn("ledger recovered-record append failed", "job", lj.ID, "err", err)
 		}
 		f.recovered.Add(1)
-		f.launchJob(j, *lj.Accepted.Request)
+		// The re-dispatch joins the original submission's trace: the journal
+		// recorded the trace id at acceptance, so the recovery spans land in
+		// the same trace the (now dead) first incarnation was building —
+		// with no recorded id (pre-tracing journal) this roots a fresh one.
+		jsp := f.tracer.StartLinked(lj.Accepted.TraceID, "frontend.recover").Attr("job_id", lj.ID)
+		j.setTrace(jsp.TraceID())
+		f.launchJob(j, *lj.Accepted.Request, jsp, "")
 	}
 }
 
@@ -280,8 +314,9 @@ func (f *Frontend) probe(ctx context.Context, replica string) cluster.Status {
 // Handler returns the routed HTTP handler. The route set mirrors the
 // worker's so clients need not know which role they are talking to; the
 // one asymmetry is /v1/jobs/{id}/trace, which the frontend does not
-// aggregate (each worker holds only its own cells' series) and answers
-// with a typed 404 pointing at the workers.
+// aggregate for interval telemetry (each worker holds only its own cells'
+// series) and answers with a typed 404 — unless ?view=cluster asks for
+// the distributed span trace, which the frontend does merge fleet-wide.
 func (f *Frontend) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /"+api.Version+"/sim", f.handleSim)
@@ -289,10 +324,13 @@ func (f *Frontend) Handler() http.Handler {
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}", f.handleJob)
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/trace", f.handleJobTrace)
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/stream", f.handleJobStream)
+	mux.HandleFunc("GET /"+api.Version+"/spans", func(w http.ResponseWriter, r *http.Request) {
+		serveSpans(w, r, f.tracer)
+	})
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
 	mux.HandleFunc("GET /readyz", f.handleReadyz)
 	mux.HandleFunc("GET /metrics", f.handleMetrics)
-	return instrumentWith(normalizeErrors(mux), f.logger, &f.reqSeq, &f.reqTotal, f.reqHist)
+	return instrumentWith(normalizeErrors(mux), f.logger, &f.reqSeq, &f.reqTotal, f.reqHist, f.tracer)
 }
 
 // BeginDrain flips /readyz unready (a frontend fleet behind a load
@@ -385,33 +423,66 @@ func (f *Frontend) cellKey(ref workloads.Ref, tech string, override *cpu.Config,
 func (f *Frontend) routeCell(ctx context.Context, key string, req api.SimRequest) (api.SimResponse, error) {
 	resp, _, err := f.flight.Do(ctx, key, func() (api.SimResponse, error) {
 		cands := f.candidates(key)
+		tid := obs.FromContext(ctx).TraceID()
+		// The routing decision as a span: the ring owner (first candidate)
+		// plus, on End, every replica actually tried — the forensic answer
+		// to "why did this cell land on worker 3".
+		rsp := obs.FromContext(ctx).StartChild("frontend.route").Attr("key", key)
+		if len(cands) > 0 {
+			rsp.Attr("owner", cands[0])
+		}
+		var tried []string
+		endRoute := func() { rsp.Attr("tried", strings.Join(tried, ",")).End() }
 		var lastErr error
 		for i, rep := range cands {
-			resp, winner, err := f.dispatchHedged(ctx, key, req, rep, f.hedgePeer(cands, i))
-			if err == nil {
+			tried = append(tried, rep)
+			breakerOpen := f.breakers.Blocked(rep)
+			dsp := rsp.StartChild("frontend.dispatch").Attr("replica", rep)
+			if breakerOpen {
+				dsp.Attr("breaker_open", "true")
+			}
+			dctx := obs.ContextWithSpan(ctx, dsp)
+			attempt := time.Now()
+			resp, winner, hedged, err := f.dispatchHedged(dctx, key, req, rep, f.hedgePeer(cands, i))
+			elapsed := time.Since(attempt)
+			if err == nil || isAPIError(err) {
+				// The replica answered (success or its typed verdict).
+				outcome := "ok"
+				switch {
+				case hedged && winner != rep:
+					outcome = "hedge-win"
+				case hedged:
+					outcome = "hedge-lose"
+				case breakerOpen:
+					outcome = "breaker-open"
+				}
+				f.observeDispatch(outcome, elapsed, tid)
+				dsp.Attr("outcome", outcome).Attr("winner", winner).Fail(err).End()
+				endRoute()
 				f.breakers.Success(winner)
 				f.routed.Add(1)
+				if err != nil {
+					return api.SimResponse{}, err
+				}
 				return resp, nil
 			}
-			var ae *client.APIError
-			if errors.As(err, &ae) {
-				// The replica answered; its verdict is the verdict.
-				f.breakers.Success(winner)
-				f.routed.Add(1)
-				return api.SimResponse{}, err
-			}
 			if ctx.Err() != nil {
+				dsp.Fail(ctx.Err()).End()
+				endRoute()
 				return api.SimResponse{}, ctx.Err()
 			}
 			// Transport failure after the client's own retry budget:
 			// decisive evidence the replica is gone. Mark it dead and fail
 			// over; the next candidate resumes any journaled checkpoint from
 			// the shared durable directory.
-			f.prober.ReportFailure(winner, err)
-			f.breakers.Failure(winner)
+			f.observeDispatch("failover", elapsed, tid)
+			dsp.Attr("outcome", "failover").Fail(err).End()
+			f.prober.ReportFailureTraced(winner, err, tid)
+			f.breakers.FailureTraced(winner, tid)
 			f.failovers.Add(1)
 			lastErr = err
 		}
+		endRoute()
 		f.failoverExhausted.Add(1)
 		if lastErr != nil {
 			return api.SimResponse{}, fmt.Errorf("%w for %s: %v", errNoReplica, key, lastErr)
@@ -419,6 +490,21 @@ func (f *Frontend) routeCell(ctx context.Context, key string, req api.SimRequest
 		return api.SimResponse{}, fmt.Errorf("%w for %s", errNoReplica, key)
 	})
 	return resp, err
+}
+
+// isAPIError reports whether err is a replica's typed verdict — an
+// answer, not a transport failure.
+func isAPIError(err error) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae)
+}
+
+// observeDispatch records one dispatch attempt's latency under its
+// outcome label.
+func (f *Frontend) observeDispatch(outcome string, d time.Duration, traceID string) {
+	if h := f.dispatchHist[outcome]; h != nil {
+		h.observeTraced(d, traceID)
+	}
 }
 
 // hedgePeer picks the backup replica for a hedged dispatch: the next
@@ -441,15 +527,16 @@ func (f *Frontend) hedgePeer(cands []string, i int) string {
 // decisive answer (success or a typed replica verdict) wins; the loser's
 // context is cancelled, and the worker's content-addressed cache and
 // single-flight guarantee the cancelled twin never double-counts the
-// simulation. The winner is journaled so an operator can audit which
-// replica answered. With hedging off or no backup candidate this is a
-// plain single dispatch. Returns the answering replica alongside the
-// response so the caller's prober/breaker bookkeeping lands on the right
-// name.
-func (f *Frontend) dispatchHedged(ctx context.Context, key string, req api.SimRequest, primary, backup string) (api.SimResponse, string, error) {
+// simulation. The winner is journaled (and both arms get spans marked
+// winner/loser) so an operator can audit which replica answered. With
+// hedging off or no backup candidate this is a plain single dispatch.
+// Returns the answering replica and whether the hedge actually fired,
+// so the caller's prober/breaker/histogram bookkeeping lands on the
+// right name and outcome.
+func (f *Frontend) dispatchHedged(ctx context.Context, key string, req api.SimRequest, primary, backup string) (api.SimResponse, string, bool, error) {
 	if f.cfg.HedgeAfter <= 0 || backup == "" {
 		resp, err := f.clients[primary].Sim(ctx, req)
-		return resp, primary, err
+		return resp, primary, false, err
 	}
 	type answer struct {
 		resp api.SimResponse
@@ -463,6 +550,9 @@ func (f *Frontend) dispatchHedged(ctx context.Context, key string, req api.SimRe
 		resp, err := f.clients[rep].Sim(hctx, req)
 		ch <- answer{resp: resp, rep: rep, err: err}
 	}
+	parent := obs.FromContext(ctx)
+	tid := parent.TraceID()
+	starts := map[string]time.Time{primary: time.Now()}
 	go dispatch(primary)
 	timer := time.NewTimer(f.cfg.HedgeAfter)
 	defer timer.Stop()
@@ -475,10 +565,11 @@ func (f *Frontend) dispatchHedged(ctx context.Context, key string, req api.SimRe
 				hedged = true
 				pending++
 				f.hedgesLaunched.Add(1)
+				starts[backup] = time.Now()
 				go dispatch(backup)
 			}
 		case <-ctx.Done():
-			return api.SimResponse{}, primary, ctx.Err()
+			return api.SimResponse{}, primary, hedged, ctx.Err()
 		case a := <-ch:
 			pending--
 			var ae *client.APIError
@@ -489,19 +580,26 @@ func (f *Frontend) dispatchHedged(ctx context.Context, key string, req api.SimRe
 						loser = primary
 						f.hedgesWon.Add(1)
 					}
+					// Both arms as spans, started at their true dispatch
+					// times: the winner's span is the answered round trip,
+					// the loser's ends now — at its cancellation.
+					parent.StartChildAt("frontend.hedge-arm", starts[a.rep]).
+						Attr("replica", a.rep).Attr("hedge", "winner").End()
+					parent.StartChildAt("frontend.hedge-arm", starts[loser]).
+						Attr("replica", loser).Attr("hedge", "loser").End()
 					f.recordHedge(key, a.rep, loser)
 				}
-				return a.resp, a.rep, a.err
+				return a.resp, a.rep, hedged, a.err
 			}
 			// Transport death of one arm. If the other arm is still out,
 			// let it finish; bookkeep this one now so the prober and breaker
 			// learn of it even though the caller only sees the final answer.
 			if pending > 0 {
-				f.prober.ReportFailure(a.rep, a.err)
-				f.breakers.Failure(a.rep)
+				f.prober.ReportFailureTraced(a.rep, a.err, tid)
+				f.breakers.FailureTraced(a.rep, tid)
 				continue
 			}
-			return a.resp, a.rep, a.err
+			return a.resp, a.rep, hedged, a.err
 		}
 	}
 }
@@ -590,7 +688,11 @@ func (f *Frontend) runClusterBatch(ctx context.Context, req api.BatchRequest, j 
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				tid := obs.FromContext(ctx).TraceID()
+				breakerOpen := f.breakers.Blocked(rep)
+				attempt := time.Now()
 				results, err := f.runGroup(ctx, rep, idxs, list, req, j)
+				elapsed := time.Since(attempt)
 				if err != nil {
 					if ctx.Err() != nil {
 						mu.Lock()
@@ -608,11 +710,17 @@ func (f *Frontend) runClusterBatch(ctx context.Context, req api.BatchRequest, j 
 						// successor answers them as cache hits; its
 						// in-flight cell resumes from the journaled
 						// checkpoint instead of restarting.
-						f.prober.ReportFailure(rep, err)
-						f.breakers.Failure(rep)
+						f.prober.ReportFailureTraced(rep, err, tid)
+						f.breakers.FailureTraced(rep, tid)
 					}
+					f.observeDispatch("failover", elapsed, tid)
 					f.failovers.Add(uint64(len(idxs)))
 					return
+				}
+				if breakerOpen {
+					f.observeDispatch("breaker-open", elapsed, tid)
+				} else {
+					f.observeDispatch("ok", elapsed, tid)
 				}
 				f.breakers.Success(rep)
 				f.routed.Add(uint64(len(idxs)))
@@ -667,7 +775,25 @@ func (f *Frontend) finishCell(j *job, idx int, c api.CellRequest, resp api.SimRe
 // Worker cell-done/job-done events are not forwarded: the frontend emits
 // its own when a cell is truly final (finishCell) and when the whole
 // cross-replica batch ends.
-func (f *Frontend) runGroup(ctx context.Context, rep string, idxs []int, list []api.CellRequest, req api.BatchRequest, j *job) ([]api.SimResponse, error) {
+func (f *Frontend) runGroup(ctx context.Context, rep string, idxs []int, list []api.CellRequest, req api.BatchRequest, j *job) (_ []api.SimResponse, retErr error) {
+	// One span per replica-group dispatch: which worker got how many cells,
+	// annotated with the breaker's view at dispatch time, failed on a
+	// transport death (the caller then re-routes the group).
+	gsp := obs.FromContext(ctx).StartChild("frontend.dispatch").
+		Attr("replica", rep).Attr("cells", strconv.Itoa(len(idxs)))
+	if f.breakers.Blocked(rep) {
+		gsp.Attr("breaker_open", "true")
+	}
+	defer func() {
+		outcome := "ok"
+		if retErr != nil && !isAPIError(retErr) {
+			// A transport death (or cancellation): the caller re-routes the
+			// group, so this attempt reads as the failover it triggered.
+			outcome = "failover"
+		}
+		gsp.Attr("outcome", outcome).Fail(retErr).End()
+	}()
+	ctx = obs.ContextWithSpan(ctx, gsp)
 	cl := f.clients[rep]
 	sub := api.BatchRequest{
 		Cells:     make([]api.CellRequest, len(idxs)),
@@ -843,7 +969,7 @@ func (f *Frontend) handleBatch(w http.ResponseWriter, r *http.Request) {
 		req.IdempotencyKey = h
 	}
 	if req.Async {
-		f.acceptAsync(w, req)
+		f.acceptAsync(w, r, req)
 		return
 	}
 	d, err := f.requestBudget(r, req.TimeoutMS)
@@ -892,7 +1018,7 @@ func (f *Frontend) handleBatch(w http.ResponseWriter, r *http.Request) {
 // before the append and the job never existed (the client's retry re-runs
 // it from scratch); die after and a rebooted frontend recovers it under
 // the same identity.
-func (f *Frontend) acceptAsync(w http.ResponseWriter, req api.BatchRequest) {
+func (f *Frontend) acceptAsync(w http.ResponseWriter, r *http.Request, req api.BatchRequest) {
 	if f.cfg.Faults.CrashAt(faults.FrontendCrashBeforeLedgerWrite) {
 		panic(http.ErrAbortHandler)
 	}
@@ -908,9 +1034,15 @@ func (f *Frontend) acceptAsync(w http.ResponseWriter, req api.BatchRequest) {
 		writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id, Deduped: true})
 		return
 	}
+	// The job span is a child of the accepting request's span, so the whole
+	// async batch — admission, every dispatch, the workers' cells — hangs
+	// off the submitter's trace. The trace id rides the accepted ledger
+	// record so a post-crash recovery can link its re-dispatch spans back.
+	jsp := obs.FromContext(r.Context()).StartChild("frontend.job").Attr("job_id", j.id)
+	j.setTrace(jsp.TraceID())
 	if f.ledger != nil {
 		rec := ledger.Record{Kind: ledger.KindAccepted, JobID: j.id,
-			Key: req.IdempotencyKey, Total: j.total, Request: &req}
+			Key: req.IdempotencyKey, Total: j.total, Request: &req, TraceID: jsp.TraceID()}
 		if err := f.ledger.Append(j.id, rec); err != nil {
 			f.logger.Warn("ledger accepted-record append failed", "job", j.id, "err", err)
 		}
@@ -918,15 +1050,16 @@ func (f *Frontend) acceptAsync(w http.ResponseWriter, req api.BatchRequest) {
 	if f.cfg.Faults.CrashAt(faults.FrontendCrashAfterLedgerWrite) {
 		panic(http.ErrAbortHandler)
 	}
-	f.launchJob(j, req)
+	f.launchJob(j, req, jsp, obs.RequestIDFrom(r.Context()))
 	writeJSON(w, http.StatusAccepted, api.BatchResponse{JobID: j.id})
 }
 
 // launchJob runs an accepted async batch in the background under the
 // frontend's root context — not the accepting request's, which dies with
-// the 202.
-func (f *Frontend) launchJob(j *job, req api.BatchRequest) {
-	ctx := f.rootCtx
+// the 202. The job span and request id are copied over explicitly so the
+// batch's coordination spans stay in the submitter's trace.
+func (f *Frontend) launchJob(j *job, req api.BatchRequest, jsp *obs.Span, reqID string) {
+	ctx := obs.ContextWithSpan(obs.ContextWithRequestID(f.rootCtx, reqID), jsp)
 	var cancel context.CancelFunc = func() {}
 	if req.TimeoutMS > 0 {
 		ctx, cancel = context.WithTimeout(ctx, f.timeout(req.TimeoutMS))
@@ -936,6 +1069,7 @@ func (f *Frontend) launchJob(j *job, req api.BatchRequest) {
 		defer f.jobs.wg.Done()
 		defer cancel()
 		batch, err := f.runClusterBatch(ctx, req, j)
+		jsp.Fail(err).End()
 		if err != nil && f.rootCtx.Err() != nil {
 			// The frontend is dying (Abort), not the job: a real kill -9
 			// would write nothing either. Leave the journal pending so the
@@ -1002,13 +1136,74 @@ func (f *Frontend) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
-// handleJobTrace: the frontend keeps no trace store — each worker holds
-// only its own cells' interval series, and stitching them would duplicate
-// what the live stream already delivers — so the route answers a typed
-// 404 pointing at the live stream and the workers.
+// handleJobTrace: the frontend keeps no interval-trace store — each
+// worker holds only its own cells' series, and stitching them would
+// duplicate what the live stream already delivers — so the default route
+// answers a typed 404 pointing at the live stream and the workers. What
+// the frontend does aggregate is the distributed span trace:
+// ?view=cluster merges its own span slice with every worker's (pulled
+// over GET /v1/spans) into one per-replica-track view of the job's
+// trace; &format=perfetto renders it as a Perfetto/Chrome trace document
+// instead of JSON.
 func (f *Frontend) handleJobTrace(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound,
-		Error: "service: the frontend does not aggregate job traces; subscribe to /v1/jobs/{id}/stream or query the owning worker"})
+	if r.URL.Query().Get("view") != "cluster" {
+		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound,
+			Error: "service: the frontend does not aggregate interval traces; subscribe to /v1/jobs/{id}/stream, query the owning worker, or GET ?view=cluster for the distributed span trace"})
+		return
+	}
+	if f.tracer == nil {
+		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound,
+			Error: "service: span tracing is disabled (start the frontend with -trace-spans)"})
+		return
+	}
+	id := r.PathValue("id")
+	j, ok := f.jobs.get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound, Error: fmt.Sprintf("service: unknown job %q", id)})
+		return
+	}
+	tid := j.trace()
+	if tid == "" {
+		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound,
+			Error: fmt.Sprintf("service: job %q has no recorded trace (accepted before tracing was enabled)", id)})
+		return
+	}
+	out := api.ClusterTrace{JobID: id, TraceID: tid}
+	out.Slices = append(out.Slices, api.SpanSlice{
+		Proc: f.tracer.Proc(), TraceID: tid, Spans: f.tracer.Slice(tid)})
+	for _, rep := range f.cfg.Replicas {
+		sl, err := f.clients[rep].Spans(r.Context(), tid)
+		if err != nil {
+			// A dead or tracing-disabled worker contributes an error marker,
+			// not a merge failure: the rest of the fleet's view still renders.
+			out.Slices = append(out.Slices, api.SpanSlice{Proc: rep, TraceID: tid, Err: err.Error()})
+			continue
+		}
+		if len(sl.Spans) == 0 {
+			continue // this worker saw none of the job's cells
+		}
+		out.Slices = append(out.Slices, sl)
+	}
+	if r.URL.Query().Get("format") == "perfetto" {
+		slices := make([]obs.Slice, 0, len(out.Slices))
+		for _, sl := range out.Slices {
+			if sl.Err == "" {
+				slices = append(slices, obs.Slice{Proc: sl.Proc, Spans: sl.Spans})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = obs.WriteFleetPerfetto(w, slices)
+		return
+	}
+	writeJSONTimed(r.Context(), w, http.StatusOK, out)
+}
+
+// DumpFlight seals the frontend's flight record beside its ledger
+// (<LedgerDir>/forensics/) and returns the path; "" when tracing or the
+// ledger is disabled. cmd/dvrd calls this on SIGTERM.
+func (f *Frontend) DumpFlight(reason string) string {
+	return dumpFlight(f.tracer, f.cfg.LedgerDir, reason, f.logger)
 }
 
 func (f *Frontend) handleJobStream(w http.ResponseWriter, r *http.Request) {
@@ -1056,6 +1251,8 @@ func (f *Frontend) Metrics() api.ClusterMetrics {
 		BreakerTrips:        f.breakers.Trips(),
 		BreakersOpen:        f.breakers.Open(),
 		DeadlineRejected:    f.deadlineRejected.Load(),
+		ObsSpans:            f.tracer.Len(),
+		ObsSpansDropped:     f.tracer.Dropped(),
 	}
 	if f.ledger != nil {
 		m.LedgerRecords = f.ledger.Appends()
@@ -1074,10 +1271,14 @@ func (f *Frontend) Metrics() api.ClusterMetrics {
 			ProbesTotal:   r.ProbesTotal,
 			ProbeFailures: r.ProbeFailures,
 			LastError:     r.LastError,
+			LastTraceID:   r.LastTraceID,
 		}
 		if b, ok := bsnap[r.Name]; ok {
 			rs.BreakerOpen = b.Open
 			rs.BreakerTrips = b.Trips
+			if rs.LastTraceID == "" {
+				rs.LastTraceID = b.LastTraceID
+			}
 		}
 		m.Replicas = append(m.Replicas, rs)
 	}
@@ -1086,10 +1287,10 @@ func (f *Frontend) Metrics() api.ClusterMetrics {
 
 func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := f.Metrics()
-	if wantsPrometheus(r.Header.Get("Accept")) {
+	if accept := r.Header.Get("Accept"); wantsPrometheus(accept) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		writeClusterPrometheus(w, m, f.reqHist)
+		writeClusterPrometheus(w, m, f.reqHist, f.dispatchHist, wantsExemplars(accept))
 		return
 	}
 	writeJSON(w, http.StatusOK, m)

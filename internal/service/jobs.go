@@ -32,6 +32,28 @@ type job struct {
 	state string
 	err   error
 	batch *api.BatchResponse
+	// traceID is the distributed-tracing trace the job runs under — the
+	// submitting request's trace (or the recovered trace id replayed from
+	// the ledger). "" when tracing is disabled.
+	traceID string
+}
+
+// setTrace records the trace the job's spans belong to. No-op for "" so
+// the disabled-tracing path stays branchless at call sites.
+func (j *job) setTrace(id string) {
+	if id == "" {
+		return
+	}
+	j.mu.Lock()
+	j.traceID = id
+	j.mu.Unlock()
+}
+
+// trace returns the job's trace id ("" when tracing is disabled).
+func (j *job) trace() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceID
 }
 
 // cellDone records one completed cell and reports the new count.

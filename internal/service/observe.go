@@ -10,15 +10,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dvr/internal/obs"
 	"dvr/internal/service/api"
 )
 
-// Request observability: every request gets a server-assigned ID (echoed
-// as X-Request-ID and threaded through the context), a structured slog
-// line with span timings (queue wait → simulate → encode), and a sample
-// in the request-duration histogram. GET /metrics serves the same
-// snapshot as JSON (default; the CI smoke pipes it through a JSON parser)
-// or Prometheus text exposition under "Accept: text/plain".
+// Request observability: every request gets a request ID (reused from an
+// inbound X-Request-ID when the caller — typically a frontend — minted
+// one, otherwise server-assigned; echoed as X-Request-ID and threaded
+// through the context), a distributed-tracing span continuing any
+// propagated X-Trace-Ctx context, a structured slog line with span
+// timings (queue wait → simulate → encode) and trace_id/span_id fields,
+// and a sample in the request-duration histogram. GET /metrics serves
+// the same snapshot as JSON (default; the CI smoke pipes it through a
+// JSON parser) or Prometheus text exposition under "Accept: text/plain".
 
 // spans accumulates the phase timings of one request. Batch requests fan
 // out to many cells, so the adders take a lock and sum: the logged
@@ -65,16 +69,13 @@ func (sp *spans) snapshot() (queueWait, sim, encode time.Duration) {
 
 type ctxKey int
 
-const (
-	ctxKeyReqID ctxKey = iota
-	ctxKeySpans
-)
+const ctxKeySpans ctxKey = iota
 
-// RequestID returns the server-assigned request ID threaded through ctx
-// ("" outside an instrumented request).
+// RequestID returns the request ID threaded through ctx ("" outside an
+// instrumented request). The id is propagated across hops (the client
+// stamps it on outbound requests), so frontend and worker share one.
 func RequestID(ctx context.Context) string {
-	id, _ := ctx.Value(ctxKeyReqID).(string)
-	return id
+	return obs.RequestIDFrom(ctx)
 }
 
 func spansFrom(ctx context.Context) *spans {
@@ -105,25 +106,40 @@ func (r *statusRecorder) Flush() {
 // ID assignment, span accumulation, the duration histogram, the request
 // counter, and one structured log line per request.
 func (s *Server) instrument(next http.Handler) http.Handler {
-	return instrumentWith(next, s.logger, &s.reqSeq, &s.reqTotal, s.reqHist)
+	return instrumentWith(next, s.logger, &s.reqSeq, &s.reqTotal, s.reqHist, s.tracer)
 }
 
 // instrumentWith is the role-agnostic request observability middleware,
 // shared by the worker Server and the cluster Frontend (each passes its
-// own counters and histogram).
-func instrumentWith(next http.Handler, logger *slog.Logger, reqSeq, reqTotal *atomic.Uint64, reqHist *histogram) http.Handler {
+// own counters, histogram, and span collector; tracer may be nil —
+// tracing disabled — at zero cost on this path).
+func instrumentWith(next http.Handler, logger *slog.Logger, reqSeq, reqTotal *atomic.Uint64, reqHist *histogram, tracer *obs.Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		reqID := fmt.Sprintf("req-%06d", reqSeq.Add(1))
-		w.Header().Set("X-Request-ID", reqID)
-		ctx := context.WithValue(r.Context(), ctxKeyReqID, reqID)
+		// Reuse a propagated request id so the frontend's and the worker's
+		// log lines for the same hop carry the same id; mint one only at
+		// the edge (no inbound id).
+		reqID := r.Header.Get(api.HeaderRequestID)
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%06d", reqSeq.Add(1))
+		}
+		w.Header().Set(api.HeaderRequestID, reqID)
+		ctx := obs.ContextWithRequestID(r.Context(), reqID)
 		sp := &spans{}
 		ctx = context.WithValue(ctx, ctxKeySpans, sp)
+		// The server span continues a propagated X-Trace-Ctx context (a
+		// frontend hop) or roots a fresh trace (an edge request). With
+		// tracing disabled span is nil and every call below is a no-op.
+		span := tracer.StartRemote(obs.Extract(r.Header), r.Method+" "+r.URL.Path)
+		span.Attr("request_id", reqID)
+		ctx = obs.ContextWithSpan(ctx, span)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r.WithContext(ctx))
 		dur := time.Since(start)
 		reqTotal.Add(1)
-		reqHist.observe(dur)
+		reqHist.observeTraced(dur, span.TraceID())
+		span.Attr("status", fmt.Sprintf("%d", rec.code))
+		span.End()
 		qw, sim, enc := sp.snapshot()
 		logger.Info("request",
 			"id", reqID,
@@ -134,6 +150,8 @@ func instrumentWith(next http.Handler, logger *slog.Logger, reqSeq, reqTotal *at
 			"queue_wait_ms", ms(qw),
 			"sim_ms", ms(sim),
 			"encode_ms", ms(enc),
+			"trace_id", span.TraceID(),
+			"span_id", span.SpanID(),
 		)
 	})
 }
@@ -146,6 +164,7 @@ func writeJSONTimed(ctx context.Context, w http.ResponseWriter, code int, v any)
 	start := time.Now()
 	writeJSON(w, code, v)
 	spansFrom(ctx).addEncode(time.Since(start))
+	obs.FromContext(ctx).StartChildAt("encode", start).End()
 }
 
 // wantsPrometheus decides the /metrics representation: Prometheus text
@@ -156,15 +175,44 @@ func wantsPrometheus(accept string) bool {
 	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "application/openmetrics-text")
 }
 
+// wantsExemplars gates the OpenMetrics-only exemplar syntax: classic
+// text-format parsers reject the trailing "# {...}" clause, so exemplars
+// only render when the scraper negotiates openmetrics explicitly.
+func wantsExemplars(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.Metrics()
-	if wantsPrometheus(r.Header.Get("Accept")) {
+	if accept := r.Header.Get("Accept"); wantsPrometheus(accept) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		writePrometheus(w, m, s.reqHist, s.queueHist)
+		writePrometheus(w, m, s.reqHist, s.queueHist, wantsExemplars(accept))
 		return
 	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// serveSpans answers GET /v1/spans?trace={id} on either role: the
+// process's collected span slice for one trace, in canonical order. The
+// frontend's cluster trace view is assembled from these.
+func serveSpans(w http.ResponseWriter, r *http.Request, tracer *obs.Tracer) {
+	if tracer == nil {
+		writeJSON(w, http.StatusNotFound, api.Error{Code: api.CodeNotFound,
+			Error: "service: span tracing is disabled (start dvrd with -trace-spans)"})
+		return
+	}
+	tid := r.URL.Query().Get("trace")
+	if tid == "" {
+		writeJSON(w, http.StatusBadRequest, api.Error{Code: api.CodeBadRequest,
+			Error: "service: /v1/spans requires ?trace=<trace id>"})
+		return
+	}
+	spans := tracer.Slice(tid)
+	if spans == nil {
+		spans = []obs.SpanRecord{}
+	}
+	writeJSON(w, http.StatusOK, api.SpanSlice{Proc: tracer.Proc(), TraceID: tid, Spans: spans})
 }
 
 // handleJobTrace serves the interval telemetry of a finished async job:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -12,8 +13,12 @@ import (
 
 // Prometheus text exposition, hand-rolled (the repo takes no dependencies):
 // GET /metrics with "Accept: text/plain" renders the same snapshot the JSON
-// body carries, as gauges and counters, plus the two latency histograms
-// (request duration and queue wait) that only exist in this format.
+// body carries, as gauges and counters, plus the latency histograms
+// (request duration, queue wait, dispatch attempts) that only exist in
+// this format. Under "Accept: application/openmetrics-text" bucket lines
+// additionally carry trace-id exemplars — the OpenMetrics "# {...}"
+// syntax would break classic text-format parsers, so it is opt-in by
+// content negotiation.
 
 // latencyBounds are the histogram bucket upper bounds in seconds. They
 // span network-fast cache hits (~ms) through full simulations (~minutes).
@@ -22,18 +27,36 @@ var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
 // histogram is a fixed-bucket duration histogram safe for concurrent
 // observation. Buckets are non-cumulative atomics; the cumulative form
 // Prometheus wants is computed at exposition time, so observe() on the
-// hot request path is one atomic add (plus one for the sum).
+// hot request path is one atomic add (plus one for the sum). When a
+// traced observation lands (observeTraced with a non-empty trace id) the
+// bucket's exemplar is replaced under a mutex — that path only runs with
+// tracing enabled, so the disabled hot path stays lock-free.
 type histogram struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; the last bucket is +Inf
 	sumUS  atomic.Uint64   // total observed microseconds
+
+	exMu sync.Mutex
+	ex   []exemplar // len(bounds)+1, allocated on first traced observation
+}
+
+// exemplar is the most recent traced observation of one bucket: the
+// trace id to pivot from a latency outlier into its distributed trace.
+type exemplar struct {
+	traceID string
+	val     float64 // observed value, seconds
+	tsUS    int64   // observation wall-clock, µs since epoch
 }
 
 func newHistogram(bounds []float64) *histogram {
 	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
-func (h *histogram) observe(d time.Duration) {
+func (h *histogram) observe(d time.Duration) { h.observeTraced(d, "") }
+
+// observeTraced is observe plus exemplar capture when the observation
+// belongs to a trace.
+func (h *histogram) observeTraced(d time.Duration, traceID string) {
 	if d < 0 {
 		d = 0
 	}
@@ -44,28 +67,75 @@ func (h *histogram) observe(d time.Duration) {
 	}
 	h.counts[i].Add(1)
 	h.sumUS.Add(uint64(d.Microseconds()))
+	if traceID == "" {
+		return
+	}
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]exemplar, len(h.bounds)+1)
+	}
+	h.ex[i] = exemplar{traceID: traceID, val: s, tsUS: time.Now().UnixMicro()}
+	h.exMu.Unlock()
 }
 
 // write renders the histogram in Prometheus text format under name.
-func (h *histogram) write(w io.Writer, name string) {
+func (h *histogram) write(w io.Writer, name string, om bool) {
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	h.writeSeries(w, name, "", om)
+}
+
+// writeSeries renders the bucket/sum/count series without the TYPE
+// header (so labeled variants of one family share a single header).
+// labels, when non-empty, is spliced into every series ("outcome=\"ok\"");
+// om additionally appends OpenMetrics trace-id exemplars to buckets that
+// have one.
+func (h *histogram) writeSeries(w io.Writer, name, labels string, om bool) {
+	var exs []exemplar
+	if om {
+		h.exMu.Lock()
+		if h.ex != nil {
+			exs = append([]exemplar(nil), h.ex...)
+		}
+		h.exMu.Unlock()
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	exTail := func(i int) string {
+		if i >= len(exs) || exs[i].traceID == "" {
+			return ""
+		}
+		return fmt.Sprintf(" # {trace_id=%q} %s %s", exs[i].traceID,
+			promFloat(exs[i].val), promFloat(float64(exs[i].tsUS)/1e6))
+	}
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d%s\n", name, labels, sep, promFloat(b), cum, exTail(i))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(float64(h.sumUS.Load())/1e6))
-	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d%s\n", name, labels, sep, cum, exTail(len(h.bounds)))
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(float64(h.sumUS.Load())/1e6))
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, promFloat(float64(h.sumUS.Load())/1e6))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	}
 }
 
 func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// dispatchOutcomes are the label values of dvrd_dispatch_attempt_seconds,
+// in exposition order: how one frontend→worker dispatch attempt resolved.
+var dispatchOutcomes = []string{"ok", "failover", "hedge-win", "hedge-lose", "breaker-open"}
+
 // writePrometheus renders one metrics snapshot as Prometheus text. The
 // scalar series mirror the JSON api.Metrics fields one-for-one so the two
-// formats never disagree about what the server is doing.
-func writePrometheus(w io.Writer, m api.Metrics, reqHist, queueHist *histogram) {
+// formats never disagree about what the server is doing. om appends
+// OpenMetrics trace-id exemplars to histogram buckets.
+func writePrometheus(w io.Writer, m api.Metrics, reqHist, queueHist *histogram, om bool) {
 	gauge := func(name string, v float64) {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(v))
 	}
@@ -101,6 +171,8 @@ func writePrometheus(w io.Writer, m api.Metrics, reqHist, queueHist *histogram) 
 	gauge("dvrd_sim_mips", m.SimMIPS)
 	counter("dvrd_requests_total", m.RequestsTotal)
 	gauge("dvrd_traces_stored", float64(m.TracesStored))
+	gauge("dvrd_obs_spans", float64(m.ObsSpans))
+	counter("dvrd_obs_spans_dropped_total", m.ObsSpansDropped)
 	gauge("dvrd_stream_sessions_active", float64(m.StreamSessionsActive))
 	counter("dvrd_stream_sessions_opened_total", m.StreamSessionsOpened)
 	counter("dvrd_stream_sessions_expired_total", m.StreamSessionsExpired)
@@ -118,15 +190,17 @@ func writePrometheus(w io.Writer, m api.Metrics, reqHist, queueHist *histogram) 
 			fmt.Fprintf(w, "dvrd_stream_session_delivered{session=%q,job=%q} %d\n", ss.ID, ss.JobID, ss.Delivered)
 		}
 	}
-	reqHist.write(w, "dvrd_request_duration_seconds")
-	queueHist.write(w, "dvrd_queue_wait_seconds")
+	reqHist.write(w, "dvrd_request_duration_seconds", om)
+	queueHist.write(w, "dvrd_queue_wait_seconds", om)
 }
 
 // writeClusterPrometheus renders a frontend's metrics snapshot as
 // Prometheus text: fleet-wide routing counters, replica-state gauges, and
 // one labeled health series per replica so a dashboard can name the exact
-// worker that is failing probes.
-func writeClusterPrometheus(w io.Writer, m api.ClusterMetrics, reqHist *histogram) {
+// worker that is failing probes. dispatch is the per-outcome
+// dvrd_dispatch_attempt_seconds family (nil-safe); om appends
+// OpenMetrics trace-id exemplars to histogram buckets.
+func writeClusterPrometheus(w io.Writer, m api.ClusterMetrics, reqHist *histogram, dispatch map[string]*histogram, om bool) {
 	gauge := func(name string, v float64) {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(v))
 	}
@@ -157,6 +231,8 @@ func writeClusterPrometheus(w io.Writer, m api.ClusterMetrics, reqHist *histogra
 	counter("dvrd_breaker_trips_total", m.BreakerTrips)
 	gauge("dvrd_breakers_open", float64(m.BreakersOpen))
 	counter("dvrd_deadline_rejected_total", m.DeadlineRejected)
+	gauge("dvrd_obs_spans", float64(m.ObsSpans))
+	counter("dvrd_obs_spans_dropped_total", m.ObsSpansDropped)
 	if len(m.Replicas) > 0 {
 		fmt.Fprint(w, "# TYPE dvrd_cluster_replica_up gauge\n")
 		for _, r := range m.Replicas {
@@ -175,5 +251,13 @@ func writeClusterPrometheus(w io.Writer, m api.ClusterMetrics, reqHist *histogra
 			fmt.Fprintf(w, "dvrd_cluster_replica_probe_failures{replica=%q} %d\n", r.Name, r.ProbeFailures)
 		}
 	}
-	reqHist.write(w, "dvrd_request_duration_seconds")
+	reqHist.write(w, "dvrd_request_duration_seconds", om)
+	if len(dispatch) > 0 {
+		fmt.Fprint(w, "# TYPE dvrd_dispatch_attempt_seconds histogram\n")
+		for _, outcome := range dispatchOutcomes {
+			if h := dispatch[outcome]; h != nil {
+				h.writeSeries(w, "dvrd_dispatch_attempt_seconds", fmt.Sprintf("outcome=%q", outcome), om)
+			}
+		}
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 	"dvr/internal/cpu"
 	"dvr/internal/experiments"
 	"dvr/internal/faults"
+	"dvr/internal/obs"
 	"dvr/internal/service/api"
 	"dvr/internal/stream"
 	"dvr/internal/workloads"
@@ -127,6 +129,15 @@ type Config struct {
 	// StreamHeartbeat is the SSE comment-keepalive interval on quiet
 	// streams; 0 means 15s.
 	StreamHeartbeat time.Duration
+	// TraceSpans, when nonzero, enables distributed tracing: the server
+	// continues propagated X-Trace-Ctx contexts, collects finished spans
+	// in a bounded ring of this capacity (served at GET /v1/spans, dumped
+	// by the flight recorder), and stamps trace_id/span_id onto its log
+	// lines. 0 disables span tracing at zero cost on the request path.
+	TraceSpans int
+	// ProcName labels this process's spans in fleet trace views (e.g.
+	// "worker@127.0.0.1:8381"); "" means "worker".
+	ProcName string
 }
 
 func (c Config) withDefaults() Config {
@@ -187,9 +198,11 @@ type Server struct {
 	streams *stream.Registry
 
 	// traces holds per-cell interval telemetry (nil when tracing is
-	// disabled); logger, reqSeq and the histograms back the request
+	// disabled); tracer is the distributed-tracing span collector (nil
+	// when disabled); logger, reqSeq and the histograms back the request
 	// observability layer (observe.go).
 	traces    *traceStore
+	tracer    *obs.Tracer
 	logger    *slog.Logger
 	reqSeq    atomic.Uint64
 	reqTotal  atomic.Uint64
@@ -231,6 +244,13 @@ func New(cfg Config) *Server {
 		startInsts: experiments.SimInstructions(),
 	}
 	s.adm = newAIMD(cfg.Workers, cfg.Workers+cfg.QueueDepth)
+	if cfg.TraceSpans > 0 {
+		proc := cfg.ProcName
+		if proc == "" {
+			proc = "worker"
+		}
+		s.tracer = obs.New(proc, cfg.TraceSpans)
+	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	s.streams = stream.NewRegistry(stream.Config{
 		ReplayEntries: cfg.StreamReplay,
@@ -275,6 +295,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /"+api.Version+"/jobs/{id}/stream", s.handleJobStream)
+	mux.HandleFunc("GET /"+api.Version+"/spans", func(w http.ResponseWriter, r *http.Request) {
+		serveSpans(w, r, s.tracer)
+	})
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -470,6 +493,8 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 	key := CacheKeySampled(spec.Ref, tech, cfg, so)
 	pub.publish(api.Event{Kind: api.EventCellStarted, Key: key})
 	if res, ok := s.cache.Get(key); ok {
+		obs.FromContext(ctx).StartChild("worker.cache-hit").
+			Attr("key", key).Attr("bench", ref.Kernel).Attr("technique", tech).End()
 		s.replayTrace(pub, key, true)
 		return api.SimResponse{Key: key, Cached: true, Result: res}, nil
 	}
@@ -490,7 +515,9 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 			// Queue wait = admission to worker pickup: the span and
 			// histogram the capacity dashboards watch.
 			wait := time.Since(enqueued)
-			s.queueHist.observe(wait)
+			parent := obs.FromContext(ctx)
+			s.queueHist.observeTraced(wait, parent.TraceID())
+			parent.StartChildAt("worker.queue-wait", enqueued).End()
 			sp := spansFrom(ctx)
 			sp.addQueueWait(wait)
 			// The fault hook runs inside the worker so scripted panics
@@ -498,11 +525,15 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 			// real simulator bug would.
 			s.cfg.Faults.Sim(key)
 			simStart := time.Now()
+			ssp := parent.StartChild("worker.sim").
+				Attr("key", key).Attr("bench", ref.Kernel).Attr("technique", tech)
 			if so != nil {
 				out, runErr = s.simulateSampled(ctx, runSpec, tech, cfg, so)
+				ssp.Attr("sampled", "true")
 			} else {
 				out, runErr = s.simulate(ctx, key, runSpec, tech, cfg, pub)
 			}
+			ssp.Fail(runErr).End()
 			sp.addSim(time.Since(simStart))
 		}
 		var err error
@@ -538,6 +569,14 @@ func (s *Server) runCell(ctx context.Context, ref workloads.Ref, tech string, cf
 		res, _, err = s.flight.Do(ctx, key, simulate)
 	}
 	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			// A recovered worker panic is exactly what the flight recorder
+			// exists for: breadcrumb the event into the ring, then seal the
+			// ring to disk while the evidence is fresh.
+			s.tracer.Event(obs.FromContext(ctx).TraceID(), "panic", pe.Error())
+			s.dumpFlight("panic")
+		}
 		return api.SimResponse{}, err
 	}
 	if shared {
@@ -716,8 +755,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		// Async jobs outlive their submitting connection but not the
 		// process: they derive from rootCtx so Abort (the in-process kill)
-		// stops them at the next cancellation check.
-		ctx := s.rootCtx
+		// stops them at the next cancellation check. The accepting
+		// request's trace identity is copied over explicitly — rootCtx
+		// knows nothing of the connection — so the job's cell spans stay
+		// children of the submitter's trace.
+		jsp := obs.FromContext(r.Context()).StartChild("worker.job").Attr("job_id", j.id)
+		j.setTrace(jsp.TraceID())
+		ctx := obs.ContextWithSpan(
+			obs.ContextWithRequestID(s.rootCtx, obs.RequestIDFrom(r.Context())), jsp)
 		var cancel context.CancelFunc = func() {}
 		if req.TimeoutMS > 0 {
 			ctx, cancel = context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
@@ -727,6 +772,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer s.jobs.wg.Done()
 			defer cancel()
 			batch, err := s.runBatch(ctx, req, j)
+			jsp.Fail(err).End()
 			j.finish(batch, err)
 			if j.bc != nil {
 				// Terminal event, then close: subscribers drain whatever is
@@ -854,8 +900,10 @@ func (s *Server) Metrics() api.Metrics {
 		CheckpointsQuarantined: ckptQuarantined,
 		WatchdogTrips:          s.watchdogTrips.Load(),
 
-		RequestsTotal: s.reqTotal.Load(),
-		TracesStored:  s.traces.Len(),
+		RequestsTotal:   s.reqTotal.Load(),
+		TracesStored:    s.traces.Len(),
+		ObsSpans:        s.tracer.Len(),
+		ObsSpansDropped: s.tracer.Dropped(),
 
 		StreamSessionsActive:  sm.SessionsActive,
 		StreamSessionsOpened:  sm.SessionsOpened,
@@ -864,6 +912,50 @@ func (s *Server) Metrics() api.Metrics {
 		StreamEventsDropped:   sm.EventsDropped,
 		StreamSessions:        sm.Sessions,
 	}
+}
+
+// ---- flight recorder ----
+
+// DumpFlight seals the span collector's flight record — the ring of the
+// last N finished spans plus error events — to
+// <CacheDir>/forensics/flight-<reason>-<µs>.json and returns the path.
+// The payload is integrity-sealed like a checkpoint (payload + sha256
+// footer; checkpoint.Unseal verifies), so a post-mortem can trust a dump
+// that survived the crash it documents. Returns "" (and writes nothing)
+// when tracing is disabled or no CacheDir is configured. cmd/dvrd calls
+// this on SIGTERM; the watchdog and panic paths call it in-process.
+func (s *Server) DumpFlight(reason string) string { return s.dumpFlight(reason) }
+
+func (s *Server) dumpFlight(reason string) string {
+	return dumpFlight(s.tracer, s.cfg.CacheDir, reason, s.logger)
+}
+
+// dumpFlight is the role-agnostic flight-recorder dump shared by the
+// worker Server (rooted at CacheDir) and the cluster Frontend (rooted at
+// LedgerDir). Best-effort by contract: a failed dump must never worsen
+// the crash being documented, so every error path just returns "".
+func dumpFlight(tracer *obs.Tracer, dir, reason string, logger *slog.Logger) string {
+	if tracer == nil || dir == "" {
+		return ""
+	}
+	fr := tracer.Flight(reason)
+	payload, err := json.MarshalIndent(fr, "", "  ")
+	if err != nil {
+		return ""
+	}
+	fdir := filepath.Join(dir, "forensics")
+	if err := os.MkdirAll(fdir, 0o755); err != nil {
+		return ""
+	}
+	path := filepath.Join(fdir, fmt.Sprintf("flight-%s-%d.json", reason, fr.DumpedAtUS))
+	if err := os.WriteFile(path, checkpoint.Seal(payload), 0o644); err != nil {
+		return ""
+	}
+	if logger != nil {
+		logger.Info("flight recorder dump",
+			"reason", reason, "path", path, "spans", len(fr.Spans), "dropped", fr.Dropped)
+	}
+	return path
 }
 
 // ---- built-workload memoization ----

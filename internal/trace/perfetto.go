@@ -30,7 +30,10 @@ const (
 	tidMemory   = 3
 )
 
-type perfettoEvent struct {
+// PerfettoEvent is one Chrome trace-event JSON entry. Exported so other
+// span sources (internal/obs's fleet view) can stream the same format
+// through PerfettoWriter instead of reimplementing the envelope.
+type PerfettoEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   uint64         `json:"ts"`
@@ -39,6 +42,73 @@ type perfettoEvent struct {
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoEvent = PerfettoEvent
+
+// PerfettoWriter streams trace events as a Chrome trace-event JSON
+// document: prologue on first Emit, one event per line, and an
+// "otherData" epilogue carrying the drop count at Close. Output is
+// deterministic byte-for-byte for an identical event sequence (args
+// maps marshal with sorted keys).
+type PerfettoWriter struct {
+	w       io.Writer
+	started bool
+	first   bool
+}
+
+// NewPerfettoWriter wraps w. Nothing is written until the first Emit
+// (or Close, which emits an empty document).
+func NewPerfettoWriter(w io.Writer) *PerfettoWriter {
+	return &PerfettoWriter{w: w, first: true}
+}
+
+func (pw *PerfettoWriter) prologue() error {
+	if pw.started {
+		return nil
+	}
+	pw.started = true
+	_, err := io.WriteString(pw.w, "{\"traceEvents\":[\n")
+	return err
+}
+
+// Emit writes one event.
+func (pw *PerfettoWriter) Emit(pe PerfettoEvent) error {
+	if err := pw.prologue(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(pe)
+	if err != nil {
+		return err
+	}
+	sep := ",\n"
+	if pw.first {
+		sep = ""
+		pw.first = false
+	}
+	_, err = fmt.Fprintf(pw.w, "%s%s", sep, b)
+	return err
+}
+
+// ProcessName emits a process_name metadata event for pid.
+func (pw *PerfettoWriter) ProcessName(pid int, name string) error {
+	return pw.Emit(PerfettoEvent{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name}})
+}
+
+// ThreadName emits a thread_name metadata event for (pid, tid).
+func (pw *PerfettoWriter) ThreadName(pid, tid int, name string) error {
+	return pw.Emit(PerfettoEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Close writes the epilogue with the dropped-event count.
+func (pw *PerfettoWriter) Close(dropped uint64) error {
+	if err := pw.prologue(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(pw.w, "\n],\"otherData\":{\"dropped_events\":%d}}\n", dropped)
+	return err
 }
 
 func span(name string, ev Event, tid int, args map[string]any) perfettoEvent {
@@ -92,43 +162,23 @@ func convertEvent(ev Event) perfettoEvent {
 // WritePerfetto writes the ring contents as Chrome trace-event JSON
 // (loadable in Perfetto / chrome://tracing). name labels the process.
 func (r *Recorder) WritePerfetto(w io.Writer, name string) error {
-	meta := []perfettoEvent{
-		{Name: "process_name", Ph: "M", Pid: perfettoPID,
-			Args: map[string]any{"name": name}},
-		{Name: "thread_name", Ph: "M", Pid: perfettoPID, Tid: tidMain,
-			Args: map[string]any{"name": "main pipeline"}},
-		{Name: "thread_name", Ph: "M", Pid: perfettoPID, Tid: tidRunahead,
-			Args: map[string]any{"name": "runahead subthread"}},
-		{Name: "thread_name", Ph: "M", Pid: perfettoPID, Tid: tidMemory,
-			Args: map[string]any{"name": "memory hierarchy"}},
-	}
-	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+	pw := NewPerfettoWriter(w)
+	if err := pw.ProcessName(perfettoPID, name); err != nil {
 		return err
 	}
-	first := true
-	writeOne := func(pe perfettoEvent) error {
-		b, err := json.Marshal(pe)
-		if err != nil {
-			return err
-		}
-		sep := ",\n"
-		if first {
-			sep = ""
-			first = false
-		}
-		_, err = fmt.Fprintf(w, "%s%s", sep, b)
+	if err := pw.ThreadName(perfettoPID, tidMain, "main pipeline"); err != nil {
 		return err
 	}
-	for _, pe := range meta {
-		if err := writeOne(pe); err != nil {
-			return err
-		}
+	if err := pw.ThreadName(perfettoPID, tidRunahead, "runahead subthread"); err != nil {
+		return err
+	}
+	if err := pw.ThreadName(perfettoPID, tidMemory, "memory hierarchy"); err != nil {
+		return err
 	}
 	for _, ev := range r.Events() {
-		if err := writeOne(convertEvent(ev)); err != nil {
+		if err := pw.Emit(convertEvent(ev)); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "\n],\"otherData\":{\"dropped_events\":%d}}\n", r.Dropped())
-	return err
+	return pw.Close(r.Dropped())
 }
